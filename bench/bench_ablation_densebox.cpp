@@ -1,0 +1,69 @@
+// Ablation: the dense box optimisation (§3.2.3).
+//
+// Runs the GPGPU DBSCAN with and without dense boxes over increasing data
+// density and over the paper's MinPts sweep. Expected: with density rising,
+// the fraction of points eliminated grows and the with-box device time
+// flattens while the without-box time blows up; at high MinPts the
+// optimisation weakens ("it is not as effective when MinPts is higher").
+#include <cstdio>
+
+#include "common/experiment.hpp"
+#include "data/twitter.hpp"
+#include "gpu/mrscan_gpu.hpp"
+
+int main() {
+  using namespace mrscan;
+  const auto scale = bench::BenchScale::from_env();
+  bench::print_header("Ablation: dense box on/off (GPGPU DBSCAN per leaf)");
+
+  std::printf("\n-- density sweep (MinPts=40, Eps=0.1) --\n");
+  std::printf("%10s | %12s %12s %8s | %12s %12s | %10s\n", "points",
+              "ops(on)", "ops(off)", "saved", "gpu_s(on)", "gpu_s(off)",
+              "densePts");
+  for (std::uint64_t n = scale.quality_points / 4;
+       n <= scale.quality_points * 4; n *= 2) {
+    data::TwitterConfig tw;
+    tw.num_points = n;
+    const auto points = data::generate_twitter(tw);
+
+    gpu::MrScanGpuConfig config;
+    config.params = {0.1, 40};
+
+    gpu::VirtualDevice dev_on;
+    const auto on = gpu::mrscan_gpu_dbscan(points, config, dev_on);
+    config.dense_box = false;
+    gpu::VirtualDevice dev_off;
+    const auto off = gpu::mrscan_gpu_dbscan(points, config, dev_off);
+
+    std::printf("%10llu | %12llu %12llu %7.0f%% | %12.4f %12.4f | %10zu\n",
+                static_cast<unsigned long long>(n),
+                static_cast<unsigned long long>(on.stats.distance_ops),
+                static_cast<unsigned long long>(off.stats.distance_ops),
+                100.0 * (1.0 - static_cast<double>(on.stats.distance_ops) /
+                                   static_cast<double>(
+                                       off.stats.distance_ops)),
+                on.stats.device_seconds, off.stats.device_seconds,
+                on.stats.dense_points);
+  }
+
+  std::printf("\n-- MinPts sweep (%llu points, Eps=0.1) --\n",
+              static_cast<unsigned long long>(scale.quality_points * 2));
+  std::printf("%8s | %12s %12s | %10s %10s\n", "MinPts", "gpu_s(on)",
+              "gpu_s(off)", "densePts", "boxes");
+  data::TwitterConfig tw;
+  tw.num_points = scale.quality_points * 2;
+  const auto points = data::generate_twitter(tw);
+  for (const std::size_t min_pts : {4UL, 40UL, 400UL, 4000UL}) {
+    gpu::MrScanGpuConfig config;
+    config.params = {0.1, min_pts};
+    gpu::VirtualDevice dev_on;
+    const auto on = gpu::mrscan_gpu_dbscan(points, config, dev_on);
+    config.dense_box = false;
+    gpu::VirtualDevice dev_off;
+    const auto off = gpu::mrscan_gpu_dbscan(points, config, dev_off);
+    std::printf("%8zu | %12.4f %12.4f | %10zu %10zu\n", min_pts,
+                on.stats.device_seconds, off.stats.device_seconds,
+                on.stats.dense_points, on.stats.dense_boxes);
+  }
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Ablation: host<->GPGPU traffic — Mr. Scan's two-pass single-round-trip
+// schedule (§3.2.2) versus CUDA-DClust's per-iteration copies.
+//
+// Expected: CUDA-DClust performs ~2 x (points / blockCount) copies and its
+// transfer time grows with point count; Mr. Scan holds at 2 transfers.
+#include <cstdio>
+
+#include "common/experiment.hpp"
+#include "data/twitter.hpp"
+#include "gpu/cuda_dclust.hpp"
+#include "gpu/mrscan_gpu.hpp"
+
+int main() {
+  using namespace mrscan;
+  const auto scale = bench::BenchScale::from_env();
+  bench::print_header(
+      "Ablation: two-pass (Mr. Scan) vs per-iteration copies (CUDA-DClust)");
+  std::printf("%10s | %10s %10s | %12s %12s | %12s %12s\n", "points",
+              "xfers(MS)", "xfers(DC)", "xfer_s(MS)", "xfer_s(DC)",
+              "gpu_s(MS)", "gpu_s(DC)");
+
+  for (std::uint64_t n = scale.quality_points / 8;
+       n <= scale.quality_points; n *= 2) {
+    data::TwitterConfig tw;
+    tw.num_points = n;
+    const auto points = data::generate_twitter(tw);
+    const dbscan::DbscanParams params{0.1, 40};
+
+    gpu::MrScanGpuConfig ms_config;
+    ms_config.params = params;
+    gpu::VirtualDevice ms_dev;
+    const auto ms = gpu::mrscan_gpu_dbscan(points, ms_config, ms_dev);
+
+    gpu::CudaDClustConfig dc_config;
+    dc_config.params = params;
+    gpu::VirtualDevice dc_dev;
+    const auto dc = gpu::cuda_dclust(points, dc_config, dc_dev);
+
+    std::printf("%10llu | %10llu %10llu | %12.5f %12.5f | %12.4f %12.4f\n",
+                static_cast<unsigned long long>(n),
+                static_cast<unsigned long long>(ms.stats.h2d_transfers +
+                                                ms.stats.d2h_transfers),
+                static_cast<unsigned long long>(dc.stats.h2d_transfers +
+                                                dc.stats.d2h_transfers),
+                ms_dev.stats().transfer_seconds,
+                dc_dev.stats().transfer_seconds, ms.stats.device_seconds,
+                dc.stats.device_seconds);
+  }
+  return 0;
+}

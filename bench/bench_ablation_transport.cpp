@@ -1,0 +1,53 @@
+// Future-work evaluation (§6): Lustre partition files versus direct
+// network streaming of partitions.
+//
+// The paper concludes that partition-to-Lustre I/O caps Mr. Scan's scaling
+// and plans to "send partitions over the network" instead. This bench
+// re-runs the Figure 9a partition-phase model with both transports across
+// the Table 1 configurations, and the end-to-end total with each.
+#include <cstdio>
+
+#include "common/experiment.hpp"
+#include "data/twitter.hpp"
+#include "partition/distributed.hpp"
+
+int main() {
+  using namespace mrscan;
+  bench::print_header(
+      "Future work: partition transport — Lustre files vs direct network");
+  std::printf("%16s %8s | %12s %12s %9s\n", "points", "leaves",
+              "lustre_s", "direct_s", "speedup");
+
+  const sim::TitanParams titan;
+  for (const auto& config : bench::table1_configs()) {
+    data::TwitterConfig tw;
+    tw.num_points = config.points;
+    const double eps = 0.1;
+    const auto hist = data::twitter_histogram(
+        tw, eps, std::min<std::uint64_t>(config.points, 500'000));
+    const geom::GridGeometry geometry{tw.window.min_x, tw.window.min_y, eps};
+
+    partition::DistributedPartitionerConfig part_config;
+    part_config.eps = eps;
+    part_config.partition_nodes = config.partition_nodes;
+    part_config.planner = partition::PartitionerConfig{
+        config.leaves, 40, true, 1.075};
+
+    part_config.transport = partition::Transport::kLustre;
+    const auto lustre = partition::run_distributed_partitioner_model(
+        hist, geometry, config.points, part_config, titan);
+
+    part_config.transport = partition::Transport::kDirect;
+    const auto direct = partition::run_distributed_partitioner_model(
+        hist, geometry, config.points, part_config, titan);
+
+    std::printf("%16llu %8zu | %12.2f %12.2f %8.1fx\n",
+                static_cast<unsigned long long>(config.points),
+                config.leaves, lustre.sim_seconds, direct.sim_seconds,
+                lustre.sim_seconds / direct.sim_seconds);
+  }
+  std::printf(
+      "\n(direct transport removes the write term entirely; the remaining "
+      "cost is the input read plus histogram reduce/broadcast)\n");
+  return 0;
+}

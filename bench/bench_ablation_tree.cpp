@@ -1,0 +1,73 @@
+// Ablation: tree shape — fanout and rebalancing.
+//
+// (a) Fanout: the paper uses 256-way fanout, <= 3 levels, and attributes
+//     part of its startup/merge linearity to those wide fanouts. Sweeping
+//     fanout shows the latency trade: wide = fewer hops but serialised
+//     receives at the parent; narrow = more levels.
+// (b) Rebalancing threshold (1.075 in the paper): partition size spread
+//     with rebalancing off / at several thresholds.
+#include <cstdio>
+
+#include "common/experiment.hpp"
+#include "data/twitter.hpp"
+#include "mrnet/network.hpp"
+#include "partition/partitioner.hpp"
+
+int main() {
+  using namespace mrscan;
+  const auto scale = bench::BenchScale::from_env();
+  bench::print_header("Ablation: tree fanout (reduction of 1 KiB packets)");
+
+  const std::size_t leaves = scale.max_leaves * 4;
+  std::printf("leaves: %zu\n%8s %8s %10s %14s\n", leaves, "fanout", "levels",
+              "internal", "reduce_time_s");
+  for (const std::size_t fanout : {8UL, 16UL, 64UL, 256UL}) {
+    if (fanout >= leaves) continue;
+    mrnet::Topology topology = mrnet::Topology::balanced(leaves, fanout);
+    sim::TitanParams titan;
+    mrnet::Network net(topology, titan.net, titan.cpu_op_rate);
+    std::vector<mrnet::Packet> inputs(leaves);
+    for (auto& p : inputs) {
+      for (int i = 0; i < 128; ++i) p.put_u64(i);  // 1 KiB payload
+    }
+    net.reduce(std::move(inputs),
+               [](std::uint32_t, std::vector<mrnet::Packet> children,
+                  std::uint64_t& ops) {
+                 ops = children.size();
+                 return children.empty() ? mrnet::Packet{}
+                                         : std::move(children[0]);
+               });
+    std::printf("%8zu %8zu %10zu %14.6f\n", fanout, topology.levels(),
+                topology.internal_count(), net.stats().last_op_seconds);
+  }
+
+  bench::print_header("Ablation: partitioner rebalancing threshold");
+  data::TwitterConfig tw;
+  tw.num_points = scale.quality_points * 4;
+  const auto points = data::generate_twitter(tw);
+  const geom::GridGeometry geometry{tw.window.min_x, tw.window.min_y, 0.1};
+  const index::CellHistogram hist(geometry, points);
+
+  std::printf("%12s | %12s %12s %14s\n", "threshold", "max_part",
+              "mean_part", "spread(max/mean)");
+  auto report = [&](const char* label,
+                    const partition::PartitionerConfig& config) {
+    const auto plan = partition::plan_partitions(hist, geometry, config);
+    std::uint64_t mx = 0, total = 0;
+    for (const auto& part : plan.parts) {
+      mx = std::max(mx, part.total_points());
+      total += part.total_points();
+    }
+    const double mean =
+        static_cast<double>(total) / static_cast<double>(plan.part_count());
+    std::printf("%12s | %12llu %12.0f %14.2f\n", label,
+                static_cast<unsigned long long>(mx), mean,
+                static_cast<double>(mx) / mean);
+  };
+  report("off", {32, 40, false, 1.075});
+  report("1.025", {32, 40, true, 1.025});
+  report("1.075", {32, 40, true, 1.075});  // the paper's setting
+  report("1.25", {32, 40, true, 1.25});
+  report("2.0", {32, 40, true, 2.0});
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Figure 11: quality of Mr. Scan's output versus single-CPU DBSCAN,
+// measured with the DBDC metric (average per-point |A∩B| / |A∪B|).
+//
+// The paper tested up to 12.8 million points (single-node memory limit of
+// the ELKI reference) at MinPts in {4, 40, 400, 4000} and never scored
+// below 0.995. Here the reference is our exact sequential DBSCAN; sizes
+// scale via MRSCAN_BENCH_QUALITY_POINTS.
+#include <cstdio>
+
+#include "common/experiment.hpp"
+#include "core/mrscan.hpp"
+#include "data/twitter.hpp"
+#include "dbscan/sequential.hpp"
+#include "quality/dbdc.hpp"
+
+int main() {
+  using namespace mrscan;
+  const auto scale = bench::BenchScale::from_env();
+  bench::print_header("Figure 11: DBDC quality vs single-CPU DBSCAN");
+
+  std::printf("%10s", "points");
+  for (const std::size_t min_pts : {4UL, 40UL, 400UL, 4000UL}) {
+    std::printf("   MinPts=%-6zu", min_pts);
+  }
+  std::printf("\n");
+
+  bool all_good = true;
+  for (std::uint64_t n = scale.quality_points / 8;
+       n <= scale.quality_points; n *= 2) {
+    data::TwitterConfig tw;
+    tw.num_points = n;
+    const auto points = data::generate_twitter(tw);
+    std::printf("%10llu", static_cast<unsigned long long>(n));
+    for (const std::size_t min_pts : {4UL, 40UL, 400UL, 4000UL}) {
+      const dbscan::DbscanParams params{0.1, min_pts};
+      core::MrScanConfig config;
+      config.params = params;
+      config.leaves = 8;
+      config.partition_nodes = 2;
+      const core::MrScan pipeline(config);
+      const auto result = pipeline.run(points);
+      const auto got = result.labels_for(points);
+      const auto ref = dbscan::dbscan_sequential(points, params);
+      const double q = quality::dbdc_quality(ref.cluster, got);
+      all_good = all_good && q >= 0.995;
+      std::printf("   %12.4f", q);
+    }
+    std::printf("\n");
+  }
+  std::printf("\nall scores >= 0.995: %s (paper: never below 0.995)\n",
+              all_good ? "yes" : "NO");
+  return all_good ? 0 : 1;
+}

@@ -1,0 +1,30 @@
+// Figure 12: SDSS weak scaling — elapsed time at Eps = 0.00015,
+// MinPts = 5, up to 1.6 billion points on 2,048 leaves.
+//
+// Paper shape: resembles the Twitter curve (Figure 8); "most of the
+// increase in time is contributed by the partitioner".
+#include <cstdio>
+
+#include "common/experiment.hpp"
+
+int main() {
+  using namespace mrscan;
+  const auto scale = bench::BenchScale::from_env();
+  bench::print_header("Figure 12: SDSS weak scaling, total elapsed time");
+  std::printf("replica: %llu points/leaf, max leaves %zu\n",
+              static_cast<unsigned long long>(scale.points_per_leaf),
+              scale.max_leaves);
+
+  bench::print_row_header();
+  for (const auto& config : bench::table1_configs()) {
+    if (config.leaves > scale.max_leaves) continue;
+    if (config.leaves > 2048) break;  // the SDSS experiment stops at 2048
+    bench::RunOptions options;
+    options.dataset = bench::Dataset::kSdss;
+    options.eps = 0.00015;
+    options.paper_min_pts = 5;
+    const auto row = bench::run_config(config, options, scale);
+    bench::print_row(row);
+  }
+  return 0;
+}

@@ -1,0 +1,43 @@
+// Figure 13: elapsed partitioning time for the SDSS dataset.
+//
+// Model layer only (the partition phase is entirely modeled at paper
+// scale), so this bench runs the full 2 -> 2048 leaf range regardless of
+// replica limits. Paper shape: linear growth with data size, dominated by
+// small-random-write behaviour on Lustre, same pathology as Figure 9a.
+#include <cstdio>
+
+#include "common/experiment.hpp"
+#include "data/sdss.hpp"
+#include "partition/distributed.hpp"
+
+int main() {
+  using namespace mrscan;
+  bench::print_header("Figure 13: SDSS partition phase time");
+  std::printf("%16s %8s %16s | %10s %10s %10s %10s\n", "points", "leaves",
+              "partition nodes", "total_s", "read_s", "write_s", "net_s");
+
+  const sim::TitanParams titan;
+  for (const auto& config : bench::table1_configs()) {
+    if (config.leaves > 2048) break;
+    data::SdssConfig sdss;
+    sdss.num_points = config.points;
+    const double eps = 0.00015;
+    const auto hist = data::sdss_histogram(
+        sdss, eps, std::min<std::uint64_t>(config.points, 500'000));
+    const geom::GridGeometry geometry{sdss.window.min_x, sdss.window.min_y,
+                                      eps};
+    partition::DistributedPartitionerConfig part_config;
+    part_config.eps = eps;
+    part_config.partition_nodes = config.partition_nodes;
+    part_config.planner =
+        partition::PartitionerConfig{config.leaves, 5, true, 1.075};
+    const auto phase = partition::run_distributed_partitioner_model(
+        hist, geometry, config.points, part_config, titan);
+    std::printf("%16llu %8zu %16zu | %10.2f %10.2f %10.2f %10.4f\n",
+                static_cast<unsigned long long>(config.points),
+                config.leaves, config.partition_nodes, phase.sim_seconds,
+                phase.read_seconds, phase.write_seconds,
+                phase.histogram_reduce_seconds + phase.broadcast_seconds);
+  }
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Figure 8: elapsed time of Mr. Scan for the Table 1 configurations,
+// Eps = 0.1, MinPts in {4, 40, 400, 4000}.
+//
+// Paper shape to reproduce: total time grows far slower than data size
+// (4096x data -> 18.5x-31.7x time), the largest run lands in the
+// ~1040-1400 s band, and the partition phase dominates.
+#include <cstdio>
+
+#include "common/experiment.hpp"
+
+int main() {
+  using namespace mrscan;
+  const auto scale = bench::BenchScale::from_env();
+  bench::print_header(
+      "Figure 8: Twitter weak scaling, total elapsed time (modeled at "
+      "paper scale)");
+  std::printf("replica: %llu points/leaf (sigma=%.0f), max leaves %zu\n",
+              static_cast<unsigned long long>(scale.points_per_leaf),
+              scale.sigma(), scale.max_leaves);
+
+  for (const std::size_t min_pts : {4UL, 40UL, 400UL, 4000UL}) {
+    std::printf("\n-- MinPts = %zu --\n", min_pts);
+    bench::print_row_header();
+    double first_total = 0.0, last_total = 0.0;
+    std::uint64_t first_points = 0, last_points = 0;
+    for (const auto& config : bench::table1_configs()) {
+      if (config.leaves > scale.max_leaves) continue;
+      bench::RunOptions options;
+      options.dataset = bench::Dataset::kTwitter;
+      options.eps = 0.1;
+      options.paper_min_pts = min_pts;
+      const auto row = bench::run_config(config, options, scale);
+      bench::print_row(row);
+      if (first_points == 0) {
+        first_points = config.points;
+        first_total = row.total_s;
+      }
+      last_points = config.points;
+      last_total = row.total_s;
+    }
+    if (first_points != 0 && last_points > first_points) {
+      std::printf(
+          "growth: data x%.0f -> time x%.2f (paper: x4096 -> x18.5-31.7 "
+          "over the full range)\n",
+          static_cast<double>(last_points) /
+              static_cast<double>(first_points),
+          last_total / first_total);
+    }
+  }
+  return 0;
+}

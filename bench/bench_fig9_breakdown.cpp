@@ -1,0 +1,82 @@
+// Figure 9: breakdown of Mr. Scan's weak-scaling time on Twitter data.
+//   9a — partition phase time (linear in data; ~68% of total).
+//   9b — cluster + merge + sweep time.
+//   9c — GPGPU DBSCAN time only (dense-box dip for MinPts <= 400;
+//        log-like growth for MinPts = 4000).
+#include <cstdio>
+#include <vector>
+
+#include "common/experiment.hpp"
+
+int main() {
+  using namespace mrscan;
+  const auto scale = bench::BenchScale::from_env();
+  bench::print_header("Figure 9: Twitter weak scaling phase breakdown");
+  std::printf("replica: %llu points/leaf, max leaves %zu\n",
+              static_cast<unsigned long long>(scale.points_per_leaf),
+              scale.max_leaves);
+
+  struct Series {
+    std::size_t min_pts;
+    std::vector<bench::Row> rows;
+  };
+  std::vector<Series> series;
+  for (const std::size_t min_pts : {4UL, 40UL, 400UL, 4000UL}) {
+    Series s{min_pts, {}};
+    for (const auto& config : bench::table1_configs()) {
+      if (config.leaves > scale.max_leaves) continue;
+      bench::RunOptions options;
+      options.eps = 0.1;
+      options.paper_min_pts = min_pts;
+      s.rows.push_back(bench::run_config(config, options, scale));
+    }
+    series.push_back(std::move(s));
+  }
+
+  std::printf("\n-- Figure 9a: partition time (s) --\n");
+  std::printf("%14s", "points");
+  for (const auto& s : series) std::printf("  MinPts=%-6zu", s.min_pts);
+  std::printf("\n");
+  for (std::size_t r = 0; r < series[0].rows.size(); ++r) {
+    std::printf("%14llu",
+                static_cast<unsigned long long>(
+                    series[0].rows[r].paper_points));
+    for (const auto& s : series) std::printf("  %12.2f", s.rows[r].partition_s);
+    std::printf("\n");
+  }
+
+  std::printf("\n-- Figure 9b: cluster+merge+sweep time (s) --\n");
+  std::printf("%14s", "points");
+  for (const auto& s : series) std::printf("  MinPts=%-6zu", s.min_pts);
+  std::printf("\n");
+  for (std::size_t r = 0; r < series[0].rows.size(); ++r) {
+    std::printf("%14llu",
+                static_cast<unsigned long long>(
+                    series[0].rows[r].paper_points));
+    for (const auto& s : series) {
+      std::printf("  %12.2f",
+                  s.rows[r].cluster_merge_s + s.rows[r].sweep_s);
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\n-- Figure 9c: GPGPU DBSCAN time (s) --\n");
+  std::printf("%14s", "points");
+  for (const auto& s : series) std::printf("  MinPts=%-6zu", s.min_pts);
+  std::printf("\n");
+  for (std::size_t r = 0; r < series[0].rows.size(); ++r) {
+    std::printf("%14llu",
+                static_cast<unsigned long long>(
+                    series[0].rows[r].paper_points));
+    for (const auto& s : series) std::printf("  %12.3f", s.rows[r].gpu_dbscan_s);
+    std::printf("\n");
+  }
+
+  // Headline check: partition share of total at the largest config.
+  const auto& last = series[1].rows.back();  // MinPts = 40
+  std::printf(
+      "\npartition share of total at largest config (MinPts=40): %.0f%% "
+      "(paper: ~68%%)\n",
+      100.0 * last.partition_s / last.total_s);
+  return 0;
+}

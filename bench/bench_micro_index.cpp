@@ -1,0 +1,96 @@
+// Micro-benchmarks: spatial index substrate (KD-tree, grid, histogram).
+#include <benchmark/benchmark.h>
+
+#include "data/twitter.hpp"
+#include "index/cell_histogram.hpp"
+#include "index/grid.hpp"
+#include "index/kdtree.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace mrscan;
+
+geom::PointSet bench_points(std::uint64_t n) {
+  data::TwitterConfig config;
+  config.num_points = n;
+  return data::generate_twitter(config);
+}
+
+void BM_KDTreeBuild(benchmark::State& state) {
+  const auto points = bench_points(state.range(0));
+  for (auto _ : state) {
+    index::KDTree tree(points, index::KDTreeConfig{64, 0.0});
+    benchmark::DoNotOptimize(tree.leaves().data());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_KDTreeBuild)->Arg(10000)->Arg(100000);
+
+void BM_KDTreeRadiusQuery(benchmark::State& state) {
+  const auto points = bench_points(100000);
+  index::KDTree tree(points, index::KDTreeConfig{64, 0.0});
+  util::Rng rng(1);
+  std::vector<std::uint32_t> out;
+  std::size_t cursor = 0;
+  for (auto _ : state) {
+    tree.radius_query(points[cursor % points.size()], 0.1, out);
+    benchmark::DoNotOptimize(out.data());
+    ++cursor;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_KDTreeRadiusQuery);
+
+void BM_KDTreeCountEarlyExit(benchmark::State& state) {
+  const auto points = bench_points(100000);
+  index::KDTree tree(points, index::KDTreeConfig{64, 0.0});
+  std::size_t cursor = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        tree.count_in_radius(points[cursor % points.size()], 0.1,
+                             state.range(0)));
+    ++cursor;
+  }
+}
+BENCHMARK(BM_KDTreeCountEarlyExit)->Arg(4)->Arg(40)->Arg(400);
+
+void BM_GridBuild(benchmark::State& state) {
+  const auto points = bench_points(state.range(0));
+  for (auto _ : state) {
+    index::Grid grid(geom::GridGeometry{-125.0, 24.0, 0.1}, points);
+    benchmark::DoNotOptimize(grid.cell_count());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_GridBuild)->Arg(10000)->Arg(100000);
+
+void BM_GridRadiusQuery(benchmark::State& state) {
+  const auto points = bench_points(100000);
+  index::Grid grid(geom::GridGeometry{-125.0, 24.0, 0.1}, points);
+  std::size_t cursor = 0;
+  std::size_t total = 0;
+  for (auto _ : state) {
+    grid.for_each_in_radius(points[cursor % points.size()], 0.1,
+                            [&](std::uint32_t) { ++total; });
+    ++cursor;
+  }
+  benchmark::DoNotOptimize(total);
+}
+BENCHMARK(BM_GridRadiusQuery);
+
+void BM_HistogramMerge(benchmark::State& state) {
+  const geom::GridGeometry geometry{-125.0, 24.0, 0.1};
+  const index::CellHistogram a(geometry, bench_points(50000));
+  const index::CellHistogram b(geometry, bench_points(50000));
+  for (auto _ : state) {
+    index::CellHistogram merged = a;
+    merged.merge(b);
+    benchmark::DoNotOptimize(merged.total_points());
+  }
+}
+BENCHMARK(BM_HistogramMerge);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,129 @@
+// Micro-benchmarks: pipeline building blocks (dense box detection,
+// partition planning, leaf summaries, merging, packet serialisation).
+#include <benchmark/benchmark.h>
+
+#include "data/twitter.hpp"
+#include "dbscan/sequential.hpp"
+#include "gpu/dense_box.hpp"
+#include "index/cell_histogram.hpp"
+#include "merge/merger.hpp"
+#include "merge/summary.hpp"
+#include "partition/partitioner.hpp"
+
+namespace {
+
+using namespace mrscan;
+
+geom::PointSet bench_points(std::uint64_t n) {
+  data::TwitterConfig config;
+  config.num_points = n;
+  return data::generate_twitter(config);
+}
+
+void BM_DenseBoxDetect(benchmark::State& state) {
+  const auto points = bench_points(100000);
+  const double eps = 0.1;
+  index::KDTree tree(points,
+                     index::KDTreeConfig{64, gpu::dense_box_side(eps)});
+  for (auto _ : state) {
+    auto dense = gpu::detect_dense_boxes(tree, eps, 40);
+    benchmark::DoNotOptimize(dense.covered_points);
+  }
+  state.SetItemsProcessed(state.iterations() * tree.leaves().size());
+}
+BENCHMARK(BM_DenseBoxDetect);
+
+void BM_PartitionPlanning(benchmark::State& state) {
+  const auto points = bench_points(200000);
+  const geom::GridGeometry geometry{-125.0, 24.0, 0.1};
+  const index::CellHistogram hist(geometry, points);
+  for (auto _ : state) {
+    auto plan = partition::plan_partitions(
+        hist, geometry,
+        partition::PartitionerConfig{
+            static_cast<std::size_t>(state.range(0)), 40, true, 1.075});
+    benchmark::DoNotOptimize(plan.part_count());
+  }
+  state.SetLabel(std::to_string(hist.cell_count()) + " cells");
+}
+BENCHMARK(BM_PartitionPlanning)->Arg(32)->Arg(256)->Arg(1024);
+
+struct SummaryFixtureData {
+  geom::PointSet points;
+  dbscan::Labeling labels;
+  std::vector<std::uint64_t> owned, shadow;
+  geom::GridGeometry geometry{-125.0, 24.0, 0.1};
+};
+
+SummaryFixtureData make_summary_data() {
+  SummaryFixtureData data;
+  data.points = bench_points(30000);
+  data.labels =
+      dbscan::dbscan_sequential(data.points, dbscan::DbscanParams{0.1, 40});
+  const index::CellHistogram hist(data.geometry, data.points);
+  // Split cells half owned / half shadow to exercise the boundary logic.
+  for (std::size_t i = 0; i < hist.entries().size(); ++i) {
+    (i % 2 == 0 ? data.owned : data.shadow)
+        .push_back(hist.entries()[i].code);
+  }
+  return data;
+}
+
+void BM_BuildLeafSummary(benchmark::State& state) {
+  const auto data = make_summary_data();
+  merge::LeafSummaryInput input;
+  input.points = data.points;
+  input.owned_count = data.points.size();
+  input.labels = &data.labels;
+  input.geometry = data.geometry;
+  input.owned_cells = data.owned;
+  input.shadow_cells = data.shadow;
+  for (auto _ : state) {
+    auto summary = merge::build_leaf_summary(input);
+    benchmark::DoNotOptimize(summary.clusters.size());
+  }
+}
+BENCHMARK(BM_BuildLeafSummary);
+
+void BM_MergeSummaries(benchmark::State& state) {
+  const auto data = make_summary_data();
+  merge::LeafSummaryInput input;
+  input.points = data.points;
+  input.owned_count = data.points.size();
+  input.labels = &data.labels;
+  input.geometry = data.geometry;
+  input.owned_cells = data.owned;
+  input.shadow_cells = data.shadow;
+  const auto summary = merge::build_leaf_summary(input);
+  std::vector<merge::MergeSummary> children(
+      static_cast<std::size_t>(state.range(0)), summary);
+  for (auto _ : state) {
+    auto merged = merge::merge_summaries(children, data.geometry, 0.1);
+    benchmark::DoNotOptimize(merged.merged.clusters.size());
+  }
+}
+BENCHMARK(BM_MergeSummaries)->Arg(2)->Arg(8);
+
+void BM_SummaryPacketRoundTrip(benchmark::State& state) {
+  const auto data = make_summary_data();
+  merge::LeafSummaryInput input;
+  input.points = data.points;
+  input.owned_count = data.points.size();
+  input.labels = &data.labels;
+  input.geometry = data.geometry;
+  input.owned_cells = data.owned;
+  input.shadow_cells = data.shadow;
+  const auto summary = merge::build_leaf_summary(input);
+  for (auto _ : state) {
+    auto packet = summary.to_packet();
+    auto back = merge::MergeSummary::from_packet(packet);
+    benchmark::DoNotOptimize(back.clusters.size());
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          summary.to_packet().size_bytes());
+}
+BENCHMARK(BM_SummaryPacketRoundTrip);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,32 @@
+// Table 1: configurations used in the weak scaling experiment.
+//
+// Regenerates the table's four columns and verifies that the tree builder
+// reproduces the internal-process counts the paper reports for each leaf
+// count (256-way fanout, <= 3 levels).
+#include <cstdio>
+
+#include "common/experiment.hpp"
+#include "mrnet/topology.hpp"
+
+int main() {
+  using namespace mrscan;
+  bench::print_header("Table 1: weak scaling configurations");
+  std::printf("%16s %22s %10s %20s %22s\n", "# of points",
+              "# MRNet internal", "# leaves", "# partition nodes",
+              "topology internal (ours)");
+  bool all_match = true;
+  for (const auto& config : bench::table1_configs()) {
+    const auto topology = mrnet::Topology::balanced(config.leaves, 256);
+    const bool match = topology.internal_count() == config.internal_procs;
+    all_match = all_match && match;
+    std::printf("%16llu %22zu %10zu %20zu %19zu %s\n",
+                static_cast<unsigned long long>(config.points),
+                config.internal_procs, config.leaves, config.partition_nodes,
+                topology.internal_count(), match ? "[match]" : "[DIFFERS]");
+  }
+  std::printf("\npoints per leaf: %llu (all rows)\n",
+              static_cast<unsigned long long>(bench::kPaperPointsPerLeaf));
+  std::printf("internal process counts %s Table 1\n",
+              all_match ? "match" : "DIFFER from");
+  return all_match ? 0 : 1;
+}

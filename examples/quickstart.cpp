@@ -1,0 +1,66 @@
+// Quickstart: cluster a small synthetic dataset with the Mr. Scan pipeline
+// and inspect the result.
+//
+//   $ ./examples/quickstart
+//
+// Generates three Gaussian blobs plus background noise, runs the full
+// partition -> cluster -> merge -> sweep pipeline with 4 simulated GPGPU
+// leaves, and prints per-cluster statistics alongside the exact sequential
+// DBSCAN for comparison.
+#include <cstdio>
+#include <map>
+
+#include "core/mrscan.hpp"
+#include "data/synthetic.hpp"
+#include "dbscan/sequential.hpp"
+#include "quality/dbdc.hpp"
+
+int main() {
+  using namespace mrscan;
+
+  // 1. Make a dataset: three blobs and some uniform noise.
+  std::vector<data::Blob> blobs{
+      {0.0, 0.0, 0.3, 2000}, {8.0, 8.0, 0.4, 1500}, {0.0, 8.0, 0.2, 1000}};
+  const geom::BBox window{-4.0, -4.0, 12.0, 12.0};
+  const geom::PointSet points =
+      data::gaussian_blobs(blobs, /*noise=*/500, window, /*seed=*/1);
+  std::printf("dataset: %zu points (3 blobs + 500 noise)\n", points.size());
+
+  // 2. Configure Mr. Scan: DBSCAN parameters plus the tree layout.
+  core::MrScanConfig config;
+  config.params = {/*eps=*/0.3, /*min_pts=*/10};
+  config.leaves = 4;            // four simulated GPGPU leaf processes
+  config.partition_nodes = 2;   // partitioner tree width
+
+  // 3. Run the pipeline.
+  const core::MrScan pipeline(config);
+  const core::MrScanResult result = pipeline.run(points);
+
+  std::printf("clusters found: %zu\n", result.cluster_count);
+  std::printf("clustered points written: %zu\n", result.output.size());
+
+  // 4. Per-cluster statistics from the labeled output.
+  std::map<dbscan::ClusterId, std::pair<std::size_t, double>> stats;
+  for (const auto& record : result.output) {
+    auto& [count, wsum] = stats[record.cluster];
+    ++count;
+    wsum += record.point.weight;
+  }
+  for (const auto& [cluster, s] : stats) {
+    std::printf("  cluster %2lld: %6zu points, total weight %.0f\n",
+                static_cast<long long>(cluster), s.first, s.second);
+  }
+
+  // 5. Compare with exact single-CPU DBSCAN via the DBDC quality metric.
+  const auto reference = dbscan::dbscan_sequential(points, config.params);
+  const auto mine = result.labels_for(points);
+  std::printf("DBDC quality vs sequential DBSCAN: %.4f\n",
+              quality::dbdc_quality(reference.cluster, mine));
+
+  // 6. Where did the (simulated) time go?
+  std::printf("simulated phase times: startup %.2fs, partition %.2fs, "
+              "cluster+merge %.2fs, sweep %.2fs\n",
+              result.sim.startup, result.sim.partition,
+              result.sim.cluster_merge, result.sim.sweep);
+  return 0;
+}

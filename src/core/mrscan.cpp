@@ -1,0 +1,222 @@
+#include "core/mrscan.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "merge/merger.hpp"
+#include "merge/summary.hpp"
+#include "mrnet/topology.hpp"
+#include "util/assert.hpp"
+
+namespace mrscan::core {
+
+namespace {
+
+/// Map packet: a vector of global cluster ids indexed by local cluster id.
+mrnet::Packet pack_id_map(const std::vector<std::int64_t>& ids) {
+  mrnet::Packet p;
+  p.put_pod_vector(ids);
+  return p;
+}
+
+std::vector<std::int64_t> unpack_id_map(const mrnet::Packet& packet) {
+  return packet.reader().get_pod_vector<std::int64_t>();
+}
+
+}  // namespace
+
+MrScan::MrScan(MrScanConfig config) : config_(std::move(config)) {
+  MRSCAN_REQUIRE(config_.params.eps > 0.0);
+  MRSCAN_REQUIRE(config_.params.min_pts >= 1);
+  MRSCAN_REQUIRE(config_.leaves >= 1);
+  MRSCAN_REQUIRE(config_.fanout >= 2);
+  MRSCAN_REQUIRE(config_.partition_nodes >= 1);
+}
+
+MrScanResult MrScan::run(std::span<const geom::Point> points) const {
+  MrScanResult result;
+
+  // ---- Partition phase (its own flat tree, §3.1.3). ----
+  partition::DistributedPartitionerConfig part_config;
+  part_config.eps = config_.params.eps;
+  part_config.partition_nodes = config_.partition_nodes;
+  part_config.planner = partition::PartitionerConfig{
+      config_.leaves,          config_.params.min_pts,
+      config_.rebalance,       config_.rebalance_threshold,
+      config_.shadow_regions,  config_.cell_refine};
+  part_config.materialize.shadow_rep_threshold =
+      config_.shadow_rep_threshold;
+  part_config.transport = config_.transport;
+
+  {
+    util::PhaseTimer::Scope scope(result.wall, "partition");
+    result.partition_phase = partition::run_distributed_partitioner(
+        points, part_config, config_.titan);
+  }
+  result.sim.partition = result.partition_phase.sim_seconds;
+
+  const auto& segments = result.partition_phase.segments;
+  const auto& plan = result.partition_phase.plan;
+  result.leaves_used = segments.size();
+  if (segments.empty()) {
+    return result;  // empty input
+  }
+
+  // ---- Startup of the clustering tree (ALPS + connections). ----
+  const mrnet::Topology topology =
+      mrnet::Topology::balanced(segments.size(), config_.fanout);
+  result.sim.startup = sim::alps_startup_seconds(
+      config_.titan.alps, topology.node_count() + config_.partition_nodes);
+
+  // ---- Cluster phase: GPGPU DBSCAN per leaf (§3.2). ----
+  gpu::MrScanGpuConfig gpu_config = config_.gpu;
+  gpu_config.params = config_.params;
+
+  std::vector<dbscan::Labeling> leaf_labels(segments.size());
+  std::vector<mrnet::Packet> leaf_packets(segments.size());
+  std::vector<double> leaf_ready(segments.size(), 0.0);
+  std::vector<geom::PointSet> leaf_points(segments.size());
+  result.leaf_stats.resize(segments.size());
+
+  {
+    util::PhaseTimer::Scope scope(result.wall, "cluster");
+    for (std::size_t leaf = 0; leaf < segments.size(); ++leaf) {
+      geom::PointSet& pts = leaf_points[leaf];
+      pts = segments[leaf].owned;
+      pts.insert(pts.end(), segments[leaf].shadow.begin(),
+                 segments[leaf].shadow.end());
+
+      // Leaf reads its partition from the segmented file (modeled); with
+      // direct transport the data already arrived over the network.
+      const double read_time =
+          config_.transport == partition::Transport::kDirect
+              ? 0.0
+              : sim::lustre_read_seconds(
+                    config_.titan.lustre, pts.size() * 28,
+                    std::max<std::size_t>(1, segments.size()),
+                    sim::kSequentialOp);
+
+      gpu::VirtualDevice device(config_.titan.gpu_spec);
+      gpu::GpuDbscanResult clustered =
+          gpu::mrscan_gpu_dbscan(pts, gpu_config, device);
+      result.leaf_stats[leaf] = clustered.stats;
+
+      // Host-side KD-tree build cost (the tree ships to the device).
+      const double host_build =
+          pts.empty() ? 0.0
+                      : static_cast<double>(pts.size()) *
+                            std::log2(static_cast<double>(pts.size()) + 1) /
+                            config_.titan.cpu_op_rate;
+      leaf_ready[leaf] =
+          read_time + host_build + clustered.stats.device_seconds;
+      result.gpu_dbscan_seconds = std::max(
+          result.gpu_dbscan_seconds, clustered.stats.device_seconds);
+
+      leaf_labels[leaf] = std::move(clustered.labels);
+
+      merge::LeafSummaryInput input;
+      input.points = pts;
+      input.owned_count = segments[leaf].owned.size();
+      input.labels = &leaf_labels[leaf];
+      input.geometry = plan.geometry;
+      input.owned_cells = plan.parts[leaf].owned_cells;
+      input.shadow_cells = plan.parts[leaf].shadow_cells;
+      input.shadow_rings = plan.shadow_rings;
+      leaf_packets[leaf] = merge::build_leaf_summary(input).to_packet();
+    }
+  }
+
+  // ---- Merge phase: summaries reduce up the tree (§3.3). ----
+  mrnet::Network net(topology, config_.titan.net, config_.titan.cpu_op_rate);
+  std::unordered_map<std::uint32_t, merge::MergeResult> node_results;
+
+  mrnet::Packet root_packet;
+  {
+    util::PhaseTimer::Scope scope(result.wall, "merge");
+    root_packet = net.reduce(
+        std::move(leaf_packets),
+        [&](std::uint32_t node, std::vector<mrnet::Packet> children,
+            std::uint64_t& ops) {
+          std::vector<merge::MergeSummary> summaries;
+          summaries.reserve(children.size());
+          for (const auto& c : children) {
+            summaries.push_back(merge::MergeSummary::from_packet(c));
+          }
+          merge::MergeResult merged = merge::merge_summaries(
+              summaries, plan.geometry, config_.params.eps);
+          ops = merged.ops + 1;
+          result.merges_detected += merged.merges_detected;
+          mrnet::Packet out = merged.merged.to_packet();
+          node_results.emplace(node, std::move(merged));
+          return out;
+        },
+        leaf_ready);
+  }
+  result.merge_net = net.stats();
+  // Cluster + merge pipeline: completion of the reduction, which started
+  // from per-leaf ready times.
+  result.sim.cluster_merge = result.merge_net.last_op_seconds;
+
+  // ---- Sweep phase: global ids travel back down (§3.4). ----
+  const merge::MergeSummary root_summary =
+      merge::MergeSummary::from_packet(root_packet);
+  const sweep::GlobalAssignment assignment =
+      sweep::assign_global_ids(root_summary);
+  result.cluster_count = assignment.cluster_count;
+
+  std::vector<std::int64_t> root_ids(assignment.cluster_count);
+  for (std::size_t i = 0; i < root_ids.size(); ++i) {
+    root_ids[i] = static_cast<std::int64_t>(i);
+  }
+
+  double scatter_seconds = 0.0;
+  {
+    util::PhaseTimer::Scope scope(result.wall, "sweep");
+    scatter_seconds = net.scatter(
+        pack_id_map(root_ids),
+        [&](std::uint32_t node, const mrnet::Packet& incoming,
+            std::uint32_t child) {
+          // Reverse this node's merge: child cluster j belongs to merged
+          // cluster map[pos][j], whose global id the incoming map carries.
+          const auto it = node_results.find(node);
+          MRSCAN_ASSERT_MSG(it != node_results.end(),
+                            "sweep through a node that never merged");
+          const auto& kids = topology.children(node);
+          const auto pos_it = std::find(kids.begin(), kids.end(), child);
+          MRSCAN_ASSERT(pos_it != kids.end());
+          const std::size_t pos =
+              static_cast<std::size_t>(pos_it - kids.begin());
+          const std::vector<std::int64_t> incoming_ids =
+              unpack_id_map(incoming);
+          const auto& child_map = it->second.child_cluster_map[pos];
+          std::vector<std::int64_t> child_ids(child_map.size());
+          for (std::size_t j = 0; j < child_map.size(); ++j) {
+            child_ids[j] = incoming_ids[child_map[j]];
+          }
+          return pack_id_map(child_ids);
+        },
+        [&](std::uint32_t leaf_rank, const mrnet::Packet& packet) {
+          const std::vector<std::int64_t> global_of_local =
+              unpack_id_map(packet);
+          auto records = sweep::label_owned_points(
+              std::span<const geom::Point>(leaf_points[leaf_rank])
+                  .first(segments[leaf_rank].owned.size()),
+              leaf_labels[leaf_rank], global_of_local, config_.keep_noise);
+          result.output.insert(result.output.end(), records.begin(),
+                               records.end());
+        });
+  }
+  result.sweep_net = net.stats();
+
+  // Leaves write the labelled output in parallel: contiguous runs at
+  // per-cluster offsets (§3.4) — large ops, unlike the partition phase.
+  const double output_write = sim::lustre_write_seconds(
+      config_.titan.lustre, result.output.size() * 36, segments.size(),
+      1ULL << 20);
+  result.sim.sweep = scatter_seconds + output_write;
+
+  return result;
+}
+
+}  // namespace mrscan::core

@@ -1,0 +1,120 @@
+// Mr. Scan: the end-to-end pipeline (§3, Figure 1).
+//
+//   partition -> cluster -> merge -> sweep
+//
+// The partition phase runs on its own flat MRNet tree and produces one
+// partition (owned + shadow points) per clustering leaf. A second tree —
+// up to three levels, 256-way fanout — clusters each partition on its
+// leaf's (virtual) GPGPU, merges cluster summaries level by level to the
+// root, assigns global cluster ids, and sweeps the labelling back down so
+// leaves can emit their owned points with final ids.
+//
+// Everything semantic executes for real (partitioning, GPGPU kernels,
+// merging, labelling); hardware time (GPU, interconnect, Lustre, startup)
+// is accounted by the Titan machine model, reported in
+// MrScanResult::sim — that is the time the figures-reproduction benches
+// plot. Wall-clock host time is reported separately in `wall`.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "dbscan/labels.hpp"
+#include "geometry/point.hpp"
+#include "gpu/mrscan_gpu.hpp"
+#include "mrnet/network.hpp"
+#include "partition/distributed.hpp"
+#include "sim/titan.hpp"
+#include "sweep/sweep.hpp"
+#include "util/timer.hpp"
+
+namespace mrscan::core {
+
+struct MrScanConfig {
+  dbscan::DbscanParams params{0.1, 40};
+  /// Clustering leaf processes (one partition and one GPGPU each).
+  std::size_t leaves = 4;
+  /// Tree fanout for intermediate processes (§5.1 uses 256).
+  std::size_t fanout = 256;
+  /// Partitioner tree leaves ("# of partition nodes", Table 1).
+  std::size_t partition_nodes = 2;
+  /// GPGPU DBSCAN settings (params is overwritten from `params`).
+  gpu::MrScanGpuConfig gpu;
+  /// Shadow representative-point optimisation threshold (0 = off).
+  std::size_t shadow_rep_threshold = 0;
+  /// Partition delivery: Lustre files (evaluated in the paper) or direct
+  /// network streaming (the paper's stated future work, §6).
+  partition::Transport transport = partition::Transport::kLustre;
+  /// Shadow regions on/off (off = the incorrect naive partitioning, for
+  /// the ablation only).
+  bool shadow_regions = true;
+  /// Grid refinement (§5.1.2 future work): partition on Eps/k cells so a
+  /// single extremely dense Eps x Eps cell can split across leaves. 1 =
+  /// the paper's configuration.
+  std::size_t cell_refine = 1;
+  /// Partitioner rebalancing.
+  bool rebalance = true;
+  double rebalance_threshold = 1.075;
+  /// Keep noise points in the output records.
+  bool keep_noise = false;
+  /// Machine model for simulated times.
+  sim::TitanParams titan;
+};
+
+/// Simulated per-phase seconds at machine scale.
+struct PhaseBreakdown {
+  double startup = 0.0;
+  double partition = 0.0;
+  /// Cluster + merge together (they pipeline: the merge reduction starts
+  /// as each leaf finishes, so the paper reports them jointly, Fig. 9b).
+  double cluster_merge = 0.0;
+  double sweep = 0.0;
+
+  double total() const {
+    return startup + partition + cluster_merge + sweep;
+  }
+};
+
+struct MrScanResult {
+  /// Clustered output: owned points of every leaf with global cluster ids.
+  std::vector<sweep::LabeledPoint> output;
+  std::size_t cluster_count = 0;
+  std::size_t leaves_used = 0;
+
+  PhaseBreakdown sim;
+  /// Measured host seconds per phase (partition/cluster/merge/sweep).
+  util::PhaseTimer wall;
+
+  /// Simulated in-GPU DBSCAN time: the slowest leaf's device time
+  /// (Figure 9c plots exactly this).
+  double gpu_dbscan_seconds = 0.0;
+
+  std::vector<gpu::GpuDbscanStats> leaf_stats;
+  partition::PartitionPhaseResult partition_phase;
+  mrnet::NetworkStats merge_net;
+  mrnet::NetworkStats sweep_net;
+
+  /// Total merges detected across all tree nodes.
+  std::size_t merges_detected = 0;
+
+  /// Labels aligned with an input order (convenience for quality checks).
+  std::vector<dbscan::ClusterId> labels_for(
+      std::span<const geom::Point> points) const {
+    return sweep::labels_in_input_order(points, output);
+  }
+};
+
+class MrScan {
+ public:
+  explicit MrScan(MrScanConfig config);
+
+  const MrScanConfig& config() const { return config_; }
+
+  /// Cluster `points` end to end.
+  MrScanResult run(std::span<const geom::Point> points) const;
+
+ private:
+  MrScanConfig config_;
+};
+
+}  // namespace mrscan::core

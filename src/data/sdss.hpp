@@ -1,0 +1,41 @@
+// Synthetic Sloan Digital Sky Survey (BOSS photo-object) generator.
+//
+// The paper clusters gamma-frame photo objects from SDSS Data Release 9
+// with Eps = 0.00015 deg and MinPts = 5 (§4.2, §5.2): astronomical point
+// sources are extremely compact (sub-arcsecond) detections scattered over a
+// survey stripe, with a diffuse background of spurious detections. We model
+// that as tight Gaussian "objects" (stars/galaxies, a few detections each)
+// on a stripe, plus uniform background — the opposite density regime from
+// Twitter: tiny Eps, tiny clusters, dense-box-friendly.
+#pragma once
+
+#include <cstdint>
+
+#include "geometry/bbox.hpp"
+#include "geometry/point.hpp"
+#include "index/cell_histogram.hpp"
+
+namespace mrscan::data {
+
+struct SdssConfig {
+  std::uint64_t num_points = 1'000'000;
+  std::uint64_t seed = 9;  // Data Release 9
+  /// Survey stripe in (ra, dec) degrees.
+  geom::BBox window{150.0, 10.0, 170.0, 14.0};
+  /// Mean detections per astronomical object.
+  double detections_per_object = 12.0;
+  /// Object spread (degrees); ~0.3 arcsec, below Eps = 0.00015.
+  double object_sigma = 0.00008;
+  /// Fraction of points that are background noise detections.
+  double background_fraction = 0.10;
+};
+
+/// Generate `config.num_points` points with sequential IDs.
+geom::PointSet generate_sdss(const SdssConfig& config,
+                             geom::PointId first_id = 0);
+
+/// Scaled cell histogram (see twitter_histogram) for model-mode benches.
+index::CellHistogram sdss_histogram(const SdssConfig& config, double eps,
+                                    std::uint64_t sample_points);
+
+}  // namespace mrscan::data

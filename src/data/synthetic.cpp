@@ -1,0 +1,71 @@
+#include "data/synthetic.hpp"
+
+#include <cmath>
+
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace mrscan::data {
+
+geom::PointSet uniform_points(std::uint64_t n, const geom::BBox& window,
+                              std::uint64_t seed, geom::PointId first_id) {
+  util::Rng rng(seed);
+  geom::PointSet points;
+  points.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    points.push_back(geom::Point{first_id + i,
+                                 rng.uniform(window.min_x, window.max_x),
+                                 rng.uniform(window.min_y, window.max_y),
+                                 1.0f});
+  }
+  return points;
+}
+
+geom::PointSet gaussian_blobs(const std::vector<Blob>& blobs,
+                              std::uint64_t noise, const geom::BBox& window,
+                              std::uint64_t seed, std::vector<int>* truth) {
+  util::Rng rng(seed);
+  geom::PointSet points;
+  if (truth) truth->clear();
+
+  geom::PointId id = 0;
+  for (std::size_t b = 0; b < blobs.size(); ++b) {
+    const Blob& blob = blobs[b];
+    for (std::uint64_t i = 0; i < blob.count; ++i) {
+      points.push_back(geom::Point{id++,
+                                   blob.cx + rng.normal(0.0, blob.sigma),
+                                   blob.cy + rng.normal(0.0, blob.sigma),
+                                   1.0f});
+      if (truth) truth->push_back(static_cast<int>(b));
+    }
+  }
+  for (std::uint64_t i = 0; i < noise; ++i) {
+    points.push_back(geom::Point{id++,
+                                 rng.uniform(window.min_x, window.max_x),
+                                 rng.uniform(window.min_y, window.max_y),
+                                 1.0f});
+    if (truth) truth->push_back(-1);
+  }
+  return points;
+}
+
+geom::PointSet annulus(std::uint64_t n, double cx, double cy, double r_inner,
+                       double r_outer, std::uint64_t seed,
+                       geom::PointId first_id) {
+  MRSCAN_REQUIRE(r_inner >= 0.0 && r_outer > r_inner);
+  util::Rng rng(seed);
+  geom::PointSet points;
+  points.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const double theta = rng.uniform(0.0, 2.0 * M_PI);
+    // Area-uniform radius between the two rings.
+    const double u = rng.next_double();
+    const double r = std::sqrt(r_inner * r_inner +
+                               u * (r_outer * r_outer - r_inner * r_inner));
+    points.push_back(geom::Point{first_id + i, cx + r * std::cos(theta),
+                                 cy + r * std::sin(theta), 1.0f});
+  }
+  return points;
+}
+
+}  // namespace mrscan::data

@@ -1,0 +1,41 @@
+// Generic synthetic distributions for tests and examples: uniform noise,
+// Gaussian blob mixtures with known ground-truth membership, and
+// non-convex shapes (annuli) that only density-based clustering separates.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "geometry/bbox.hpp"
+#include "geometry/point.hpp"
+
+namespace mrscan::data {
+
+/// `n` points uniform over `window`, IDs from first_id.
+geom::PointSet uniform_points(std::uint64_t n, const geom::BBox& window,
+                              std::uint64_t seed,
+                              geom::PointId first_id = 0);
+
+struct Blob {
+  double cx = 0.0;
+  double cy = 0.0;
+  double sigma = 1.0;
+  std::uint64_t count = 0;
+};
+
+/// Gaussian blobs plus `noise` uniform points over `window`.
+/// If `truth` is non-null it receives, per point, the blob index that
+/// produced it (or -1 for noise) — usable as clustering ground truth when
+/// blobs are well separated.
+geom::PointSet gaussian_blobs(const std::vector<Blob>& blobs,
+                              std::uint64_t noise, const geom::BBox& window,
+                              std::uint64_t seed,
+                              std::vector<int>* truth = nullptr);
+
+/// `n` points on an annulus centred at (cx, cy) with radii in
+/// [r_inner, r_outer] — a non-convex cluster shape.
+geom::PointSet annulus(std::uint64_t n, double cx, double cy, double r_inner,
+                       double r_outer, std::uint64_t seed,
+                       geom::PointId first_id = 0);
+
+}  // namespace mrscan::data

@@ -1,0 +1,53 @@
+// Synthetic geo-located tweet generator.
+//
+// The paper collected 8,519,781 geo-located tweets and "used the
+// distribution of these tweets to generate random datasets of arbitrary
+// size" (§4.1). We reproduce that methodology with a parametric model of
+// the empirical distribution: tweet density is a mixture of city hot-spots
+// whose populations follow a power law (Zipf-like city sizes), each spread
+// as an anisotropic Gaussian, over a low-rate uniform background. This
+// yields the heavy-tailed spatial density — a few extremely dense cells
+// over a sparse continent — that drives the paper's load-balancing story.
+//
+// Coordinates are latitude/longitude used directly as 2D Cartesian values,
+// exactly as the paper does, with Eps = 0.1 degree as the reference scale.
+#pragma once
+
+#include <cstdint>
+
+#include "geometry/bbox.hpp"
+#include "geometry/point.hpp"
+#include "index/cell_histogram.hpp"
+
+namespace mrscan::data {
+
+struct TwitterConfig {
+  std::uint64_t num_points = 1'000'000;
+  std::uint64_t seed = 20120811;  // collection start date in the paper
+  /// Continental-US-like window (lon as x, lat as y).
+  geom::BBox window{-125.0, 24.0, -66.0, 49.0};
+  /// Number of city hot-spots.
+  std::size_t num_cities = 400;
+  /// Pareto shape for city weights (smaller = heavier tail).
+  double city_weight_alpha = 1.1;
+  /// City spread range in degrees (log-uniform between min and max).
+  double city_sigma_min = 0.02;
+  double city_sigma_max = 0.6;
+  /// Fraction of points drawn uniformly over the window (rural noise).
+  double background_fraction = 0.12;
+};
+
+/// Generate `config.num_points` points with sequential IDs starting at
+/// `first_id`. Deterministic in (config, first_id).
+geom::PointSet generate_twitter(const TwitterConfig& config,
+                                geom::PointId first_id = 0);
+
+/// Cell histogram for a virtual dataset of `config.num_points` points,
+/// estimated by generating `sample_points` real points and scaling counts.
+/// Used by model-mode benches to drive the partitioner at paper scale
+/// (billions of points) without materialising them.
+index::CellHistogram twitter_histogram(const TwitterConfig& config,
+                                       double eps,
+                                       std::uint64_t sample_points);
+
+}  // namespace mrscan::data

@@ -1,0 +1,78 @@
+#include "dbscan/disjoint_set.hpp"
+
+#include "index/kdtree.hpp"
+#include "util/assert.hpp"
+#include "util/union_find.hpp"
+
+namespace mrscan::dbscan {
+
+Labeling dbscan_disjoint_set(std::span<const geom::Point> points,
+                             const DbscanParams& params,
+                             DisjointSetStats* stats) {
+  MRSCAN_REQUIRE(params.eps > 0.0);
+  MRSCAN_REQUIRE(params.min_pts >= 1);
+
+  const std::size_t n = points.size();
+  Labeling result;
+  result.cluster.assign(n, kNoise);
+  result.core.assign(n, 0);
+  DisjointSetStats local_stats;
+  if (n == 0) {
+    if (stats) *stats = local_stats;
+    return result;
+  }
+
+  index::KDTree tree(points, index::KDTreeConfig{64, 0.0});
+
+  // Phase 1: classify core points.
+  for (std::uint32_t i = 0; i < n; ++i) {
+    ++local_stats.neighbor_queries;
+    if (tree.count_in_radius(points[i], params.eps, params.min_pts) >=
+        params.min_pts) {
+      result.core[i] = 1;
+    }
+  }
+
+  // Phase 2: union every pair of Eps-adjacent core points.
+  util::UnionFind uf(n);
+  std::vector<std::uint32_t> neighbors;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    if (!result.core[i]) continue;
+    ++local_stats.neighbor_queries;
+    tree.radius_query(points[i], params.eps, neighbors);
+    for (const std::uint32_t nb : neighbors) {
+      if (nb <= i || !result.core[nb]) continue;
+      if (!uf.same(i, nb)) {
+        uf.unite(i, nb);
+        ++local_stats.union_ops;
+      }
+    }
+  }
+
+  // Phase 3: label core components, then attach borders to the first core
+  // neighbour in index order (deterministic tie-break).
+  std::vector<ClusterId> root_cluster(n, kUnclassified);
+  ClusterId next_cluster = 0;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    if (!result.core[i]) continue;
+    const std::uint32_t root = uf.find(i);
+    if (root_cluster[root] == kUnclassified) {
+      root_cluster[root] = next_cluster++;
+    }
+    result.cluster[i] = root_cluster[root];
+  }
+  for (std::uint32_t i = 0; i < n; ++i) {
+    if (result.core[i]) continue;
+    ++local_stats.neighbor_queries;
+    std::uint32_t best = n;
+    tree.for_each_in_radius(points[i], params.eps, [&](std::uint32_t nb) {
+      if (result.core[nb] && nb < best) best = nb;
+    });
+    if (best < n) result.cluster[i] = result.cluster[best];
+  }
+
+  if (stats) *stats = local_stats;
+  return result;
+}
+
+}  // namespace mrscan::dbscan

@@ -1,0 +1,29 @@
+// Disjoint-set DBSCAN, after PDSDBSCAN (Patwary et al., SC '12).
+//
+// The highest-scaling prior work the paper cites (§2.2): instead of
+// master/slave cluster expansion, core points are united in a disjoint-set
+// structure, which parallelises without a global expansion order. Included
+// as the comparison baseline; it produces DBSCAN-equivalent clusters
+// (identical core sets and core connectivity; border ties may differ, which
+// is inherent to DBSCAN's order dependence).
+#pragma once
+
+#include <span>
+
+#include "dbscan/labels.hpp"
+#include "geometry/point.hpp"
+
+namespace mrscan::dbscan {
+
+struct DisjointSetStats {
+  std::size_t union_ops = 0;      // proxy for the messages PDSDBSCAN sends
+  std::size_t neighbor_queries = 0;
+};
+
+/// Cluster `points` via the disjoint-set formulation. `stats` (optional)
+/// receives operation counts used by the scaling benches.
+Labeling dbscan_disjoint_set(std::span<const geom::Point> points,
+                             const DbscanParams& params,
+                             DisjointSetStats* stats = nullptr);
+
+}  // namespace mrscan::dbscan

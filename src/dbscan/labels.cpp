@@ -1,0 +1,34 @@
+#include "dbscan/labels.hpp"
+
+#include <unordered_map>
+
+namespace mrscan::dbscan {
+
+std::size_t Labeling::cluster_count() const {
+  std::unordered_map<ClusterId, bool> seen;
+  for (const ClusterId c : cluster) {
+    if (c >= 0) seen[c] = true;
+  }
+  return seen.size();
+}
+
+std::size_t Labeling::noise_count() const {
+  std::size_t n = 0;
+  for (const ClusterId c : cluster) {
+    if (c == kNoise) ++n;
+  }
+  return n;
+}
+
+void Labeling::renumber() {
+  std::unordered_map<ClusterId, ClusterId> remap;
+  ClusterId next = 0;
+  for (ClusterId& c : cluster) {
+    if (c < 0) continue;
+    const auto [it, inserted] = remap.emplace(c, next);
+    if (inserted) ++next;
+    c = it->second;
+  }
+}
+
+}  // namespace mrscan::dbscan

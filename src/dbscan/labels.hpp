@@ -1,0 +1,41 @@
+// Common label types shared by every DBSCAN implementation in the repo.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace mrscan::dbscan {
+
+/// Cluster label per point. Non-negative values are cluster ids.
+using ClusterId = std::int64_t;
+
+inline constexpr ClusterId kNoise = -1;
+inline constexpr ClusterId kUnclassified = -2;
+
+/// DBSCAN parameters (§2.1).
+struct DbscanParams {
+  double eps = 1.0;
+  std::size_t min_pts = 4;  // includes the point itself, as in Ester et al.
+};
+
+/// Result of clustering n points: per-point cluster labels and core flags,
+/// indexed in the order of the input span.
+struct Labeling {
+  std::vector<ClusterId> cluster;
+  std::vector<std::uint8_t> core;
+
+  std::size_t size() const { return cluster.size(); }
+
+  /// Number of distinct non-noise clusters.
+  std::size_t cluster_count() const;
+
+  /// Number of noise points.
+  std::size_t noise_count() const;
+
+  /// Remap cluster ids to 0..k-1 in order of first appearance; noise and
+  /// unclassified labels are preserved.
+  void renumber();
+};
+
+}  // namespace mrscan::dbscan

@@ -1,0 +1,67 @@
+#include "dbscan/rtree_dbscan.hpp"
+
+#include <deque>
+
+#include "index/rtree.hpp"
+#include "util/assert.hpp"
+
+namespace mrscan::dbscan {
+
+Labeling dbscan_rtree(std::span<const geom::Point> points,
+                      const DbscanParams& params) {
+  MRSCAN_REQUIRE(params.eps > 0.0);
+  MRSCAN_REQUIRE(params.min_pts >= 1);
+
+  const std::size_t n = points.size();
+  Labeling result;
+  result.cluster.assign(n, kUnclassified);
+  result.core.assign(n, 0);
+  if (n == 0) return result;
+
+  index::RTree tree(points);
+
+  std::vector<std::uint32_t> neighbors;
+  std::vector<std::uint32_t> frontier;
+  ClusterId next_cluster = 0;
+
+  for (std::uint32_t seed = 0; seed < n; ++seed) {
+    if (result.cluster[seed] != kUnclassified) continue;
+    tree.radius_query(points[seed], params.eps, neighbors);
+    if (neighbors.size() < params.min_pts) {
+      result.cluster[seed] = kNoise;
+      continue;
+    }
+    const ClusterId cid = next_cluster++;
+    result.core[seed] = 1;
+    result.cluster[seed] = cid;
+
+    std::deque<std::uint32_t> queue;
+    for (const std::uint32_t nb : neighbors) {
+      if (nb == seed) continue;
+      if (result.cluster[nb] == kUnclassified) {
+        result.cluster[nb] = cid;
+        queue.push_back(nb);
+      } else if (result.cluster[nb] == kNoise) {
+        result.cluster[nb] = cid;
+      }
+    }
+    while (!queue.empty()) {
+      const std::uint32_t p = queue.front();
+      queue.pop_front();
+      tree.radius_query(points[p], params.eps, frontier);
+      if (frontier.size() < params.min_pts) continue;
+      result.core[p] = 1;
+      for (const std::uint32_t nb : frontier) {
+        if (result.cluster[nb] == kUnclassified) {
+          result.cluster[nb] = cid;
+          queue.push_back(nb);
+        } else if (result.cluster[nb] == kNoise) {
+          result.cluster[nb] = cid;
+        }
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace mrscan::dbscan

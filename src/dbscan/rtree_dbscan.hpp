@@ -1,0 +1,19 @@
+// DBSCAN over the R*-style tree — the classic CPU formulation (§2.1:
+// "A spatial index ... (e.g., R*-tree or KD-tree)").
+//
+// Same expansion logic as dbscan_sequential with the R-tree as the
+// neighbourhood index; used to cross-validate the two index substrates and
+// as the PDBSCAN-era baseline configuration.
+#pragma once
+
+#include <span>
+
+#include "dbscan/labels.hpp"
+#include "geometry/point.hpp"
+
+namespace mrscan::dbscan {
+
+Labeling dbscan_rtree(std::span<const geom::Point> points,
+                      const DbscanParams& params);
+
+}  // namespace mrscan::dbscan

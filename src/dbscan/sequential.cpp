@@ -1,0 +1,73 @@
+#include "dbscan/sequential.hpp"
+
+#include <deque>
+
+#include "index/kdtree.hpp"
+#include "util/assert.hpp"
+
+namespace mrscan::dbscan {
+
+Labeling dbscan_sequential(std::span<const geom::Point> points,
+                           const DbscanParams& params) {
+  MRSCAN_REQUIRE(params.eps > 0.0);
+  MRSCAN_REQUIRE(params.min_pts >= 1);
+
+  const std::size_t n = points.size();
+  Labeling result;
+  result.cluster.assign(n, kUnclassified);
+  result.core.assign(n, 0);
+  if (n == 0) return result;
+
+  index::KDTree tree(points, index::KDTreeConfig{64, 0.0});
+
+  std::vector<std::uint32_t> neighbors;
+  std::vector<std::uint32_t> frontier_neighbors;
+  ClusterId next_cluster = 0;
+
+  for (std::uint32_t seed = 0; seed < n; ++seed) {
+    if (result.cluster[seed] != kUnclassified) continue;
+
+    tree.radius_query(points[seed], params.eps, neighbors);
+    if (neighbors.size() < params.min_pts) {
+      result.cluster[seed] = kNoise;  // may be relabelled as border later
+      continue;
+    }
+
+    // Found an unvisited core point: start a cluster and expand it.
+    const ClusterId cid = next_cluster++;
+    result.core[seed] = 1;
+    result.cluster[seed] = cid;
+
+    std::deque<std::uint32_t> queue;
+    for (const std::uint32_t nb : neighbors) {
+      if (nb == seed) continue;
+      if (result.cluster[nb] == kUnclassified ||
+          result.cluster[nb] == kNoise) {
+        const bool was_unclassified = result.cluster[nb] == kUnclassified;
+        result.cluster[nb] = cid;
+        // Previously-noise points are borders: density-reachable but
+        // already known non-core, so they are not expanded.
+        if (was_unclassified) queue.push_back(nb);
+      }
+    }
+
+    while (!queue.empty()) {
+      const std::uint32_t p = queue.front();
+      queue.pop_front();
+      tree.radius_query(points[p], params.eps, frontier_neighbors);
+      if (frontier_neighbors.size() < params.min_pts) continue;
+      result.core[p] = 1;
+      for (const std::uint32_t nb : frontier_neighbors) {
+        if (result.cluster[nb] == kUnclassified) {
+          result.cluster[nb] = cid;
+          queue.push_back(nb);
+        } else if (result.cluster[nb] == kNoise) {
+          result.cluster[nb] = cid;  // border point, not expanded
+        }
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace mrscan::dbscan

@@ -1,0 +1,23 @@
+// Reference sequential DBSCAN (Ester, Kriegel, Sander, Xu — KDD '96),
+// indexed with the region-leaf KD-tree.
+//
+// This is the repo's quality oracle: the paper compares Mr. Scan's output
+// against a single-CPU DBSCAN (ELKI 0.4.1) with the DBDC metric (§5.1.3);
+// we compare against this implementation the same way.
+#pragma once
+
+#include <span>
+
+#include "dbscan/labels.hpp"
+#include "geometry/point.hpp"
+
+namespace mrscan::dbscan {
+
+/// Cluster `points` with classic DBSCAN. Deterministic: seeds are visited
+/// in input order and neighbourhoods in KD-tree order, so border-point ties
+/// resolve to the first cluster that reaches them (the standard behaviour
+/// the paper notes makes DBSCAN output order-dependent, §2.1).
+Labeling dbscan_sequential(std::span<const geom::Point> points,
+                           const DbscanParams& params);
+
+}  // namespace mrscan::dbscan

@@ -1,0 +1,140 @@
+#include "dbscan/ti_dbscan.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <numeric>
+
+#include "geometry/bbox.hpp"
+
+#include "util/assert.hpp"
+
+namespace mrscan::dbscan {
+
+namespace {
+
+/// Sorted-order neighbourhood finder using the triangle inequality.
+class TiIndex {
+ public:
+  TiIndex(std::span<const geom::Point> points, double eps,
+          TiDbscanStats* stats)
+      : points_(points), eps_(eps), stats_(stats) {
+    // Reference point: the lower-left corner of the bounding box, as in
+    // the original paper.
+    geom::BBox box = geom::bbox_of(points);
+    const double rx = box.empty() ? 0.0 : box.min_x;
+    const double ry = box.empty() ? 0.0 : box.min_y;
+
+    order_.resize(points.size());
+    std::iota(order_.begin(), order_.end(), std::uint32_t{0});
+    ref_dist_.resize(points.size());
+    for (std::uint32_t i = 0; i < points.size(); ++i) {
+      ref_dist_[i] = std::hypot(points[i].x - rx, points[i].y - ry);
+    }
+    std::sort(order_.begin(), order_.end(),
+              [&](std::uint32_t a, std::uint32_t b) {
+                if (ref_dist_[a] != ref_dist_[b])
+                  return ref_dist_[a] < ref_dist_[b];
+                return a < b;
+              });
+    rank_.resize(points.size());
+    for (std::uint32_t r = 0; r < order_.size(); ++r) rank_[order_[r]] = r;
+  }
+
+  /// Collect the Eps-neighbourhood of point `idx` into `out`.
+  void neighbors(std::uint32_t idx, std::vector<std::uint32_t>& out) const {
+    out.clear();
+    const geom::Point& p = points_[idx];
+    const double d_ref = ref_dist_[idx];
+    const double eps2 = eps_ * eps_;
+
+    // Backward scan: candidates with ref distance >= d_ref - eps.
+    for (std::size_t r = rank_[idx];; --r) {
+      const std::uint32_t q = order_[r];
+      if (d_ref - ref_dist_[q] > eps_) break;  // TI cut-off
+      if (stats_) ++stats_->window_candidates;
+      if (stats_) ++stats_->distance_computations;
+      if (geom::dist2(p, points_[q]) <= eps2) out.push_back(q);
+      if (r == 0) break;
+    }
+    // Forward scan: candidates with ref distance <= d_ref + eps.
+    for (std::size_t r = rank_[idx] + 1; r < order_.size(); ++r) {
+      const std::uint32_t q = order_[r];
+      if (ref_dist_[q] - d_ref > eps_) break;  // TI cut-off
+      if (stats_) ++stats_->window_candidates;
+      if (stats_) ++stats_->distance_computations;
+      if (geom::dist2(p, points_[q]) <= eps2) out.push_back(q);
+    }
+  }
+
+ private:
+  std::span<const geom::Point> points_;
+  double eps_;
+  TiDbscanStats* stats_;
+  std::vector<std::uint32_t> order_;
+  std::vector<double> ref_dist_;
+  std::vector<std::uint32_t> rank_;
+};
+
+}  // namespace
+
+Labeling dbscan_ti(std::span<const geom::Point> points,
+                   const DbscanParams& params, TiDbscanStats* stats) {
+  MRSCAN_REQUIRE(params.eps > 0.0);
+  MRSCAN_REQUIRE(params.min_pts >= 1);
+
+  const std::size_t n = points.size();
+  Labeling result;
+  result.cluster.assign(n, kUnclassified);
+  result.core.assign(n, 0);
+  if (n == 0) return result;
+
+  TiIndex index(points, params.eps, stats);
+
+  // Classic DBSCAN expansion over the TI neighbourhood function; same
+  // structure as dbscan_sequential so border ties resolve identically.
+  std::vector<std::uint32_t> neighbors;
+  std::vector<std::uint32_t> frontier;
+  ClusterId next_cluster = 0;
+
+  for (std::uint32_t seed = 0; seed < n; ++seed) {
+    if (result.cluster[seed] != kUnclassified) continue;
+    index.neighbors(seed, neighbors);
+    if (neighbors.size() < params.min_pts) {
+      result.cluster[seed] = kNoise;
+      continue;
+    }
+    const ClusterId cid = next_cluster++;
+    result.core[seed] = 1;
+    result.cluster[seed] = cid;
+
+    std::deque<std::uint32_t> queue;
+    for (const std::uint32_t nb : neighbors) {
+      if (nb == seed) continue;
+      if (result.cluster[nb] == kUnclassified) {
+        result.cluster[nb] = cid;
+        queue.push_back(nb);
+      } else if (result.cluster[nb] == kNoise) {
+        result.cluster[nb] = cid;
+      }
+    }
+    while (!queue.empty()) {
+      const std::uint32_t p = queue.front();
+      queue.pop_front();
+      index.neighbors(p, frontier);
+      if (frontier.size() < params.min_pts) continue;
+      result.core[p] = 1;
+      for (const std::uint32_t nb : frontier) {
+        if (result.cluster[nb] == kUnclassified) {
+          result.cluster[nb] = cid;
+          queue.push_back(nb);
+        } else if (result.cluster[nb] == kNoise) {
+          result.cluster[nb] = cid;
+        }
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace mrscan::dbscan

@@ -1,0 +1,30 @@
+// TI-DBSCAN (Kryszkiewicz & Lasek, RSCTC 2010) — DBSCAN via the triangle
+// inequality, no spatial index.
+//
+// Cited by the paper as a single-core optimisation whose sorted-order
+// neighbourhood determination "is similar to the way our GPU implementation
+// of the algorithm uses its KD-tree" (§2.2). Points are sorted by distance
+// to a reference point; by the triangle inequality, any Eps-neighbour of p
+// must have a reference distance within Eps of p's, so the scan for
+// neighbours terminates as soon as the sorted window is exhausted.
+#pragma once
+
+#include <span>
+
+#include "dbscan/labels.hpp"
+#include "geometry/point.hpp"
+
+namespace mrscan::dbscan {
+
+struct TiDbscanStats {
+  std::uint64_t distance_computations = 0;
+  std::uint64_t window_candidates = 0;  // points inside the TI window
+};
+
+/// Cluster `points` with TI-DBSCAN; equivalent output to dbscan_sequential
+/// up to border-point tie-breaks.
+Labeling dbscan_ti(std::span<const geom::Point> points,
+                   const DbscanParams& params,
+                   TiDbscanStats* stats = nullptr);
+
+}  // namespace mrscan::dbscan

@@ -1,0 +1,18 @@
+#include "geometry/bbox.hpp"
+
+#include <cmath>
+
+namespace mrscan::geom {
+
+double BBox::diagonal() const {
+  if (empty()) return 0.0;
+  return std::sqrt(width() * width() + height() * height());
+}
+
+BBox bbox_of(std::span<const Point> points) {
+  BBox box;
+  for (const Point& p : points) box.expand(p);
+  return box;
+}
+
+}  // namespace mrscan::geom

@@ -1,0 +1,67 @@
+// Axis-aligned bounding box over 2D points.
+#pragma once
+
+#include <limits>
+#include <span>
+
+#include "geometry/point.hpp"
+
+namespace mrscan::geom {
+
+struct BBox {
+  double min_x = std::numeric_limits<double>::infinity();
+  double min_y = std::numeric_limits<double>::infinity();
+  double max_x = -std::numeric_limits<double>::infinity();
+  double max_y = -std::numeric_limits<double>::infinity();
+
+  bool empty() const { return min_x > max_x || min_y > max_y; }
+
+  double width() const { return empty() ? 0.0 : max_x - min_x; }
+  double height() const { return empty() ? 0.0 : max_y - min_y; }
+
+  void expand(const Point& p) {
+    if (p.x < min_x) min_x = p.x;
+    if (p.y < min_y) min_y = p.y;
+    if (p.x > max_x) max_x = p.x;
+    if (p.y > max_y) max_y = p.y;
+  }
+
+  void expand(const BBox& other) {
+    if (other.empty()) return;
+    if (other.min_x < min_x) min_x = other.min_x;
+    if (other.min_y < min_y) min_y = other.min_y;
+    if (other.max_x > max_x) max_x = other.max_x;
+    if (other.max_y > max_y) max_y = other.max_y;
+  }
+
+  bool contains(const Point& p) const {
+    return p.x >= min_x && p.x <= max_x && p.y >= min_y && p.y <= max_y;
+  }
+
+  bool intersects(const BBox& o) const {
+    return !empty() && !o.empty() && min_x <= o.max_x && o.min_x <= max_x &&
+           min_y <= o.max_y && o.min_y <= max_y;
+  }
+
+  /// Squared distance from p to the box (0 when inside).
+  double dist2_to(const Point& p) const {
+    double dx = 0.0, dy = 0.0;
+    if (p.x < min_x)
+      dx = min_x - p.x;
+    else if (p.x > max_x)
+      dx = p.x - max_x;
+    if (p.y < min_y)
+      dy = min_y - p.y;
+    else if (p.y > max_y)
+      dy = p.y - max_y;
+    return dx * dx + dy * dy;
+  }
+
+  /// Longest distance across the box (its diagonal).
+  double diagonal() const;
+};
+
+/// Bounding box of a point span.
+BBox bbox_of(std::span<const Point> points);
+
+}  // namespace mrscan::geom

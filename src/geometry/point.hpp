@@ -1,0 +1,54 @@
+// The point record Mr. Scan clusters.
+//
+// Matches the paper's input format (§3): each point has a unique ID,
+// 2D coordinates, and an optional weight carried through to the output.
+// The library is written for 2D (as is the paper's evaluation); the grid
+// and KD-tree generalise to higher dimensions but are instantiated for 2D.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace mrscan::geom {
+
+using PointId = std::uint64_t;
+
+struct Point {
+  PointId id = 0;
+  double x = 0.0;
+  double y = 0.0;
+  float weight = 1.0f;
+
+  friend bool operator==(const Point& a, const Point& b) {
+    return a.id == b.id && a.x == b.x && a.y == b.y && a.weight == b.weight;
+  }
+};
+
+using PointSet = std::vector<Point>;
+
+/// Squared Euclidean distance — the hot kernel; callers compare against
+/// eps*eps to avoid the sqrt.
+inline double dist2(const Point& a, const Point& b) {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return dx * dx + dy * dy;
+}
+
+inline double dist2(double ax, double ay, double bx, double by) {
+  const double dx = ax - bx;
+  const double dy = ay - by;
+  return dx * dx + dy * dy;
+}
+
+inline double dist(const Point& a, const Point& b) {
+  return std::sqrt(dist2(a, b));
+}
+
+/// True when a and b are within eps of each other (inclusive, as in the
+/// original DBSCAN definition of the Eps-neighbourhood).
+inline bool within_eps(const Point& a, const Point& b, double eps) {
+  return dist2(a, b) <= eps * eps;
+}
+
+}  // namespace mrscan::geom

@@ -1,0 +1,51 @@
+#include "geometry/rep_points.hpp"
+
+#include <algorithm>
+#include <array>
+#include <limits>
+
+namespace mrscan::geom {
+
+std::vector<std::uint32_t> select_cell_representatives(
+    const GridGeometry& geometry, CellKey key, std::span<const Point> points,
+    std::span<const std::uint32_t> candidates) {
+  if (candidates.empty()) return {};
+
+  const double x0 = geometry.cell_min_x(key);
+  const double y0 = geometry.cell_min_y(key);
+  const double x1 = geometry.cell_max_x(key);
+  const double y1 = geometry.cell_max_y(key);
+  const double xm = 0.5 * (x0 + x1);
+  const double ym = 0.5 * (y0 + y1);
+
+  // 4 corners then 4 side midpoints.
+  const std::array<std::pair<double, double>, 8> anchors{{{x0, y0},
+                                                          {x1, y0},
+                                                          {x0, y1},
+                                                          {x1, y1},
+                                                          {xm, y0},
+                                                          {xm, y1},
+                                                          {x0, ym},
+                                                          {x1, ym}}};
+
+  std::vector<std::uint32_t> selected;
+  selected.reserve(8);
+  for (const auto& [ax, ay] : anchors) {
+    double best_d2 = std::numeric_limits<double>::infinity();
+    std::uint32_t best = candidates[0];
+    for (const std::uint32_t idx : candidates) {
+      const double d2 = dist2(points[idx].x, points[idx].y, ax, ay);
+      if (d2 < best_d2) {
+        best_d2 = d2;
+        best = idx;
+      }
+    }
+    selected.push_back(best);
+  }
+  std::sort(selected.begin(), selected.end());
+  selected.erase(std::unique(selected.begin(), selected.end()),
+                 selected.end());
+  return selected;
+}
+
+}  // namespace mrscan::geom

@@ -1,0 +1,28 @@
+// Representative-point selection for a grid cell (§3.3.1).
+//
+// "The eight selected representative points are the points closest to the
+// center of the sides of the grid cell and the corners of the grid cell."
+// Figure 5's argument: any core point P in the cell is within Eps/2 of a
+// corner or side-midpoint, so the candidate nearest that anchor lies inside
+// P's Eps-neighbourhood — eight points suffice to detect any same-cell
+// core-point overlap regardless of density.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "geometry/cell.hpp"
+#include "geometry/point.hpp"
+
+namespace mrscan::geom {
+
+/// Select up to 8 representatives among `candidates` (indices into
+/// `points`) for the cell `key`: per anchor (4 corners + 4 side midpoints),
+/// the nearest candidate; duplicates collapsed. Returned indices are sorted
+/// and unique; empty when candidates is empty.
+std::vector<std::uint32_t> select_cell_representatives(
+    const GridGeometry& geometry, CellKey key, std::span<const Point> points,
+    std::span<const std::uint32_t> candidates);
+
+}  // namespace mrscan::geom

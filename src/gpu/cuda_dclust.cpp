@@ -1,0 +1,169 @@
+#include "gpu/cuda_dclust.hpp"
+
+#include <deque>
+#include <vector>
+
+#include "index/kdtree.hpp"
+#include "util/assert.hpp"
+#include "util/union_find.hpp"
+
+namespace mrscan::gpu {
+
+namespace {
+
+enum class State : std::uint8_t {
+  kUnvisited,
+  kQueued,      // claimed by a chain, awaiting expansion
+  kCoreMember,  // expanded, found core
+  kBorder,      // expanded or claimed, found non-core
+  kNoise,       // expanded as a seed, found non-core, unclaimed
+};
+
+constexpr std::uint32_t kNoChain = 0xffffffffu;
+
+/// Device-side bytes per point: coordinates + label word.
+constexpr std::uint64_t kPointBytes = 24;
+/// Per-block state exchanged with the host every iteration (queue head,
+/// collision row, seed slot).
+constexpr std::uint64_t kBlockStateBytes = 64;
+
+}  // namespace
+
+GpuDbscanResult cuda_dclust(std::span<const geom::Point> points,
+                            const CudaDClustConfig& config,
+                            VirtualDevice& device) {
+  MRSCAN_REQUIRE(config.params.eps > 0.0);
+  MRSCAN_REQUIRE(config.params.min_pts >= 1);
+  MRSCAN_REQUIRE(config.block_count >= 1);
+
+  const std::size_t n = points.size();
+  GpuDbscanResult result;
+  result.labels.cluster.assign(n, dbscan::kUnclassified);
+  result.labels.core.assign(n, 0);
+  DeviceStatsDelta delta(device);
+  if (n == 0) {
+    delta.fill(result.stats);
+    return result;
+  }
+
+  index::KDTree tree(points, index::KDTreeConfig{config.max_leaf_points, 0.0});
+
+  // Raw input copied to the device once (points + the KD-tree nodes).
+  device.copy_to_device(n * kPointBytes + tree.node_count() * 40);
+
+  std::vector<State> state(n, State::kUnvisited);
+  std::vector<std::uint8_t> was_seed(n, 0);
+  std::vector<std::uint32_t> chain(n, kNoChain);
+  util::UnionFind chains;
+  std::vector<std::deque<std::uint32_t>> queues(config.block_count);
+  std::uint32_t next_seed = 0;
+  std::size_t collisions = 0;
+
+  std::vector<std::uint32_t> neighbors;
+  std::vector<std::uint64_t> block_ops(config.block_count);
+
+  for (;;) {
+    // CPU side: re-seed blocks whose queue drained with the next unvisited
+    // point, each starting a fresh chain.
+    bool any_work = false;
+    for (std::uint32_t b = 0; b < config.block_count; ++b) {
+      if (queues[b].empty()) {
+        while (next_seed < n && state[next_seed] != State::kUnvisited) {
+          ++next_seed;
+        }
+        if (next_seed < n) {
+          const std::uint32_t seed = next_seed++;
+          state[seed] = State::kQueued;
+          was_seed[seed] = 1;
+          chain[seed] = chains.add();
+          queues[b].push_back(seed);
+        }
+      }
+      if (!queues[b].empty()) any_work = true;
+    }
+    if (!any_work) break;
+
+    // Host -> device: new seeds and block control state.
+    device.copy_to_device(config.block_count * kBlockStateBytes);
+
+    // Kernel iteration: every block expands exactly one queued point.
+    for (std::uint32_t b = 0; b < config.block_count; ++b) {
+      block_ops[b] = 0;
+      if (queues[b].empty()) continue;
+      const std::uint32_t p = queues[b].front();
+      queues[b].pop_front();
+      const std::uint32_t c = chain[p];
+
+      tree.radius_query(points[p], config.params.eps, neighbors,
+                        &block_ops[b]);
+      if (neighbors.size() < config.params.min_pts) {
+        // Non-core: a point queued by a core expansion is a border point of
+        // that chain; a fresh seed has no core backing it and is noise
+        // (unless a later core expansion reclaims it).
+        state[p] = was_seed[p] ? State::kNoise : State::kBorder;
+        continue;
+      }
+
+      state[p] = State::kCoreMember;
+      result.labels.core[p] = 1;
+      for (const std::uint32_t q : neighbors) {
+        if (q == p) continue;
+        switch (state[q]) {
+          case State::kUnvisited:
+            state[q] = State::kQueued;
+            chain[q] = c;
+            queues[b].push_back(q);
+            break;
+          case State::kQueued:
+          case State::kCoreMember:
+            // Collision between concurrently running blocks (Figure 4).
+            if (!chains.same(c, chain[q])) {
+              chains.unite(c, chain[q]);
+              ++collisions;
+            }
+            break;
+          case State::kBorder:
+            break;  // border points do not transmit cluster identity
+          case State::kNoise:
+            state[q] = State::kBorder;
+            chain[q] = c;
+            break;
+        }
+      }
+    }
+    device.account_launch(block_ops);
+
+    // Device -> host: block states for collision checks and re-seeding.
+    device.copy_to_host(config.block_count * kBlockStateBytes);
+  }
+
+  // Retrieve the clustered result.
+  device.copy_to_host(n * 8);
+
+  // Chains with at least one core member are clusters; resolve every point
+  // through the collision union-find.
+  std::vector<std::uint8_t> chain_has_core(chains.size(), 0);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    if (result.labels.core[i]) chain_has_core[chains.find(chain[i])] = 1;
+  }
+  for (std::uint32_t i = 0; i < n; ++i) {
+    if (chain[i] == kNoChain) {
+      result.labels.cluster[i] = dbscan::kNoise;
+      continue;
+    }
+    const std::uint32_t root = chains.find(chain[i]);
+    if (!chain_has_core[root] || state[i] == State::kNoise) {
+      result.labels.cluster[i] = dbscan::kNoise;
+    } else {
+      result.labels.cluster[i] = static_cast<dbscan::ClusterId>(root);
+    }
+  }
+  result.labels.renumber();
+
+  result.stats.chains = chains.size();
+  result.stats.collisions = collisions;
+  delta.fill(result.stats);
+  return result;
+}
+
+}  // namespace mrscan::gpu

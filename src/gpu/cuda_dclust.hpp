@@ -1,0 +1,40 @@
+// CUDA-DClust (Böhm et al., CIKM '09) — the GPU DBSCAN Mr. Scan extends.
+//
+// Implemented as the paper describes it (§3.2.1) and kept as the ablation
+// baseline for Mr. Scan's two extensions:
+//   * each GPGPU block expands one seed point per kernel iteration;
+//   • after every iteration control returns to the CPU, which copies block
+//     state back, resolves collisions, and re-seeds idle blocks — costing
+//     2 x (points / blockCount) host<->device copies over a run (§3.2.2);
+//   * collisions (a block touching a point another block has claimed or
+//     queued) mark chains as the same cluster and are merged on the CPU.
+//
+// Note on semantics: collisions through *queued* points can merge two
+// clusters that classic DBSCAN would keep separate when the shared point
+// turns out to be a border point — one of the slight order dependences the
+// paper acknowledges for DBSCAN-family algorithms. Mr. Scan's two-pass
+// variant (mrscan_gpu.hpp) avoids it by knowing exact core flags first.
+#pragma once
+
+#include <span>
+
+#include "dbscan/labels.hpp"
+#include "geometry/point.hpp"
+#include "gpu/gpu_dbscan.hpp"
+
+namespace mrscan::gpu {
+
+struct CudaDClustConfig {
+  dbscan::DbscanParams params;
+  /// Concurrent expansion chains (GPGPU blocks).
+  std::uint32_t block_count = 208;  // 13 SMX x 16 resident blocks
+  /// KD-tree region-leaf capacity.
+  std::size_t max_leaf_points = 64;
+};
+
+/// Cluster `points` with CUDA-DClust on `device`.
+GpuDbscanResult cuda_dclust(std::span<const geom::Point> points,
+                            const CudaDClustConfig& config,
+                            VirtualDevice& device);
+
+}  // namespace mrscan::gpu

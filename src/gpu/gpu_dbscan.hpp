@@ -1,0 +1,49 @@
+// Shared result types for the GPGPU DBSCAN implementations.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "dbscan/labels.hpp"
+#include "gpu/device.hpp"
+
+namespace mrscan::gpu {
+
+struct GpuDbscanStats {
+  std::size_t dense_boxes = 0;
+  std::size_t dense_points = 0;  // points eliminated by dense box
+  std::size_t chains = 0;        // block expansion chains created
+  std::size_t collisions = 0;    // chain collisions merged
+  std::uint64_t distance_ops = 0;
+  std::uint64_t kernel_launches = 0;
+  std::uint64_t h2d_transfers = 0;
+  std::uint64_t d2h_transfers = 0;
+  double device_seconds = 0.0;  // simulated GPU time (kernels + copies)
+};
+
+struct GpuDbscanResult {
+  dbscan::Labeling labels;
+  GpuDbscanStats stats;
+};
+
+/// Capture the per-run delta of a device's counters.
+class DeviceStatsDelta {
+ public:
+  explicit DeviceStatsDelta(const VirtualDevice& device)
+      : device_(device), start_(device.stats()) {}
+
+  void fill(GpuDbscanStats& stats) const {
+    const DeviceStats& now = device_.stats();
+    stats.distance_ops = now.total_ops - start_.total_ops;
+    stats.kernel_launches = now.kernel_launches - start_.kernel_launches;
+    stats.h2d_transfers = now.h2d_transfers - start_.h2d_transfers;
+    stats.d2h_transfers = now.d2h_transfers - start_.d2h_transfers;
+    stats.device_seconds = now.device_seconds() - start_.device_seconds();
+  }
+
+ private:
+  const VirtualDevice& device_;
+  DeviceStats start_;
+};
+
+}  // namespace mrscan::gpu

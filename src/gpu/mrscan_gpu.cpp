@@ -1,0 +1,286 @@
+#include "gpu/mrscan_gpu.hpp"
+
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "gpu/dense_box.hpp"
+#include "index/kdtree.hpp"
+#include "util/assert.hpp"
+#include "util/union_find.hpp"
+
+namespace mrscan::gpu {
+
+namespace {
+
+constexpr std::uint32_t kNoChain = 0xffffffffu;
+constexpr std::uint64_t kPointBytes = 24;
+
+/// Connect dense boxes that are mutually Eps-reachable. Two dense boxes
+/// whose point sets contain an Eps-close pair belong to one cluster; since
+/// dense points are never expanded, this link must be established
+/// explicitly. Candidate pairs are found through a coarse hash grid over
+/// box centres (boxes are at most (sqrt(2)/2) Eps wide, so Eps-reachable
+/// boxes have centres within 2 Eps).
+void connect_dense_boxes(const index::KDTree& tree, const DenseBoxes& dense,
+                         double eps,
+                         const std::vector<std::uint32_t>& box_chain,
+                         util::UnionFind& chains, std::size_t& collisions,
+                         VirtualDevice& device) {
+  if (dense.count() < 2) return;
+  const double cell = 2.0 * eps;
+  std::unordered_map<std::uint64_t, std::vector<std::uint32_t>> buckets;
+  auto bucket_of = [&](double x, double y) {
+    const auto ix = static_cast<std::int32_t>(std::floor(x / cell));
+    const auto iy = static_cast<std::int32_t>(std::floor(y / cell));
+    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(ix))
+            << 32) |
+           static_cast<std::uint32_t>(iy);
+  };
+
+  const auto leaves = tree.leaves();
+  std::vector<std::pair<double, double>> centers(dense.count());
+  for (std::uint32_t b = 0; b < dense.count(); ++b) {
+    const auto& box = leaves[dense.leaf_ids[b]].box;
+    centers[b] = {0.5 * (box.min_x + box.max_x),
+                  0.5 * (box.min_y + box.max_y)};
+    buckets[bucket_of(centers[b].first, centers[b].second)].push_back(b);
+  }
+
+  const double eps2 = eps * eps;
+  std::vector<std::uint64_t> block_ops{0};
+  std::uint64_t& ops = block_ops[0];
+
+  for (std::uint32_t a = 0; a < dense.count(); ++a) {
+    const auto& leaf_a = leaves[dense.leaf_ids[a]];
+    const auto base_ix =
+        static_cast<std::int32_t>(std::floor(centers[a].first / cell));
+    const auto base_iy =
+        static_cast<std::int32_t>(std::floor(centers[a].second / cell));
+    for (std::int32_t dy = -1; dy <= 1; ++dy) {
+      for (std::int32_t dx = -1; dx <= 1; ++dx) {
+        const std::uint64_t code =
+            (static_cast<std::uint64_t>(
+                 static_cast<std::uint32_t>(base_ix + dx))
+             << 32) |
+            static_cast<std::uint32_t>(base_iy + dy);
+        const auto it = buckets.find(code);
+        if (it == buckets.end()) continue;
+        for (const std::uint32_t b : it->second) {
+          if (b <= a) continue;
+          if (chains.same(box_chain[a], box_chain[b])) continue;
+          const auto& leaf_b = leaves[dense.leaf_ids[b]];
+          // Box min-distance prefilter.
+          geom::BBox inflated = leaf_a.box;
+          inflated.min_x -= eps;
+          inflated.min_y -= eps;
+          inflated.max_x += eps;
+          inflated.max_y += eps;
+          if (!inflated.intersects(leaf_b.box)) continue;
+          // Cross check with early exit on the first Eps-close pair.
+          bool linked = false;
+          for (std::uint32_t i = leaf_a.begin; i < leaf_a.end && !linked;
+               ++i) {
+            const geom::Point& pa = tree.point_at(tree.order()[i]);
+            for (std::uint32_t j = leaf_b.begin; j < leaf_b.end; ++j) {
+              ++ops;
+              if (geom::dist2(pa, tree.point_at(tree.order()[j])) <= eps2) {
+                linked = true;
+                break;
+              }
+            }
+          }
+          if (linked) {
+            chains.unite(box_chain[a], box_chain[b]);
+            ++collisions;
+          }
+        }
+      }
+    }
+  }
+  device.account_launch(block_ops);
+}
+
+}  // namespace
+
+GpuDbscanResult mrscan_gpu_dbscan(std::span<const geom::Point> points,
+                                  const MrScanGpuConfig& config,
+                                  VirtualDevice& device) {
+  MRSCAN_REQUIRE(config.params.eps > 0.0);
+  MRSCAN_REQUIRE(config.params.min_pts >= 1);
+  MRSCAN_REQUIRE(config.block_count >= 1);
+  MRSCAN_REQUIRE(config.points_per_block >= 1);
+
+  const std::size_t n = points.size();
+  GpuDbscanResult result;
+  result.labels.cluster.assign(n, dbscan::kNoise);
+  result.labels.core.assign(n, 0);
+  DeviceStatsDelta delta(device);
+  if (n == 0) {
+    delta.fill(result.stats);
+    return result;
+  }
+
+  // One H2D copy: raw input points (and the KD-tree built over them).
+  index::KDTree tree(
+      points,
+      index::KDTreeConfig{config.max_leaf_points,
+                          config.dense_box
+                              ? dense_box_side(config.params.eps)
+                              : 0.0});
+  device.copy_to_device(n * kPointBytes + tree.node_count() * 40);
+
+  // Dense box detection: one O(leaves) kernel.
+  DenseBoxes dense;
+  if (config.dense_box) {
+    dense = detect_dense_boxes(tree, config.params.eps,
+                               config.params.min_pts);
+    device.account_launch({tree.leaves().size()});
+  } else {
+    dense.box_of_point.assign(n, DenseBoxes::kNone);
+  }
+  result.stats.dense_boxes = dense.count();
+  result.stats.dense_points = dense.covered_points;
+
+  util::UnionFind chains;
+  std::vector<std::uint32_t> chain(n, kNoChain);
+
+  // Every dense box is a pre-formed chain; its points are core by
+  // construction and are never expanded (§3.2.3).
+  std::vector<std::uint32_t> box_chain(dense.count());
+  for (std::uint32_t b = 0; b < dense.count(); ++b) {
+    box_chain[b] = chains.add();
+  }
+  for (std::uint32_t i = 0; i < n; ++i) {
+    if (dense.is_dense(i)) {
+      chain[i] = box_chain[dense.box_of_point[i]];
+      result.labels.core[i] = 1;
+    }
+  }
+
+  // ---- Pass 1: core classification, kernels issued in bulk. ----
+  // Each launch covers block_count x points_per_block points; the seed for
+  // each block is a function of the kernel call parameters, so no memory
+  // copies intervene (§3.2.2). Expansion stops as soon as MinPts is seen.
+  {
+    std::vector<std::uint32_t> work;
+    work.reserve(n);
+    for (std::uint32_t i = 0; i < n; ++i) {
+      if (!dense.is_dense(i)) work.push_back(i);
+    }
+    std::size_t cursor = 0;
+    while (cursor < work.size()) {
+      std::vector<std::uint64_t> block_ops(config.block_count, 0);
+      for (std::uint32_t b = 0; b < config.block_count; ++b) {
+        for (std::uint32_t k = 0;
+             k < config.points_per_block && cursor < work.size(); ++k) {
+          const std::uint32_t idx = work[cursor++];
+          const std::size_t found = tree.count_in_radius(
+              points[idx], config.params.eps, config.params.min_pts,
+              &block_ops[b]);
+          if (found >= config.params.min_pts) result.labels.core[idx] = 1;
+        }
+      }
+      device.account_launch(block_ops);
+    }
+  }
+
+  // ---- Pass 2: expand core points with block chains + collisions. ----
+  {
+    std::vector<std::deque<std::uint32_t>> queues(config.block_count);
+    std::uint32_t next_seed = 0;
+    std::vector<std::uint32_t> neighbors;
+
+    auto seed_idle_blocks = [&]() {
+      bool any = false;
+      for (auto& q : queues) {
+        if (q.empty()) {
+          while (next_seed < n &&
+                 (!result.labels.core[next_seed] ||
+                  chain[next_seed] != kNoChain)) {
+            ++next_seed;
+          }
+          if (next_seed < n) {
+            chain[next_seed] = chains.add();
+            q.push_back(next_seed);
+            ++next_seed;
+          }
+        }
+        if (!q.empty()) any = true;
+      }
+      return any;
+    };
+
+    while (seed_idle_blocks()) {
+      // One bulk-issued kernel wave: each block expands one core point.
+      // No host copies between waves — that is the point of the redesign.
+      std::vector<std::uint64_t> block_ops(config.block_count, 0);
+      for (std::uint32_t b = 0; b < config.block_count; ++b) {
+        if (queues[b].empty()) continue;
+        const std::uint32_t p = queues[b].front();
+        queues[b].pop_front();
+        const std::uint32_t c = chain[p];
+
+        tree.radius_query(points[p], config.params.eps, neighbors,
+                          &block_ops[b]);
+        for (const std::uint32_t q : neighbors) {
+          if (q == p || !result.labels.core[q]) continue;
+          if (chain[q] == kNoChain) {
+            chain[q] = c;
+            queues[b].push_back(q);
+          } else if (!chains.same(c, chain[q])) {
+            chains.unite(c, chain[q]);
+            ++result.stats.collisions;
+          }
+        }
+      }
+      device.account_launch(block_ops);
+    }
+  }
+
+  // Dense boxes adjacent to each other merge even though none of their
+  // points ran an expansion.
+  if (dense.count() >= 2) {
+    connect_dense_boxes(tree, dense, config.params.eps, box_chain, chains,
+                        result.stats.collisions, device);
+  }
+
+  // ---- Border pass: attach non-core points to a neighbouring core's
+  // cluster (lowest core index wins — a deterministic DBSCAN tie-break).
+  {
+    std::vector<std::uint64_t> block_ops(config.block_count, 0);
+    std::vector<std::uint32_t> neighbors;
+    std::uint32_t rr = 0;
+    for (std::uint32_t i = 0; i < n; ++i) {
+      if (result.labels.core[i]) continue;
+      tree.radius_query(points[i], config.params.eps, neighbors,
+                        &block_ops[rr]);
+      rr = (rr + 1) % config.block_count;
+      std::uint32_t best = kNoChain;
+      for (const std::uint32_t q : neighbors) {
+        if (result.labels.core[q] && q < best) best = q;
+      }
+      if (best != kNoChain) chain[i] = chain[best];
+    }
+    device.account_launch(block_ops);
+  }
+
+  // One D2H copy: the clustered result.
+  device.copy_to_host(n * 8);
+
+  for (std::uint32_t i = 0; i < n; ++i) {
+    if (chain[i] == kNoChain) {
+      result.labels.cluster[i] = dbscan::kNoise;
+    } else {
+      result.labels.cluster[i] =
+          static_cast<dbscan::ClusterId>(chains.find(chain[i]));
+    }
+  }
+  result.labels.renumber();
+
+  result.stats.chains = chains.size();
+  delta.fill(result.stats);
+  return result;
+}
+
+}  // namespace mrscan::gpu

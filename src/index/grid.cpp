@@ -1,0 +1,72 @@
+#include "index/grid.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace mrscan::index {
+
+Grid::Grid(geom::GridGeometry geometry, std::span<const geom::Point> points)
+    : geometry_(geometry), points_(points) {
+  MRSCAN_REQUIRE(geometry.cell_size > 0.0);
+
+  // Pair each point index with its cell code, sort by code (stable within
+  // a cell by original index because the index is the tiebreaker).
+  std::vector<std::pair<std::uint64_t, std::uint32_t>> keyed;
+  keyed.reserve(points.size());
+  for (std::uint32_t i = 0; i < points.size(); ++i) {
+    keyed.emplace_back(geom::cell_code(geometry_.cell_of(points[i])), i);
+  }
+  std::sort(keyed.begin(), keyed.end());
+
+  order_.reserve(points.size());
+  for (std::size_t i = 0; i < keyed.size(); ++i) {
+    if (i == 0 || keyed[i].first != keyed[i - 1].first) {
+      codes_.push_back(keyed[i].first);
+      offsets_.push_back(static_cast<std::uint32_t>(i));
+    }
+    order_.push_back(keyed[i].second);
+  }
+  offsets_.push_back(static_cast<std::uint32_t>(keyed.size()));
+}
+
+std::size_t Grid::cell_slot(geom::CellKey key) const {
+  const std::uint64_t code = geom::cell_code(key);
+  const auto it = std::lower_bound(codes_.begin(), codes_.end(), code);
+  if (it == codes_.end() || *it != code) return npos;
+  return static_cast<std::size_t>(it - codes_.begin());
+}
+
+bool Grid::has_cell(geom::CellKey key) const {
+  return cell_slot(key) != npos;
+}
+
+std::span<const std::uint32_t> Grid::points_in(geom::CellKey key) const {
+  const std::size_t slot = cell_slot(key);
+  if (slot == npos) return {};
+  return std::span<const std::uint32_t>(order_).subspan(
+      offsets_[slot], offsets_[slot + 1] - offsets_[slot]);
+}
+
+std::size_t Grid::count_in_radius(const geom::Point& p, double radius,
+                                  std::size_t at_least) const {
+  MRSCAN_REQUIRE_MSG(radius <= geometry_.cell_size,
+                     "grid cell size must be >= query radius");
+  const double r2 = radius * radius;
+  const geom::CellKey c = geometry_.cell_of(p);
+  std::size_t count = 0;
+  for (std::int32_t dy = -1; dy <= 1; ++dy) {
+    for (std::int32_t dx = -1; dx <= 1; ++dx) {
+      for (std::uint32_t idx :
+           points_in(geom::CellKey{c.ix + dx, c.iy + dy})) {
+        if (geom::dist2(p, points_[idx]) <= r2) {
+          ++count;
+          if (at_least != 0 && count >= at_least) return count;
+        }
+      }
+    }
+  }
+  return count;
+}
+
+}  // namespace mrscan::index

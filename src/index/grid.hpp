@@ -1,0 +1,80 @@
+// Uniform Eps x Eps grid index over a point set.
+//
+// Cells are exactly Eps on a side, so the Eps-neighbourhood of any point is
+// contained in its cell's 3x3 neighbourhood — the property both the
+// partitioner's shadow regions (§3.1.1) and the merge algorithm's per-cell
+// representative points (§3.3.1) rely on.
+//
+// Storage is CSR-style: points are bucketed by cell code, cells are kept
+// sorted by code, and per-cell point index lists are contiguous.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "geometry/cell.hpp"
+#include "geometry/point.hpp"
+
+namespace mrscan::index {
+
+class Grid {
+ public:
+  /// Build over `points` (indices into this span are what queries return).
+  /// The span must outlive the Grid.
+  Grid(geom::GridGeometry geometry, std::span<const geom::Point> points);
+
+  const geom::GridGeometry& geometry() const { return geometry_; }
+  std::size_t point_count() const { return points_.size(); }
+  std::size_t cell_count() const { return codes_.size(); }
+
+  /// Sorted, de-duplicated cell codes of all non-empty cells.
+  std::span<const std::uint64_t> codes() const { return codes_; }
+
+  bool has_cell(geom::CellKey key) const;
+
+  /// Indices (into the original span) of points in `key`'s cell; empty span
+  /// when the cell has no points.
+  std::span<const std::uint32_t> points_in(geom::CellKey key) const;
+
+  /// Number of points in `key`'s cell.
+  std::size_t count_in(geom::CellKey key) const {
+    return points_in(key).size();
+  }
+
+  /// Visit indices of every point within `radius` of `p` (inclusive).
+  /// Requires radius <= cell_size; enforced.
+  template <typename Fn>
+  void for_each_in_radius(const geom::Point& p, double radius,
+                          Fn&& fn) const {
+    const double r2 = radius * radius;
+    const geom::CellKey c = geometry_.cell_of(p);
+    for (std::int32_t dy = -1; dy <= 1; ++dy) {
+      for (std::int32_t dx = -1; dx <= 1; ++dx) {
+        for (std::uint32_t idx :
+             points_in(geom::CellKey{c.ix + dx, c.iy + dy})) {
+          if (geom::dist2(p, points_[idx]) <= r2) fn(idx);
+        }
+      }
+    }
+  }
+
+  /// Eps-neighbourhood size of p, with early exit once `at_least` neighbours
+  /// are seen (0 = count all). The point itself counts as its own neighbour
+  /// when it is a member of the indexed set, matching classic DBSCAN.
+  std::size_t count_in_radius(const geom::Point& p, double radius,
+                              std::size_t at_least = 0) const;
+
+ private:
+  std::size_t cell_slot(geom::CellKey key) const;  // npos when absent
+
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+  geom::GridGeometry geometry_;
+  std::span<const geom::Point> points_;
+  std::vector<std::uint64_t> codes_;    // sorted cell codes
+  std::vector<std::uint32_t> offsets_;  // size cells+1
+  std::vector<std::uint32_t> order_;    // point indices grouped by cell
+};
+
+}  // namespace mrscan::index

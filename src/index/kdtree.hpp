@@ -1,0 +1,130 @@
+// Region-leaf KD-tree, after CUDA-DClust (Böhm et al., CIKM '09).
+//
+// Unlike a textbook KD-tree whose leaves are single points, each leaf here
+// is a *region* holding a contiguous block of points (§3.2.1). The GPGPU
+// DBSCAN uses leaves two ways:
+//   * neighbourhood queries visit whole leaf blocks, which maps to coalesced
+//     memory access on the device;
+//   • the leaf subdivision doubles as the dense-box detector's partition of
+//     the point space (§3.2.3): a leaf whose extent is at most
+//     (sqrt(2)/2) * Eps on each side and holds >= MinPts points contains
+//     only mutually-Eps-reachable points, so all of them are core.
+//
+// Splitting alternates axes at the median and stops when a node is small
+// enough (<= max_leaf_points) or its extent is already below
+// min_leaf_extent — in dense areas the tree therefore bottoms out exactly
+// at dense-box-sized regions with large point counts.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "geometry/bbox.hpp"
+#include "geometry/point.hpp"
+
+namespace mrscan::index {
+
+struct KDTreeConfig {
+  /// Leaves stop splitting at this population...
+  std::size_t max_leaf_points = 64;
+  /// ...or when both box extents are <= this (0 disables the extent stop).
+  /// Mr. Scan sets it to (sqrt(2)/2) * Eps so leaves align with dense boxes.
+  double min_leaf_extent = 0.0;
+};
+
+class KDTree {
+ public:
+  struct Leaf {
+    geom::BBox box;          // tight bounding box of the leaf's points
+    std::uint32_t begin = 0; // range into order()
+    std::uint32_t end = 0;
+    std::uint32_t size() const { return end - begin; }
+  };
+
+  KDTree() = default;
+
+  /// Build over `points`; the span must outlive the tree. Queries return
+  /// indices into this span.
+  KDTree(std::span<const geom::Point> points, KDTreeConfig config);
+
+  std::size_t point_count() const { return points_.size(); }
+  std::span<const Leaf> leaves() const { return leaves_; }
+
+  /// The indexed point at original index `idx`.
+  const geom::Point& point_at(std::uint32_t idx) const {
+    return points_[idx];
+  }
+
+  /// Point indices grouped by leaf: order()[leaf.begin, leaf.end) are the
+  /// members of that leaf.
+  std::span<const std::uint32_t> order() const { return order_; }
+
+  /// Leaf id containing the point at original index `idx`.
+  std::uint32_t leaf_of(std::uint32_t idx) const { return point_leaf_[idx]; }
+
+  /// Visit the index of every point within `radius` of `p` (inclusive).
+  template <typename Fn>
+  void for_each_in_radius(const geom::Point& p, double radius,
+                          Fn&& fn) const {
+    if (nodes_.empty()) return;
+    const double r2 = radius * radius;
+    visit(0, p, r2, fn);
+  }
+
+  /// Count the Eps-neighbourhood of p, stopping once `at_least` neighbours
+  /// have been found (0 = exact count). If `ops` is non-null it is
+  /// incremented by the number of point distance computations performed —
+  /// the work unit the virtual GPU's cost model charges for.
+  std::size_t count_in_radius(const geom::Point& p, double radius,
+                              std::size_t at_least = 0,
+                              std::uint64_t* ops = nullptr) const;
+
+  /// Collect neighbour indices into `out` (cleared first). `ops` as above.
+  void radius_query(const geom::Point& p, double radius,
+                    std::vector<std::uint32_t>& out,
+                    std::uint64_t* ops = nullptr) const;
+
+  /// Total nodes (diagnostics / cost accounting).
+  std::size_t node_count() const { return nodes_.size(); }
+
+ private:
+  struct Node {
+    geom::BBox box;
+    // Internal node: left = first child index, right = second. Leaf:
+    // leaf_id indexes leaves_. axis < 0 marks a leaf.
+    std::int8_t axis = -1;
+    std::uint32_t left = 0;
+    std::uint32_t right = 0;
+    std::uint32_t leaf_id = 0;
+    bool is_leaf() const { return axis < 0; }
+  };
+
+  std::uint32_t build(std::uint32_t begin, std::uint32_t end, int depth);
+
+  template <typename Fn>
+  void visit(std::uint32_t node_id, const geom::Point& p, double r2,
+             Fn&& fn) const {
+    const Node& node = nodes_[node_id];
+    if (node.box.dist2_to(p) > r2) return;
+    if (node.is_leaf()) {
+      const Leaf& leaf = leaves_[node.leaf_id];
+      for (std::uint32_t i = leaf.begin; i < leaf.end; ++i) {
+        const std::uint32_t idx = order_[i];
+        if (geom::dist2(p, points_[idx]) <= r2) fn(idx);
+      }
+      return;
+    }
+    visit(node.left, p, r2, fn);
+    visit(node.right, p, r2, fn);
+  }
+
+  std::span<const geom::Point> points_;
+  KDTreeConfig config_;
+  std::vector<Node> nodes_;
+  std::vector<Leaf> leaves_;
+  std::vector<std::uint32_t> order_;
+  std::vector<std::uint32_t> point_leaf_;  // per original index
+};
+
+}  // namespace mrscan::index

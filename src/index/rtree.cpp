@@ -1,0 +1,367 @@
+#include "index/rtree.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/assert.hpp"
+
+namespace mrscan::index {
+
+namespace {
+
+double area(const geom::BBox& box) {
+  return box.empty() ? 0.0 : box.width() * box.height();
+}
+
+geom::BBox merged(const geom::BBox& a, const geom::BBox& b) {
+  geom::BBox out = a;
+  out.expand(b);
+  return out;
+}
+
+double overlap(const geom::BBox& a, const geom::BBox& b) {
+  const double w = std::min(a.max_x, b.max_x) - std::max(a.min_x, b.min_x);
+  const double h = std::min(a.max_y, b.max_y) - std::max(a.min_y, b.min_y);
+  if (w <= 0.0 || h <= 0.0) return 0.0;
+  return w * h;
+}
+
+double margin(const geom::BBox& box) {
+  return 2.0 * (box.width() + box.height());
+}
+
+}  // namespace
+
+RTree::RTree(RTreeConfig config) : config_(config) {
+  MRSCAN_REQUIRE(config_.max_entries >= 4);
+  MRSCAN_REQUIRE(config_.min_entries >= 2);
+  MRSCAN_REQUIRE(config_.min_entries * 2 <= config_.max_entries + 1);
+}
+
+RTree::RTree(std::span<const geom::Point> points, RTreeConfig config)
+    : RTree(config) {
+  attach(points);
+  if (!points.empty()) bulk_load(points);
+}
+
+void RTree::attach(std::span<const geom::Point> points) {
+  points_ = points;
+}
+
+geom::BBox RTree::entry_box(const Node& node, std::uint32_t entry) const {
+  if (node.leaf) {
+    geom::BBox box;
+    box.expand(points_[entry]);
+    return box;
+  }
+  return nodes_[entry].box;
+}
+
+void RTree::recompute_box(std::uint32_t node_id) {
+  Node& node = nodes_[node_id];
+  node.box = geom::BBox{};
+  for (const std::uint32_t entry : node.entries) {
+    node.box.expand(entry_box(node, entry));
+  }
+}
+
+std::uint32_t RTree::choose_leaf(std::uint32_t idx) const {
+  geom::BBox point_box;
+  point_box.expand(points_[idx]);
+
+  std::uint32_t node_id = root_;
+  while (!nodes_[node_id].leaf) {
+    const Node& node = nodes_[node_id];
+    std::uint32_t best = node.entries.front();
+    double best_primary = std::numeric_limits<double>::infinity();
+    double best_secondary = std::numeric_limits<double>::infinity();
+    const bool children_are_leaves = nodes_[node.entries.front()].leaf;
+
+    for (const std::uint32_t child : node.entries) {
+      const geom::BBox& child_box = nodes_[child].box;
+      const geom::BBox grown = merged(child_box, point_box);
+      double primary;
+      if (children_are_leaves) {
+        // R*: minimise overlap enlargement at the level above leaves.
+        double before = 0.0, after = 0.0;
+        for (const std::uint32_t other : node.entries) {
+          if (other == child) continue;
+          before += overlap(child_box, nodes_[other].box);
+          after += overlap(grown, nodes_[other].box);
+        }
+        primary = after - before;
+      } else {
+        primary = area(grown) - area(child_box);  // area enlargement
+      }
+      const double secondary = area(child_box);
+      if (primary < best_primary ||
+          (primary == best_primary && secondary < best_secondary)) {
+        best = child;
+        best_primary = primary;
+        best_secondary = secondary;
+      }
+    }
+    node_id = best;
+  }
+  return node_id;
+}
+
+void RTree::split(std::uint32_t node_id) {
+  Node& node = nodes_[node_id];
+  MRSCAN_ASSERT(node.entries.size() == config_.max_entries + 1);
+
+  // R* axis selection: for each axis, sort entries by (min, max) and sum
+  // the margins of all valid distributions; the axis with the least total
+  // margin wins; the distribution with least overlap (ties: least area)
+  // is chosen on that axis.
+  const std::size_t total = node.entries.size();
+  const std::size_t m = config_.min_entries;
+  std::vector<std::uint32_t> entries = node.entries;
+
+  double best_axis_margin = std::numeric_limits<double>::infinity();
+  std::vector<std::uint32_t> best_order;
+  for (int axis = 0; axis < 2; ++axis) {
+    std::vector<std::uint32_t> order = entries;
+    std::sort(order.begin(), order.end(),
+              [&](std::uint32_t a, std::uint32_t b) {
+                const geom::BBox ba = entry_box(node, a);
+                const geom::BBox bb = entry_box(node, b);
+                const double ka = axis == 0 ? ba.min_x : ba.min_y;
+                const double kb = axis == 0 ? bb.min_x : bb.min_y;
+                if (ka != kb) return ka < kb;
+                return (axis == 0 ? ba.max_x : ba.max_y) <
+                       (axis == 0 ? bb.max_x : bb.max_y);
+              });
+    double margin_sum = 0.0;
+    for (std::size_t k = m; k + m <= total; ++k) {
+      geom::BBox left, right;
+      for (std::size_t i = 0; i < k; ++i)
+        left.expand(entry_box(node, order[i]));
+      for (std::size_t i = k; i < total; ++i)
+        right.expand(entry_box(node, order[i]));
+      margin_sum += margin(left) + margin(right);
+    }
+    if (margin_sum < best_axis_margin) {
+      best_axis_margin = margin_sum;
+      best_order = std::move(order);
+    }
+  }
+
+  double best_overlap = std::numeric_limits<double>::infinity();
+  double best_area = std::numeric_limits<double>::infinity();
+  std::size_t best_k = m;
+  for (std::size_t k = m; k + m <= total; ++k) {
+    geom::BBox left, right;
+    for (std::size_t i = 0; i < k; ++i)
+      left.expand(entry_box(node, best_order[i]));
+    for (std::size_t i = k; i < total; ++i)
+      right.expand(entry_box(node, best_order[i]));
+    const double ov = overlap(left, right);
+    const double ar = area(left) + area(right);
+    if (ov < best_overlap || (ov == best_overlap && ar < best_area)) {
+      best_overlap = ov;
+      best_area = ar;
+      best_k = k;
+    }
+  }
+
+  // Create the sibling node with the right-hand distribution.
+  const auto sibling_id = static_cast<std::uint32_t>(nodes_.size());
+  nodes_.emplace_back();
+  Node& sibling = nodes_.back();
+  Node& self = nodes_[node_id];  // re-fetch: emplace_back may reallocate
+  sibling.leaf = self.leaf;
+  sibling.entries.assign(best_order.begin() + best_k, best_order.end());
+  self.entries.assign(best_order.begin(), best_order.begin() + best_k);
+  if (!self.leaf) {
+    for (const std::uint32_t child : sibling.entries) {
+      nodes_[child].parent = sibling_id;
+    }
+  }
+  recompute_box(node_id);
+  recompute_box(sibling_id);
+
+  if (nodes_[node_id].parent == kNone) {
+    // Grow a new root.
+    const auto root_id = static_cast<std::uint32_t>(nodes_.size());
+    nodes_.emplace_back();
+    Node& new_root = nodes_.back();
+    new_root.leaf = false;
+    new_root.entries = {node_id, sibling_id};
+    nodes_[node_id].parent = root_id;
+    nodes_[sibling_id].parent = root_id;
+    root_ = root_id;
+    recompute_box(root_id);
+    return;
+  }
+
+  const std::uint32_t parent = nodes_[node_id].parent;
+  nodes_[sibling_id].parent = parent;
+  nodes_[parent].entries.push_back(sibling_id);
+  recompute_box(parent);
+  if (nodes_[parent].entries.size() > config_.max_entries) {
+    split(parent);
+  }
+}
+
+void RTree::insert(std::uint32_t idx) {
+  MRSCAN_REQUIRE_MSG(idx < points_.size(),
+                     "insert index outside the attached point span");
+  if (root_ == kNone) {
+    nodes_.emplace_back();
+    nodes_.back().leaf = true;
+    root_ = 0;
+  }
+  const std::uint32_t leaf = choose_leaf(idx);
+  nodes_[leaf].entries.push_back(idx);
+  ++size_;
+
+  // Adjust boxes up the path.
+  for (std::uint32_t cur = leaf; cur != kNone; cur = nodes_[cur].parent) {
+    recompute_box(cur);
+  }
+  if (nodes_[leaf].entries.size() > config_.max_entries) {
+    split(leaf);
+  }
+}
+
+std::uint32_t RTree::build_str_level(std::vector<std::uint32_t>& children,
+                                     bool leaf_level) {
+  // Sort-Tile-Recursive: sort by x into vertical slices, each slice sorted
+  // by y, packed into nodes of max_entries.
+  const std::size_t n = children.size();
+  const std::size_t per_node = config_.max_entries;
+  const auto node_count =
+      static_cast<std::size_t>(std::ceil(static_cast<double>(n) /
+                                         static_cast<double>(per_node)));
+  const auto slices = static_cast<std::size_t>(
+      std::ceil(std::sqrt(static_cast<double>(node_count))));
+  const std::size_t slice_size =
+      slices == 0 ? n : (n + slices - 1) / slices;
+
+  auto center_x = [&](std::uint32_t e) {
+    if (leaf_level) return points_[e].x;
+    return 0.5 * (nodes_[e].box.min_x + nodes_[e].box.max_x);
+  };
+  auto center_y = [&](std::uint32_t e) {
+    if (leaf_level) return points_[e].y;
+    return 0.5 * (nodes_[e].box.min_y + nodes_[e].box.max_y);
+  };
+
+  std::sort(children.begin(), children.end(),
+            [&](std::uint32_t a, std::uint32_t b) {
+              return center_x(a) < center_x(b);
+            });
+
+  std::vector<std::uint32_t> level_nodes;
+  for (std::size_t s = 0; s * slice_size < n; ++s) {
+    const std::size_t lo = s * slice_size;
+    const std::size_t hi = std::min(n, lo + slice_size);
+    std::sort(children.begin() + lo, children.begin() + hi,
+              [&](std::uint32_t a, std::uint32_t b) {
+                return center_y(a) < center_y(b);
+              });
+    for (std::size_t i = lo; i < hi; i += per_node) {
+      const auto node_id = static_cast<std::uint32_t>(nodes_.size());
+      nodes_.emplace_back();
+      Node& node = nodes_.back();
+      node.leaf = leaf_level;
+      node.entries.assign(children.begin() + i,
+                          children.begin() + std::min(hi, i + per_node));
+      if (!leaf_level) {
+        for (const std::uint32_t child : node.entries) {
+          nodes_[child].parent = node_id;
+        }
+      }
+      recompute_box(node_id);
+      level_nodes.push_back(node_id);
+    }
+  }
+
+  if (level_nodes.size() == 1) return level_nodes.front();
+  return build_str_level(level_nodes, /*leaf_level=*/false);
+}
+
+void RTree::bulk_load(std::span<const geom::Point> points) {
+  std::vector<std::uint32_t> all(points.size());
+  for (std::uint32_t i = 0; i < all.size(); ++i) all[i] = i;
+  root_ = build_str_level(all, /*leaf_level=*/true);
+  size_ = points.size();
+}
+
+std::size_t RTree::height() const {
+  if (root_ == kNone) return 0;
+  std::size_t h = 1;
+  std::uint32_t cur = root_;
+  while (!nodes_[cur].leaf) {
+    cur = nodes_[cur].entries.front();
+    ++h;
+  }
+  return h;
+}
+
+void RTree::radius_query(const geom::Point& p, double radius,
+                         std::vector<std::uint32_t>& out) const {
+  out.clear();
+  for_each_in_radius(p, radius, [&](std::uint32_t idx) { out.push_back(idx); });
+}
+
+std::size_t RTree::count_in_radius(const geom::Point& p, double radius,
+                                   std::size_t at_least) const {
+  if (root_ == kNone) return 0;
+  const double r2 = radius * radius;
+  std::size_t count = 0;
+  std::vector<std::uint32_t> stack{root_};
+  while (!stack.empty()) {
+    const Node& node = nodes_[stack.back()];
+    stack.pop_back();
+    if (node.box.dist2_to(p) > r2) continue;
+    if (node.leaf) {
+      for (const std::uint32_t idx : node.entries) {
+        if (geom::dist2(p, points_[idx]) <= r2) {
+          ++count;
+          if (at_least != 0 && count >= at_least) return count;
+        }
+      }
+    } else {
+      for (const std::uint32_t child : node.entries) stack.push_back(child);
+    }
+  }
+  return count;
+}
+
+void RTree::check_invariants() const {
+  if (root_ == kNone) {
+    MRSCAN_REQUIRE(size_ == 0);
+    return;
+  }
+  std::size_t points_seen = 0;
+  std::vector<std::uint32_t> stack{root_};
+  while (!stack.empty()) {
+    const std::uint32_t node_id = stack.back();
+    stack.pop_back();
+    const Node& node = nodes_[node_id];
+    MRSCAN_REQUIRE_MSG(!node.entries.empty(), "empty r-tree node");
+    MRSCAN_REQUIRE_MSG(node.entries.size() <= config_.max_entries,
+                       "overfull r-tree node");
+    for (const std::uint32_t entry : node.entries) {
+      const geom::BBox box = entry_box(node, entry);
+      MRSCAN_REQUIRE_MSG(node.box.min_x <= box.min_x &&
+                             node.box.max_x >= box.max_x &&
+                             node.box.min_y <= box.min_y &&
+                             node.box.max_y >= box.max_y,
+                         "child box not contained in parent box");
+      if (node.leaf) {
+        ++points_seen;
+      } else {
+        MRSCAN_REQUIRE_MSG(nodes_[entry].parent == node_id,
+                           "broken parent link");
+        stack.push_back(entry);
+      }
+    }
+  }
+  MRSCAN_REQUIRE_MSG(points_seen == size_, "r-tree lost points");
+}
+
+}  // namespace mrscan::index

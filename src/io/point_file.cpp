@@ -1,0 +1,153 @@
+#include "io/point_file.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace mrscan::io {
+
+namespace {
+
+constexpr char kMagic[4] = {'M', 'R', 'S', 'C'};
+constexpr std::uint32_t kVersion = 1;
+constexpr std::size_t kHeaderSize = 4 + 4 + 8;  // magic, version, count
+
+void put_bytes(std::vector<char>& buf, const void* src, std::size_t n) {
+  const char* p = static_cast<const char*>(src);
+  buf.insert(buf.end(), p, p + n);
+}
+
+[[noreturn]] void io_fail(const std::filesystem::path& path,
+                          const char* what) {
+  throw std::runtime_error("mrscan: " + std::string(what) + ": " +
+                           path.string());
+}
+
+void encode_record(std::vector<char>& buf, const geom::Point& p) {
+  put_bytes(buf, &p.id, 8);
+  put_bytes(buf, &p.x, 8);
+  put_bytes(buf, &p.y, 8);
+  put_bytes(buf, &p.weight, 4);
+}
+
+geom::Point decode_record(const char* data) {
+  geom::Point p;
+  std::memcpy(&p.id, data, 8);
+  std::memcpy(&p.x, data + 8, 8);
+  std::memcpy(&p.y, data + 16, 8);
+  std::memcpy(&p.weight, data + 24, 4);
+  return p;
+}
+
+}  // namespace
+
+void write_points_binary(const std::filesystem::path& path,
+                         std::span<const geom::Point> points) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) io_fail(path, "cannot open for writing");
+
+  std::vector<char> buf;
+  buf.reserve(kHeaderSize + points.size() * kBinaryRecordSize);
+  put_bytes(buf, kMagic, 4);
+  put_bytes(buf, &kVersion, 4);
+  const std::uint64_t count = points.size();
+  put_bytes(buf, &count, 8);
+  for (const geom::Point& p : points) encode_record(buf, p);
+  out.write(buf.data(), static_cast<std::streamsize>(buf.size()));
+  if (!out) io_fail(path, "write failed");
+}
+
+namespace {
+
+std::uint64_t read_header(std::ifstream& in,
+                          const std::filesystem::path& path) {
+  char magic[4];
+  std::uint32_t version = 0;
+  std::uint64_t count = 0;
+  in.read(magic, 4);
+  in.read(reinterpret_cast<char*>(&version), 4);
+  in.read(reinterpret_cast<char*>(&count), 8);
+  if (!in || std::memcmp(magic, kMagic, 4) != 0) {
+    io_fail(path, "not a mrscan binary point file");
+  }
+  if (version != kVersion) io_fail(path, "unsupported file version");
+  return count;
+}
+
+}  // namespace
+
+std::uint64_t binary_point_count(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) io_fail(path, "cannot open");
+  return read_header(in, path);
+}
+
+geom::PointSet read_points_binary(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) io_fail(path, "cannot open");
+  const std::uint64_t count = read_header(in, path);
+  return [&] {
+    geom::PointSet points;
+    points.reserve(count);
+    std::vector<char> buf(count * kBinaryRecordSize);
+    in.read(buf.data(), static_cast<std::streamsize>(buf.size()));
+    if (!in) io_fail(path, "truncated point file");
+    for (std::uint64_t i = 0; i < count; ++i) {
+      points.push_back(decode_record(buf.data() + i * kBinaryRecordSize));
+    }
+    return points;
+  }();
+}
+
+geom::PointSet read_points_binary_range(const std::filesystem::path& path,
+                                        std::uint64_t first,
+                                        std::uint64_t count) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) io_fail(path, "cannot open");
+  const std::uint64_t total = read_header(in, path);
+  if (first + count > total) io_fail(path, "record range out of bounds");
+  in.seekg(static_cast<std::streamoff>(kHeaderSize +
+                                       first * kBinaryRecordSize));
+  geom::PointSet points;
+  points.reserve(count);
+  std::vector<char> buf(count * kBinaryRecordSize);
+  in.read(buf.data(), static_cast<std::streamsize>(buf.size()));
+  if (!in) io_fail(path, "truncated point file");
+  for (std::uint64_t i = 0; i < count; ++i) {
+    points.push_back(decode_record(buf.data() + i * kBinaryRecordSize));
+  }
+  return points;
+}
+
+void write_points_text(const std::filesystem::path& path,
+                       std::span<const geom::Point> points) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) io_fail(path, "cannot open for writing");
+  out.precision(17);
+  for (const geom::Point& p : points) {
+    out << p.id << ' ' << p.x << ' ' << p.y << ' ' << p.weight << '\n';
+  }
+  if (!out) io_fail(path, "write failed");
+}
+
+geom::PointSet read_points_text(const std::filesystem::path& path) {
+  std::ifstream in(path);
+  if (!in) io_fail(path, "cannot open");
+  geom::PointSet points;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ss(line);
+    geom::Point p;
+    if (!(ss >> p.id >> p.x >> p.y)) io_fail(path, "malformed text record");
+    if (!(ss >> p.weight)) p.weight = 1.0f;
+    points.push_back(p);
+  }
+  return points;
+}
+
+}  // namespace mrscan::io

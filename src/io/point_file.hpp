@@ -1,0 +1,47 @@
+// Point file formats.
+//
+// Mr. Scan "starts with a single input file on a parallel file system"
+// where "input points are contained in a single binary or text file" and
+// "each input point has a unique ID number, coordinates, and an optional
+// weight" (§3). Both formats are implemented:
+//   * binary — fixed 28-byte little-endian records under a small header;
+//   * text   — one "id x y [weight]" line per point.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <span>
+
+#include "geometry/point.hpp"
+
+namespace mrscan::io {
+
+/// Bytes per binary point record (id u64 + x f64 + y f64 + weight f32).
+inline constexpr std::size_t kBinaryRecordSize = 28;
+
+/// Write points as the binary format (overwrites). Throws std::runtime_error
+/// on I/O failure.
+void write_points_binary(const std::filesystem::path& path,
+                         std::span<const geom::Point> points);
+
+/// Read an entire binary point file. Throws on missing/corrupt file.
+geom::PointSet read_points_binary(const std::filesystem::path& path);
+
+/// Read `count` records starting at record index `first` (for partitioned
+/// reads). Throws if the range exceeds the file.
+geom::PointSet read_points_binary_range(const std::filesystem::path& path,
+                                        std::uint64_t first,
+                                        std::uint64_t count);
+
+/// Number of records in a binary point file.
+std::uint64_t binary_point_count(const std::filesystem::path& path);
+
+/// Write points as text, one per line: "id x y weight".
+void write_points_text(const std::filesystem::path& path,
+                       std::span<const geom::Point> points);
+
+/// Read a text point file; lines may omit the weight (defaults to 1).
+/// Blank lines and lines starting with '#' are skipped.
+geom::PointSet read_points_text(const std::filesystem::path& path);
+
+}  // namespace mrscan::io

@@ -1,0 +1,84 @@
+#include "io/segment_file.hpp"
+
+#include <fstream>
+#include <stdexcept>
+
+#include "io/point_file.hpp"
+
+namespace mrscan::io {
+
+namespace {
+std::filesystem::path data_path(const std::filesystem::path& base) {
+  auto p = base;
+  p += ".pts";
+  return p;
+}
+std::filesystem::path meta_path(const std::filesystem::path& base) {
+  auto p = base;
+  p += ".meta";
+  return p;
+}
+}  // namespace
+
+void write_segmented(const std::filesystem::path& base,
+                     const std::vector<Segment>& segments) {
+  geom::PointSet all;
+  std::vector<SegmentMeta> metas;
+  metas.reserve(segments.size());
+  std::uint64_t cursor = 0;
+  for (const Segment& seg : segments) {
+    SegmentMeta meta;
+    meta.first_record = cursor;
+    meta.owned_count = seg.owned.size();
+    meta.shadow_count = seg.shadow.size();
+    metas.push_back(meta);
+    all.insert(all.end(), seg.owned.begin(), seg.owned.end());
+    all.insert(all.end(), seg.shadow.begin(), seg.shadow.end());
+    cursor += meta.total();
+  }
+  write_points_binary(data_path(base), all);
+
+  std::ofstream out(meta_path(base), std::ios::trunc);
+  if (!out) {
+    throw std::runtime_error("mrscan: cannot write metadata: " +
+                             meta_path(base).string());
+  }
+  out << metas.size() << '\n';
+  for (const SegmentMeta& m : metas) {
+    out << m.first_record << ' ' << m.owned_count << ' ' << m.shadow_count
+        << '\n';
+  }
+}
+
+std::vector<SegmentMeta> read_segment_meta(
+    const std::filesystem::path& base) {
+  std::ifstream in(meta_path(base));
+  if (!in) {
+    throw std::runtime_error("mrscan: cannot read metadata: " +
+                             meta_path(base).string());
+  }
+  std::size_t count = 0;
+  in >> count;
+  std::vector<SegmentMeta> metas(count);
+  for (SegmentMeta& m : metas) {
+    in >> m.first_record >> m.owned_count >> m.shadow_count;
+  }
+  if (!in) {
+    throw std::runtime_error("mrscan: malformed metadata: " +
+                             meta_path(base).string());
+  }
+  return metas;
+}
+
+Segment read_segment(const std::filesystem::path& base,
+                     const SegmentMeta& meta) {
+  Segment seg;
+  seg.owned = read_points_binary_range(data_path(base), meta.first_record,
+                                       meta.owned_count);
+  seg.shadow = read_points_binary_range(
+      data_path(base), meta.first_record + meta.owned_count,
+      meta.shadow_count);
+  return seg;
+}
+
+}  // namespace mrscan::io

@@ -1,0 +1,48 @@
+// Segmented point file: the partitioner's output format.
+//
+// §3.1.3: leaves "write the complete point information to the correct
+// position in a single output file in parallel, where the output file
+// contains the points of each partition in sequential order. Additionally,
+// the root generates a metadata file to specify the offset from which each
+// partition starts in the output file."
+//
+// A segment holds one partition: first its owned points, then its shadow
+// points. The metadata records, per segment, the starting record index and
+// both counts, so a clustering leaf can read exactly its partition.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <vector>
+
+#include "geometry/point.hpp"
+
+namespace mrscan::io {
+
+struct SegmentMeta {
+  std::uint64_t first_record = 0;  // record index into the data file
+  std::uint64_t owned_count = 0;
+  std::uint64_t shadow_count = 0;
+
+  std::uint64_t total() const { return owned_count + shadow_count; }
+  friend bool operator==(const SegmentMeta&, const SegmentMeta&) = default;
+};
+
+/// In-memory content of one segment before writing / after reading.
+struct Segment {
+  geom::PointSet owned;
+  geom::PointSet shadow;
+};
+
+/// Write segments to `<base>.pts` (binary point file) + `<base>.meta`.
+void write_segmented(const std::filesystem::path& base,
+                     const std::vector<Segment>& segments);
+
+/// Read the metadata file of a segmented dataset.
+std::vector<SegmentMeta> read_segment_meta(const std::filesystem::path& base);
+
+/// Read one segment's points (owned + shadow split per metadata).
+Segment read_segment(const std::filesystem::path& base,
+                     const SegmentMeta& meta);
+
+}  // namespace mrscan::io

@@ -1,0 +1,237 @@
+#include "merge/merger.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "geometry/rep_points.hpp"
+#include "util/assert.hpp"
+#include "util/union_find.hpp"
+
+namespace mrscan::merge {
+
+namespace {
+
+inline bool within_eps(const SummaryPoint& a, const SummaryPoint& b,
+                       double eps2) {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return dx * dx + dy * dy <= eps2;
+}
+
+struct CellRef {
+  std::uint32_t child;
+  std::uint32_t pair_id;  // global (child, cluster) index
+  const CellSummary* cell;
+};
+
+}  // namespace
+
+MergeResult merge_summaries(const std::vector<MergeSummary>& children,
+                            const geom::GridGeometry& geometry, double eps) {
+  MRSCAN_REQUIRE(eps > 0.0);
+  const double eps2 = eps * eps;
+
+  MergeResult result;
+  result.child_cluster_map.resize(children.size());
+
+  // Flatten (child, cluster) into pair ids for the union-find.
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> pairs;
+  for (std::uint32_t c = 0; c < children.size(); ++c) {
+    result.child_cluster_map[c].resize(children[c].clusters.size());
+    for (std::uint32_t k = 0; k < children[c].clusters.size(); ++k) {
+      pairs.emplace_back(c, k);
+    }
+  }
+  util::UnionFind uf(pairs.size());
+  auto pair_id = [&](std::uint32_t child, std::uint32_t cluster) {
+    std::uint32_t id = 0;
+    for (std::uint32_t c = 0; c < child; ++c) {
+      id += static_cast<std::uint32_t>(children[c].clusters.size());
+    }
+    return id + cluster;
+  };
+
+  // Index every summary cell by its grid cell code.
+  std::unordered_map<std::uint64_t, std::vector<CellRef>> by_cell;
+  for (std::uint32_t c = 0; c < children.size(); ++c) {
+    for (std::uint32_t k = 0; k < children[c].clusters.size(); ++k) {
+      for (const CellSummary& cell : children[c].clusters[k].cells) {
+        by_cell[cell.cell_code].push_back(
+            CellRef{c, pair_id(c, k), &cell});
+      }
+    }
+  }
+
+  // Duplicate non-core points to drop, keyed by (pair_id, cell_code, id).
+  // Type 3: the shadow side's copies are removed.
+  std::unordered_set<std::uint64_t> drop_noncore;  // hash of triple
+  auto drop_key = [](std::uint32_t pid, std::uint64_t code,
+                     geom::PointId id) {
+    std::uint64_t h = pid * 0x9e3779b97f4a7c15ULL;
+    h ^= code + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+    h ^= id + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+    return h;
+  };
+
+  // ---- Pairwise overlap handling per grid cell. ----
+  for (const auto& [code, refs] : by_cell) {
+    if (refs.size() < 2) continue;
+    for (std::size_t a = 0; a < refs.size(); ++a) {
+      for (std::size_t b = a + 1; b < refs.size(); ++b) {
+        if (refs[a].child == refs[b].child) continue;  // already resolved
+        const CellSummary& ca = *refs[a].cell;
+        const CellSummary& cb = *refs[b].cell;
+
+        bool merged = uf.same(refs[a].pair_id, refs[b].pair_id);
+
+        // Type 1: core point overlap via representatives.
+        if (!merged) {
+          for (const auto& ra : ca.reps) {
+            for (const auto& rb : cb.reps) {
+              ++result.ops;
+              if (within_eps(ra, rb, eps2)) {
+                merged = true;
+                break;
+              }
+            }
+            if (merged) break;
+          }
+          if (merged) {
+            uf.unite(refs[a].pair_id, refs[b].pair_id);
+            ++result.merges_detected;
+          }
+        }
+
+        // Type 2: non-core/core overlap. The shadow side's unique
+        // non-core points are tested against the owning side's reps.
+        auto type2 = [&](const CellSummary& shadow_side,
+                         const CellSummary& owned_side) {
+          if (merged) return;
+          std::unordered_set<geom::PointId> owned_noncore;
+          for (const auto& p : owned_side.noncore) owned_noncore.insert(p.id);
+          for (const auto& p : shadow_side.noncore) {
+            if (owned_noncore.contains(p.id)) continue;  // not unique
+            for (const auto& r : owned_side.reps) {
+              ++result.ops;
+              if (within_eps(p, r, eps2)) {
+                uf.unite(refs[a].pair_id, refs[b].pair_id);
+                ++result.merges_detected;
+                merged = true;
+                return;
+              }
+            }
+          }
+        };
+        if (ca.from_shadow && !cb.from_shadow) type2(ca, cb);
+        if (cb.from_shadow && !ca.from_shadow) type2(cb, ca);
+
+        // Type 3: duplicate non-core points. Shadow-side copies of points
+        // the owning side also reports are dropped from the output.
+        auto type3 = [&](const CellRef& shadow_ref,
+                         const CellRef& owned_ref) {
+          std::unordered_set<geom::PointId> owned_ids;
+          for (const auto& p : owned_ref.cell->noncore) {
+            owned_ids.insert(p.id);
+          }
+          for (const auto& p : shadow_ref.cell->noncore) {
+            if (owned_ids.contains(p.id)) {
+              if (drop_noncore
+                      .insert(drop_key(shadow_ref.pair_id, code, p.id))
+                      .second) {
+                ++result.duplicates_removed;
+              }
+            }
+          }
+        };
+        if (ca.from_shadow && !cb.from_shadow) type3(refs[a], refs[b]);
+        if (cb.from_shadow && !ca.from_shadow) type3(refs[b], refs[a]);
+      }
+    }
+  }
+
+  // ---- Build the merged summary: group pairs by union-find root. ----
+  std::unordered_map<std::uint32_t, std::uint32_t> root_to_out;
+  for (std::uint32_t p = 0; p < pairs.size(); ++p) {
+    const std::uint32_t root = uf.find(p);
+    auto [it, fresh] = root_to_out.emplace(
+        root, static_cast<std::uint32_t>(result.merged.clusters.size()));
+    if (fresh) result.merged.clusters.emplace_back();
+    const auto& [child, cluster] = pairs[p];
+    result.child_cluster_map[child][cluster] = it->second;
+
+    ClusterSummary& out = result.merged.clusters[it->second];
+    const ClusterSummary& in = children[child].clusters[cluster];
+    out.owned_points += in.owned_points;
+    for (const CellSummary& cell : in.cells) {
+      CellSummary filtered = cell;
+      if (cell.from_shadow) {
+        // Apply type-3 drops to this pair's shadow copies.
+        std::erase_if(filtered.noncore, [&](const SummaryPoint& sp) {
+          return drop_noncore.contains(drop_key(p, cell.cell_code, sp.id));
+        });
+      }
+      out.cells.push_back(std::move(filtered));
+    }
+  }
+
+  // Combine duplicate cells within each merged cluster: union the
+  // representatives (re-selecting the best 8) and the non-core sets.
+  for (ClusterSummary& cluster : result.merged.clusters) {
+    std::unordered_map<std::uint64_t, CellSummary> combined;
+    for (CellSummary& cell : cluster.cells) {
+      auto [it, fresh] = combined.emplace(cell.cell_code, cell);
+      if (fresh) continue;
+      CellSummary& acc = it->second;
+      acc.from_shadow = acc.from_shadow && cell.from_shadow;
+      acc.reps.insert(acc.reps.end(), cell.reps.begin(), cell.reps.end());
+      // Union non-core by point id.
+      std::unordered_set<geom::PointId> have;
+      for (const auto& sp : acc.noncore) have.insert(sp.id);
+      for (const auto& sp : cell.noncore) {
+        if (have.insert(sp.id).second) acc.noncore.push_back(sp);
+      }
+    }
+    cluster.cells.clear();
+    std::vector<std::uint64_t> codes;
+    codes.reserve(combined.size());
+    for (const auto& [code, cell] : combined) codes.push_back(code);
+    std::sort(codes.begin(), codes.end());
+    for (const std::uint64_t code : codes) {
+      CellSummary& cell = combined.at(code);
+      if (cell.reps.size() > 8) {
+        // Re-select the 8 representatives among the union.
+        geom::PointSet as_points;
+        as_points.reserve(cell.reps.size());
+        for (const auto& sp : cell.reps) {
+          as_points.push_back(geom::Point{sp.id, sp.x, sp.y, 1.0f});
+        }
+        std::vector<std::uint32_t> all(as_points.size());
+        for (std::uint32_t i = 0; i < all.size(); ++i) all[i] = i;
+        const auto keep = geom::select_cell_representatives(
+            geometry, geom::cell_from_code(code), as_points, all);
+        std::vector<SummaryPoint> reduced;
+        reduced.reserve(keep.size());
+        for (const std::uint32_t idx : keep) reduced.push_back(cell.reps[idx]);
+        cell.reps = std::move(reduced);
+      } else {
+        // Dedupe identical shared representatives.
+        std::sort(cell.reps.begin(), cell.reps.end(),
+                  [](const SummaryPoint& a, const SummaryPoint& b) {
+                    return a.id < b.id;
+                  });
+        cell.reps.erase(std::unique(cell.reps.begin(), cell.reps.end(),
+                                    [](const SummaryPoint& a,
+                                       const SummaryPoint& b) {
+                                      return a.id == b.id;
+                                    }),
+                        cell.reps.end());
+      }
+      cluster.cells.push_back(std::move(cell));
+    }
+  }
+
+  return result;
+}
+
+}  // namespace mrscan::merge

@@ -1,0 +1,43 @@
+// The merge operation run at every internal tree node (§3.3.2).
+//
+// Children's cluster summaries are combined: for every grid cell seen by
+// clusters of two different children, three overlap types are handled —
+//   1. core/core: a representative of one cluster within Eps of a
+//      representative of the other => the clusters merge;
+//   2. non-core/core: the shadow side may have misclassified a core point
+//      as non-core (its shadow cell lacked neighbours). Points non-core on
+//      the shadow side but absent from the owning side's non-core set are
+//      exactly those candidates; any of them within Eps of an owning-side
+//      representative => merge;
+//   3. non-core/non-core: no merge, but duplicate non-core points are
+//      removed from the shadow side so output contains each point once.
+// Merged clusters' cells are combined per cell code, re-selecting the 8
+// representatives among the union.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "geometry/cell.hpp"
+#include "merge/summary.hpp"
+
+namespace mrscan::merge {
+
+struct MergeResult {
+  /// The combined summary to send up.
+  MergeSummary merged;
+  /// child_cluster_map[i][j]: index in `merged.clusters` of child i's
+  /// cluster j — the routing table the sweep phase walks back down.
+  std::vector<std::vector<std::uint32_t>> child_cluster_map;
+  /// Cross-child cluster merges detected (type 1 + type 2).
+  std::size_t merges_detected = 0;
+  /// Duplicate non-core points removed (type 3).
+  std::size_t duplicates_removed = 0;
+  /// Point-distance computations performed (network filter cost model).
+  std::uint64_t ops = 0;
+};
+
+MergeResult merge_summaries(const std::vector<MergeSummary>& children,
+                            const geom::GridGeometry& geometry, double eps);
+
+}  // namespace mrscan::merge

@@ -1,0 +1,79 @@
+// Cluster summaries — what travels up the merge tree (§3.3).
+//
+// "Using the entire clustered output would exhaust computational and memory
+// limits ... so we select a fixed number of points per grid cell (eight
+// points) to represent the cluster's core points." A summary therefore
+// describes each cluster as a set of grid cells, each carrying:
+//   * up to 8 representative core points (nearest the cell's corners and
+//     side midpoints, §3.3.1), and
+//   * the cell's non-core member points (needed for the non-core/core and
+//     non-core/non-core overlap rules, §3.3.2),
+// restricted to cells that can actually overlap another leaf's clusters:
+// the leaf's shadow cells and its owned cells adjacent to the partition
+// boundary. Interior cells can never participate in a merge and are
+// omitted, which is what keeps summaries small and bounded.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "dbscan/labels.hpp"
+#include "geometry/cell.hpp"
+#include "geometry/point.hpp"
+#include "mrnet/packet.hpp"
+
+namespace mrscan::merge {
+
+/// Compact wire form of a point inside a summary.
+struct SummaryPoint {
+  geom::PointId id = 0;
+  double x = 0.0;
+  double y = 0.0;
+
+  friend bool operator==(const SummaryPoint&, const SummaryPoint&) = default;
+};
+
+struct CellSummary {
+  std::uint64_t cell_code = 0;
+  /// True when the producing side saw this cell only as a shadow cell (its
+  /// classifications there may be incomplete, §3.3.2).
+  bool from_shadow = false;
+  std::vector<SummaryPoint> reps;     // <= 8 core representatives
+  std::vector<SummaryPoint> noncore;  // non-core members in the cell
+};
+
+struct ClusterSummary {
+  /// Owned member points of the cluster in the producing subtree (stats /
+  /// output sizing; shadow members excluded to avoid double counting).
+  std::uint64_t owned_points = 0;
+  std::vector<CellSummary> cells;
+};
+
+/// A node's upstream message: clusters indexed by local cluster id.
+struct MergeSummary {
+  std::vector<ClusterSummary> clusters;
+
+  mrnet::Packet to_packet() const;
+  static MergeSummary from_packet(const mrnet::Packet& packet);
+};
+
+/// Inputs for building a leaf's summary from its local GPGPU clustering.
+struct LeafSummaryInput {
+  /// Partition points: the first `owned_count` are owned, the rest shadow.
+  std::span<const geom::Point> points;
+  std::size_t owned_count = 0;
+  /// Local clustering of exactly those points (renumbered ids 0..k-1).
+  const dbscan::Labeling* labels = nullptr;
+  geom::GridGeometry geometry;
+  /// The leaf's partition cells (sorted codes).
+  std::span<const std::uint64_t> owned_cells;
+  std::span<const std::uint64_t> shadow_cells;
+  /// Shadow radius in cells (PartitionPlan::shadow_rings): an owned cell
+  /// is a boundary cell when a shadow cell lies within this many rings.
+  std::int32_t shadow_rings = 1;
+};
+
+MergeSummary build_leaf_summary(const LeafSummaryInput& input);
+
+}  // namespace mrscan::merge

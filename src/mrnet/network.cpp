@@ -1,0 +1,159 @@
+#include "mrnet/network.hpp"
+
+#include <algorithm>
+#include <optional>
+
+#include "sim/event_queue.hpp"
+#include "util/assert.hpp"
+
+namespace mrscan::mrnet {
+
+Network::Network(Topology topology, sim::InterconnectParams params,
+                 double cpu_op_rate)
+    : topology_(std::move(topology)),
+      params_(params),
+      cpu_op_rate_(cpu_op_rate) {
+  MRSCAN_REQUIRE(cpu_op_rate_ > 0.0);
+}
+
+double Network::link_delay(std::size_t bytes) const {
+  return params_.latency_s +
+         static_cast<double>(bytes) / params_.bandwidth_bps;
+}
+
+Packet Network::reduce(std::vector<Packet> leaf_packets, const Filter& filter,
+                       const std::vector<double>& leaf_ready) {
+  MRSCAN_REQUIRE(leaf_packets.size() == topology_.leaf_count());
+  MRSCAN_REQUIRE(leaf_ready.empty() ||
+                 leaf_ready.size() == topology_.leaf_count());
+
+  const std::size_t n = topology_.node_count();
+  sim::EventQueue queue;
+
+  // Per-node fan-in state: child packets land here until all arrive.
+  struct NodeState {
+    std::vector<Packet> inbox;
+    std::size_t pending = 0;
+    /// Receives serialise at the parent: each incoming child packet
+    /// occupies it for per_child_overhead seconds.
+    double recv_busy_until = 0.0;
+  };
+  std::vector<NodeState> nodes(n);
+  for (std::uint32_t node = 0; node < n; ++node) {
+    nodes[node].pending = topology_.children(node).size();
+    nodes[node].inbox.resize(topology_.children(node).size());
+  }
+
+  std::optional<Packet> root_result;
+
+  // fire(node, packet): the node's upstream output is ready; send to the
+  // parent (charging the link), or finish if the node is the root.
+  std::function<void(std::uint32_t, Packet)> fire =
+      [&](std::uint32_t node, Packet packet) {
+        ++stats_.packets_up;
+        stats_.bytes_up += packet.size_bytes();
+        stats_.max_packet_bytes =
+            std::max(stats_.max_packet_bytes, packet.size_bytes());
+        if (topology_.is_root(node)) {
+          root_result = std::move(packet);
+          return;
+        }
+        const std::uint32_t parent = topology_.parent(node);
+        const double arrive = queue.now() + link_delay(packet.size_bytes());
+        queue.schedule_at(arrive, [&, parent, node,
+                                   pkt = std::move(packet)]() mutable {
+          NodeState& state = nodes[parent];
+          // Receives serialise: this packet is handled only after the
+          // parent finishes the ones already in flight.
+          const double handled =
+              std::max(queue.now(), state.recv_busy_until) +
+              params_.per_child_overhead_s;
+          state.recv_busy_until = handled;
+          // Slot the packet by the child's position under its parent.
+          const auto& kids = topology_.children(parent);
+          const auto it = std::find(kids.begin(), kids.end(), node);
+          MRSCAN_ASSERT(it != kids.end());
+          state.inbox[static_cast<std::size_t>(it - kids.begin())] =
+              std::move(pkt);
+          MRSCAN_ASSERT(state.pending > 0);
+          if (--state.pending == 0) {
+            std::uint64_t ops = 0;
+            Packet merged =
+                filter(parent, std::move(state.inbox), ops);
+            state.inbox.clear();
+            const double done =
+                handled + static_cast<double>(ops) / cpu_op_rate_;
+            queue.schedule_at(done, [&, parent,
+                                     out = std::move(merged)]() mutable {
+              fire(parent, std::move(out));
+            });
+          }
+        });
+      };
+
+  // Leaves fire at their ready times.
+  for (std::uint32_t rank = 0; rank < topology_.leaf_count(); ++rank) {
+    const std::uint32_t leaf = topology_.leaves()[rank];
+    const double ready = leaf_ready.empty() ? 0.0 : leaf_ready[rank];
+    queue.schedule_at(ready, [&, leaf, rank]() {
+      fire(leaf, std::move(leaf_packets[rank]));
+    });
+  }
+
+  const double finished = queue.run();
+  MRSCAN_ASSERT_MSG(root_result.has_value(), "reduction never completed");
+  stats_.last_op_seconds = finished;
+  stats_.total_seconds += finished;
+  return std::move(*root_result);
+}
+
+double Network::scatter(
+    const Packet& root_packet, const Router& router,
+    const std::function<void(std::uint32_t, const Packet&)>& deliver) {
+  sim::EventQueue queue;
+  double last_delivery = 0.0;
+
+  std::function<void(std::uint32_t, Packet)> descend =
+      [&](std::uint32_t node, Packet packet) {
+        if (topology_.is_leaf(node)) {
+          last_delivery = std::max(last_delivery, queue.now());
+          deliver(topology_.leaf_rank(node), packet);
+          return;
+        }
+        // The parent serialises its sends: each child's packet leaves
+        // after the per-child overhead of the ones before it.
+        double send_at = queue.now();
+        for (const std::uint32_t child : topology_.children(node)) {
+          Packet routed = router(node, packet, child);
+          ++stats_.packets_down;
+          stats_.bytes_down += routed.size_bytes();
+          stats_.max_packet_bytes =
+              std::max(stats_.max_packet_bytes, routed.size_bytes());
+          send_at += params_.per_child_overhead_s;
+          const double arrive = send_at + link_delay(routed.size_bytes());
+          queue.schedule_at(arrive,
+                            [&, child, pkt = std::move(routed)]() mutable {
+                              descend(child, std::move(pkt));
+                            });
+        }
+      };
+
+  queue.schedule_at(0.0, [&]() { descend(0, root_packet); });
+  const double finished = queue.run();
+  stats_.last_op_seconds = finished;
+  stats_.total_seconds += finished;
+  return finished;
+}
+
+double Network::multicast(
+    const Packet& root_packet,
+    const std::function<void(std::uint32_t, const Packet&)>& deliver) {
+  return scatter(
+      root_packet,
+      [](std::uint32_t, const Packet& incoming, std::uint32_t) {
+        return incoming;
+      },
+      deliver);
+}
+
+}  // namespace mrscan::mrnet

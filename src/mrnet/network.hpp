@@ -1,0 +1,86 @@
+// Simulated MRNet process network.
+//
+// The real system runs one process per Titan node connected in the tree;
+// here the processes are logical and a discrete-event scheduler advances a
+// virtual clock using the interconnect cost model, while the actual filter
+// code (histogram merge, cluster merge, id routing) executes for real. The
+// semantics — per-level upstream reduction through filters, downstream
+// multicast/scatter — are MRNet's (§3, [25]).
+//
+// Timing model per message: sender_done + latency + bytes / bandwidth,
+// plus a per-child handling overhead at the parent; a parent's filter runs
+// once all children have arrived. Filter compute time is charged as
+// filter_ops / cpu_op_rate (the filter reports its op count), keeping the
+// clock deterministic across runs and machines.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "mrnet/packet.hpp"
+#include "mrnet/topology.hpp"
+#include "sim/titan.hpp"
+
+namespace mrscan::mrnet {
+
+struct NetworkStats {
+  std::uint64_t packets_up = 0;
+  std::uint64_t packets_down = 0;
+  std::uint64_t bytes_up = 0;
+  std::uint64_t bytes_down = 0;
+  std::size_t max_packet_bytes = 0;
+  /// Virtual completion time of the last collective operation.
+  double last_op_seconds = 0.0;
+  /// Sum of virtual times across all collective ops so far.
+  double total_seconds = 0.0;
+};
+
+class Network {
+ public:
+  /// An upstream filter: merges child packets at `node`; sets `ops` to its
+  /// compute cost in op units (point-distance-scale work).
+  using Filter = std::function<Packet(std::uint32_t node,
+                                      std::vector<Packet> children,
+                                      std::uint64_t& ops)>;
+
+  /// A downstream router: given the packet arriving at `node`, produce the
+  /// packet for `child`.
+  using Router = std::function<Packet(std::uint32_t node,
+                                      const Packet& incoming,
+                                      std::uint32_t child)>;
+
+  Network(Topology topology, sim::InterconnectParams params,
+          double cpu_op_rate = 2.0e8);
+
+  const Topology& topology() const { return topology_; }
+  const NetworkStats& stats() const { return stats_; }
+
+  /// Upstream reduction: leaf i contributes leaf_packets[i] at virtual
+  /// time leaf_ready[i] (empty = all zero); filters run level by level;
+  /// returns the root's packet. Runs the event simulation to completion.
+  Packet reduce(std::vector<Packet> leaf_packets, const Filter& filter,
+                const std::vector<double>& leaf_ready = {});
+
+  /// Downstream scatter from the root; `deliver` fires at each leaf with
+  /// the routed packet. Returns the virtual time at which the last leaf
+  /// received its packet.
+  double scatter(const Packet& root_packet, const Router& router,
+                 const std::function<void(std::uint32_t leaf_rank,
+                                          const Packet&)>& deliver);
+
+  /// Broadcast the same packet to all leaves (a Router special case).
+  double multicast(const Packet& root_packet,
+                   const std::function<void(std::uint32_t leaf_rank,
+                                            const Packet&)>& deliver);
+
+ private:
+  double link_delay(std::size_t bytes) const;
+
+  Topology topology_;
+  sim::InterconnectParams params_;
+  double cpu_op_rate_;
+  NetworkStats stats_;
+};
+
+}  // namespace mrscan::mrnet

@@ -1,0 +1,2 @@
+// Packet is header-only; this TU anchors the library target.
+#include "mrnet/packet.hpp"

@@ -1,0 +1,103 @@
+#include "mrnet/topology.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace mrscan::mrnet {
+
+void Topology::finalize() {
+  const std::size_t n = children_.size();
+  leaf_rank_.assign(n, 0);
+  leaves_.clear();
+  for (std::uint32_t node = 0; node < n; ++node) {
+    if (children_[node].empty()) {
+      leaf_rank_[node] = static_cast<std::uint32_t>(leaves_.size());
+      leaves_.push_back(node);
+    }
+  }
+  // Depth by walking parents from the deepest leaf (breadth-first ids mean
+  // the last leaf is deepest or tied for it).
+  levels_ = 0;
+  for (const std::uint32_t leaf : leaves_) {
+    std::size_t depth = 1;
+    std::uint32_t cur = leaf;
+    while (cur != 0) {
+      cur = parent_[cur];
+      ++depth;
+    }
+    levels_ = std::max(levels_, depth);
+  }
+  if (n == 1) levels_ = 1;
+}
+
+Topology Topology::flat(std::size_t leaf_count) {
+  MRSCAN_REQUIRE(leaf_count >= 1);
+  Topology t;
+  t.children_.resize(1 + leaf_count);
+  t.parent_.resize(1 + leaf_count, 0);
+  for (std::uint32_t i = 0; i < leaf_count; ++i) {
+    t.children_[0].push_back(1 + i);
+  }
+  t.finalize();
+  return t;
+}
+
+Topology Topology::balanced(std::size_t leaf_count, std::size_t fanout) {
+  MRSCAN_REQUIRE(leaf_count >= 1);
+  MRSCAN_REQUIRE(fanout >= 2);
+  if (leaf_count <= fanout) return flat(leaf_count);
+
+  // Internal levels are added from the root down until one level can hold
+  // all the leaves; each level is as narrow as the fanout allows, so with
+  // 256-way fanout this reproduces Table 1 exactly (one internal level of
+  // ceil(leaves/256) processes, e.g. 8,192 leaves -> 32 internals) and
+  // degrades gracefully to deeper trees for narrow fanouts.
+  std::vector<std::size_t> level_widths;  // widths below the root
+  std::size_t width = (leaf_count + fanout - 1) / fanout;
+  while (width > 1) {
+    level_widths.push_back(width);
+    if (width <= fanout) break;
+    width = (width + fanout - 1) / fanout;
+  }
+  std::reverse(level_widths.begin(), level_widths.end());  // root-first
+
+  Topology t;
+  std::size_t n = 1 + leaf_count;
+  for (const std::size_t w : level_widths) n += w;
+  t.children_.resize(n);
+  t.parent_.resize(n, 0);
+
+  // Lay out levels breadth-first: root (id 0), then each internal level,
+  // then the leaves; connect each level evenly to the one above.
+  std::vector<std::uint32_t> above{0};
+  std::uint32_t next_id = 1;
+  for (const std::size_t w : level_widths) {
+    std::vector<std::uint32_t> current;
+    current.reserve(w);
+    for (std::size_t i = 0; i < w; ++i) {
+      const std::uint32_t node = next_id++;
+      const std::uint32_t parent = above[i % above.size()];
+      t.children_[parent].push_back(node);
+      t.parent_[node] = parent;
+      current.push_back(node);
+    }
+    above = std::move(current);
+  }
+  for (std::size_t l = 0; l < leaf_count; ++l) {
+    const std::uint32_t node = next_id++;
+    const std::uint32_t parent = above[l % above.size()];
+    t.children_[parent].push_back(node);
+    t.parent_[node] = parent;
+  }
+  t.finalize();
+  return t;
+}
+
+std::size_t Topology::max_fanout() const {
+  std::size_t best = 0;
+  for (const auto& c : children_) best = std::max(best, c.size());
+  return best;
+}
+
+}  // namespace mrscan::mrnet

@@ -1,0 +1,69 @@
+// Process-tree topologies for the MRNet-style overlay network.
+//
+// MRNet (Roth, Arnold, Miller — SC '03) organises tool processes into a
+// multi-level tree with arbitrary topology; Mr. Scan uses trees with "at
+// most three levels, and each intermediate process has a 256-way fanout of
+// child processes whenever possible" (§5.1), plus a separate flat tree for
+// the partitioner (§3.1.3).
+//
+// Node ids: 0 is the root; internal nodes and leaves follow in
+// breadth-first order.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace mrscan::mrnet {
+
+class Topology {
+ public:
+  /// Root with `leaf_count` direct children (the partitioner's shape).
+  static Topology flat(std::size_t leaf_count);
+
+  /// The paper's clustering-tree shape: root -> (optional) one level of
+  /// intermediate processes with up to `fanout` children each -> leaves.
+  /// No intermediate level is created when the root can hold all leaves
+  /// (matching Table 1's zero internal processes up to 128 leaves).
+  static Topology balanced(std::size_t leaf_count, std::size_t fanout = 256);
+
+  std::size_t node_count() const { return children_.size(); }
+  std::size_t leaf_count() const { return leaves_.size(); }
+  std::size_t internal_count() const {  // excludes root and leaves
+    return node_count() - leaf_count() - 1;
+  }
+
+  /// Tree depth in levels (root-only tree = 1).
+  std::size_t levels() const { return levels_; }
+
+  bool is_leaf(std::uint32_t node) const {
+    return children_[node].empty();
+  }
+  bool is_root(std::uint32_t node) const { return node == 0; }
+
+  const std::vector<std::uint32_t>& children(std::uint32_t node) const {
+    return children_[node];
+  }
+  std::uint32_t parent(std::uint32_t node) const { return parent_[node]; }
+
+  /// Node ids of the leaves, in leaf-rank order.
+  const std::vector<std::uint32_t>& leaves() const { return leaves_; }
+
+  /// Leaf rank of a leaf node id.
+  std::uint32_t leaf_rank(std::uint32_t node) const {
+    return leaf_rank_[node];
+  }
+
+  /// Maximum fan-out over all nodes.
+  std::size_t max_fanout() const;
+
+ private:
+  std::vector<std::vector<std::uint32_t>> children_;
+  std::vector<std::uint32_t> parent_;
+  std::vector<std::uint32_t> leaves_;
+  std::vector<std::uint32_t> leaf_rank_;
+  std::size_t levels_ = 0;
+
+  void finalize();
+};
+
+}  // namespace mrscan::mrnet

@@ -1,0 +1,234 @@
+#include "partition/distributed.hpp"
+
+#include <algorithm>
+
+#include "geometry/bbox.hpp"
+#include "index/grid.hpp"
+#include "io/point_file.hpp"
+#include "util/assert.hpp"
+
+namespace mrscan::partition {
+
+namespace {
+
+/// Serialise a histogram as (code, count) pairs.
+mrnet::Packet pack_histogram(const index::CellHistogram& hist) {
+  mrnet::Packet p;
+  p.put_u64(hist.cell_count());
+  for (const auto& e : hist.entries()) {
+    p.put_u64(e.code);
+    p.put_u64(e.count);
+  }
+  return p;
+}
+
+index::CellHistogram unpack_histogram(const mrnet::Packet& packet) {
+  auto r = packet.reader();
+  const std::uint64_t n = r.get_u64();
+  std::vector<index::CellHistogram::Entry> entries;
+  entries.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const std::uint64_t code = r.get_u64();
+    const std::uint64_t count = r.get_u64();
+    entries.push_back({code, count});
+  }
+  return index::CellHistogram(std::move(entries));
+}
+
+/// Serialise the plan's partition boundaries for the downstream broadcast.
+mrnet::Packet pack_plan(const PartitionPlan& plan) {
+  mrnet::Packet p;
+  p.put_f64(plan.geometry.origin_x);
+  p.put_f64(plan.geometry.origin_y);
+  p.put_f64(plan.geometry.cell_size);
+  p.put_u64(plan.parts.size());
+  for (const auto& part : plan.parts) {
+    p.put_pod_vector(part.owned_cells);
+    p.put_pod_vector(part.shadow_cells);
+    p.put_u64(part.owned_points);
+    p.put_u64(part.shadow_points);
+  }
+  return p;
+}
+
+/// Shared timing model for both real and model mode.
+void fill_io_times(PartitionPhaseResult& result, std::uint64_t input_bytes,
+                   std::uint64_t output_bytes, std::size_t writers,
+                   std::size_t n_parts, Transport transport,
+                   const sim::TitanParams& titan) {
+  // Input: large sequential reads.
+  result.read_seconds = sim::lustre_read_seconds(
+      titan.lustre, input_bytes, writers, sim::kSequentialOp);
+
+  if (transport == Transport::kDirect) {
+    // Future-work path (§6): partition data streams from the partitioner
+    // leaves to the clustering processes over the interconnect. Senders
+    // are the bottleneck; each also pays a per-message latency per
+    // destination partition.
+    const double stream =
+        static_cast<double>(output_bytes) /
+        (static_cast<double>(writers) * titan.net.bandwidth_bps);
+    const double messages_per_sender =
+        static_cast<double>(std::max<std::size_t>(n_parts, 1));
+    result.send_seconds =
+        stream + messages_per_sender * titan.net.latency_s;
+    return;
+  }
+
+  // Output: each leaf contributes a little data to nearly every partition
+  // at a required offset — small random writes (§5.1.1). Per-op size is
+  // capped at a stripe fragment; tiny datasets may have even smaller
+  // contributions per (leaf, partition).
+  const std::uint64_t contributions =
+      static_cast<std::uint64_t>(writers) * std::max<std::size_t>(n_parts, 1);
+  const std::uint64_t avg_op = std::max<std::uint64_t>(
+      1, std::min(sim::kSmallRandomWriteOp,
+                  output_bytes / std::max<std::uint64_t>(contributions, 1)));
+  result.write_seconds = sim::lustre_write_seconds(
+      titan.lustre, output_bytes, writers, avg_op);
+}
+
+}  // namespace
+
+PartitionPhaseResult run_distributed_partitioner(
+    std::span<const geom::Point> points,
+    const DistributedPartitionerConfig& config,
+    const sim::TitanParams& titan) {
+  MRSCAN_REQUIRE(config.partition_nodes >= 1);
+  MRSCAN_REQUIRE(config.eps > 0.0);
+
+  PartitionPhaseResult result;
+  const std::size_t workers = config.partition_nodes;
+
+  // Grid origin: the data's lower-left corner. Cell size is Eps divided
+  // by the refinement factor (1 = the paper's Eps x Eps grid).
+  MRSCAN_REQUIRE(config.planner.cell_refine >= 1);
+  geom::BBox box = geom::bbox_of(points);
+  const geom::GridGeometry geometry{
+      box.empty() ? 0.0 : box.min_x, box.empty() ? 0.0 : box.min_y,
+      config.eps / static_cast<double>(config.planner.cell_refine)};
+
+  // ---- Leaves histogram their slices; reduce to the root. ----
+  mrnet::Network net(mrnet::Topology::flat(workers), titan.net,
+                     titan.cpu_op_rate);
+  std::vector<mrnet::Packet> leaf_packets(workers);
+  const std::size_t chunk = (points.size() + workers - 1) / workers;
+  for (std::size_t w = 0; w < workers; ++w) {
+    const std::size_t lo = std::min(points.size(), w * chunk);
+    const std::size_t hi = std::min(points.size(), lo + chunk);
+    index::CellHistogram local(geometry, points.subspan(lo, hi - lo));
+    leaf_packets[w] = pack_histogram(local);
+  }
+  mrnet::Packet root_packet = net.reduce(
+      std::move(leaf_packets),
+      [](std::uint32_t, std::vector<mrnet::Packet> children,
+         std::uint64_t& ops) {
+        index::CellHistogram merged;
+        for (const auto& c : children) {
+          const index::CellHistogram h = unpack_histogram(c);
+          ops += h.cell_count();
+          merged.merge(h);
+        }
+        return pack_histogram(merged);
+      });
+  result.histogram_reduce_seconds = net.stats().last_op_seconds;
+
+  // ---- Root plans serially. ----
+  const index::CellHistogram hist = unpack_histogram(root_packet);
+  result.plan = plan_partitions(hist, geometry, config.planner);
+  // Deterministic cost model: the serial planner walks every cell a small
+  // constant number of times (packing + shadow + rebalance).
+  result.plan_seconds = static_cast<double>(hist.cell_count()) * 50.0 /
+                        titan.cpu_op_rate;
+
+  // ---- Boundaries broadcast back to the leaves. ----
+  result.broadcast_seconds =
+      net.multicast(pack_plan(result.plan),
+                    [](std::uint32_t, const mrnet::Packet&) {});
+
+  // ---- Leaves materialise and write the segmented file. ----
+  const index::Grid grid(geometry, points);
+  result.segments = materialize_partitions(result.plan, grid, points,
+                                           config.materialize);
+
+  std::uint64_t output_points = 0;
+  for (const auto& seg : result.segments) {
+    output_points += seg.owned.size() + seg.shadow.size();
+  }
+  fill_io_times(result, points.size() * io::kBinaryRecordSize,
+                output_points * io::kBinaryRecordSize, workers,
+                result.plan.part_count(), config.transport, titan);
+
+  result.net_stats = net.stats();
+  result.sim_seconds = result.read_seconds +
+                       result.histogram_reduce_seconds + result.plan_seconds +
+                       result.broadcast_seconds + result.write_seconds +
+                       result.send_seconds;
+  return result;
+}
+
+PartitionPhaseResult run_distributed_partitioner_model(
+    const index::CellHistogram& hist, const geom::GridGeometry& geometry,
+    std::uint64_t virtual_point_count,
+    const DistributedPartitionerConfig& config,
+    const sim::TitanParams& titan) {
+  MRSCAN_REQUIRE(config.partition_nodes >= 1);
+  PartitionPhaseResult result;
+  const std::size_t workers = config.partition_nodes;
+
+  // Histogram reduce: model leaves holding equal shares of the cells.
+  mrnet::Network net(mrnet::Topology::flat(workers), titan.net,
+                     titan.cpu_op_rate);
+  std::vector<mrnet::Packet> leaf_packets(workers);
+  {
+    // Split the global histogram round-robin into per-leaf histograms so
+    // packet sizes are realistic.
+    std::vector<std::vector<index::CellHistogram::Entry>> shares(workers);
+    std::size_t w = 0;
+    for (const auto& e : hist.entries()) {
+      shares[w].push_back(e);
+      w = (w + 1) % workers;
+    }
+    for (std::size_t i = 0; i < workers; ++i) {
+      leaf_packets[i] =
+          pack_histogram(index::CellHistogram(std::move(shares[i])));
+    }
+  }
+  mrnet::Packet root_packet = net.reduce(
+      std::move(leaf_packets),
+      [](std::uint32_t, std::vector<mrnet::Packet> children,
+         std::uint64_t& ops) {
+        index::CellHistogram merged;
+        for (const auto& c : children) {
+          const index::CellHistogram h = unpack_histogram(c);
+          ops += h.cell_count();
+          merged.merge(h);
+        }
+        return pack_histogram(merged);
+      });
+  result.histogram_reduce_seconds = net.stats().last_op_seconds;
+
+  const index::CellHistogram merged_hist = unpack_histogram(root_packet);
+  result.plan = plan_partitions(merged_hist, geometry, config.planner);
+  result.plan_seconds = static_cast<double>(merged_hist.cell_count()) *
+                        50.0 / titan.cpu_op_rate;
+
+  result.broadcast_seconds =
+      net.multicast(pack_plan(result.plan),
+                    [](std::uint32_t, const mrnet::Packet&) {});
+
+  const std::uint64_t output_points =
+      result.plan.total_points_with_shadow();
+  fill_io_times(result, virtual_point_count * io::kBinaryRecordSize,
+                output_points * io::kBinaryRecordSize, workers,
+                result.plan.part_count(), config.transport, titan);
+
+  result.net_stats = net.stats();
+  result.sim_seconds = result.read_seconds +
+                       result.histogram_reduce_seconds + result.plan_seconds +
+                       result.broadcast_seconds + result.write_seconds +
+                       result.send_seconds;
+  return result;
+}
+
+}  // namespace mrscan::partition

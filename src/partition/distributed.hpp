@@ -1,0 +1,82 @@
+// The distributed partitioner (§3.1.3).
+//
+// Runs on its own (flat) MRNet tree, separate from the clustering tree:
+//   1. each partitioner leaf reads a contiguous slice of the input file and
+//      histograms it into Eps x Eps cell counts — the only information the
+//      algorithm needs about the data;
+//   2. histograms reduce up the tree to the root;
+//   3. the root serially runs the partitioning algorithm (§3.1.2) and
+//      broadcasts the partition boundaries;
+//   4. leaves write their contribution of every partition to the segmented
+//      output file on Lustre — a pattern dominated by small random writes,
+//      since each leaf holds a random slice and contributes a little data
+//      to nearly every partition (the paper's §5.1.1 bottleneck).
+//
+// The histogram reduce, planning, and materialisation execute for real;
+// file-system time is modeled with the Titan Lustre parameters so the
+// phase cost is meaningful at paper scale.
+#pragma once
+
+#include <span>
+
+#include "geometry/point.hpp"
+#include "io/segment_file.hpp"
+#include "mrnet/network.hpp"
+#include "partition/materialize.hpp"
+#include "partition/partitioner.hpp"
+#include "sim/titan.hpp"
+
+namespace mrscan::partition {
+
+/// How partitions reach the clustering leaves. kLustre is what the paper
+/// evaluated (write to the parallel file system, leaves read back);
+/// kDirect is its stated future work (§6): "send partitions over the
+/// network" directly to the clustering processes, skipping the file system
+/// and its small-random-write pathology.
+enum class Transport { kLustre, kDirect };
+
+struct DistributedPartitionerConfig {
+  PartitionerConfig planner;
+  MaterializeConfig materialize;
+  /// Leaf processes of the partitioner tree ("# of partition nodes",
+  /// Table 1).
+  std::size_t partition_nodes = 2;
+  double eps = 1.0;
+  Transport transport = Transport::kLustre;
+};
+
+struct PartitionPhaseResult {
+  PartitionPlan plan;
+  std::vector<io::Segment> segments;
+
+  /// Modeled phase time at scale and its breakdown (seconds).
+  double sim_seconds = 0.0;
+  double read_seconds = 0.0;
+  double histogram_reduce_seconds = 0.0;
+  double plan_seconds = 0.0;
+  double broadcast_seconds = 0.0;
+  /// Lustre transport: partition-file write time. Zero under kDirect.
+  double write_seconds = 0.0;
+  /// Direct transport: network send time of partition data. Zero under
+  /// kLustre.
+  double send_seconds = 0.0;
+
+  mrnet::NetworkStats net_stats;
+};
+
+/// Run the partition phase over `points` (standing in for the input file).
+PartitionPhaseResult run_distributed_partitioner(
+    std::span<const geom::Point> points,
+    const DistributedPartitionerConfig& config,
+    const sim::TitanParams& titan);
+
+/// Model-mode variant: plan from a pre-computed histogram representing
+/// `virtual_bytes` of input, without materialising points. Used by the
+/// paper-scale benches.
+PartitionPhaseResult run_distributed_partitioner_model(
+    const index::CellHistogram& hist, const geom::GridGeometry& geometry,
+    std::uint64_t virtual_point_count,
+    const DistributedPartitionerConfig& config,
+    const sim::TitanParams& titan);
+
+}  // namespace mrscan::partition

@@ -1,0 +1,50 @@
+#include "partition/materialize.hpp"
+
+#include "geometry/rep_points.hpp"
+#include "util/assert.hpp"
+
+namespace mrscan::partition {
+
+std::vector<io::Segment> materialize_partitions(
+    const PartitionPlan& plan, const index::Grid& grid,
+    std::span<const geom::Point> points, const MaterializeConfig& config) {
+  MRSCAN_REQUIRE_MSG(grid.geometry().cell_size == plan.geometry.cell_size,
+                     "grid geometry does not match the plan");
+
+  std::vector<io::Segment> segments(plan.parts.size());
+  for (std::size_t pi = 0; pi < plan.parts.size(); ++pi) {
+    const PartitionPart& part = plan.parts[pi];
+    io::Segment& seg = segments[pi];
+
+    seg.owned.reserve(part.owned_points);
+    for (const std::uint64_t code : part.owned_cells) {
+      for (const std::uint32_t idx :
+           grid.points_in(geom::cell_from_code(code))) {
+        seg.owned.push_back(points[idx]);
+      }
+    }
+
+    for (const std::uint64_t code : part.shadow_cells) {
+      const geom::CellKey key = geom::cell_from_code(code);
+      const auto members = grid.points_in(key);
+      if (config.shadow_rep_threshold != 0 &&
+          members.size() > config.shadow_rep_threshold) {
+        // Dense shadow cell: ship representatives only. Quality of the
+        // local DBSCAN is preserved (the cell still asserts density); the
+        // merge step may occasionally miss a combine (§3.1.3).
+        const auto reps = geom::select_cell_representatives(
+            plan.geometry, key, points, members);
+        for (const std::uint32_t idx : reps) {
+          seg.shadow.push_back(points[idx]);
+        }
+      } else {
+        for (const std::uint32_t idx : members) {
+          seg.shadow.push_back(points[idx]);
+        }
+      }
+    }
+  }
+  return segments;
+}
+
+}  // namespace mrscan::partition

@@ -1,0 +1,30 @@
+// Turn a partition plan plus the actual points into per-partition segments
+// (owned points followed by shadow points), optionally applying the
+// partitioner's shadow representative-point optimisation (§3.1.3): for
+// extremely dense shadow cells, write 8 geometrically-selected
+// representatives instead of the full cell, trading a possible missed merge
+// for drastically less data written.
+#pragma once
+
+#include <span>
+
+#include "index/grid.hpp"
+#include "io/segment_file.hpp"
+#include "partition/plan.hpp"
+
+namespace mrscan::partition {
+
+struct MaterializeConfig {
+  /// Replace shadow-cell contents with representatives when a shadow cell
+  /// holds more than this many points (0 disables the optimisation).
+  std::size_t shadow_rep_threshold = 0;
+};
+
+/// Extract each partition's owned and shadow points. `grid` must be built
+/// over `points` with the plan's geometry.
+std::vector<io::Segment> materialize_partitions(
+    const PartitionPlan& plan, const index::Grid& grid,
+    std::span<const geom::Point> points,
+    const MaterializeConfig& config = {});
+
+}  // namespace mrscan::partition

@@ -1,0 +1,54 @@
+// The partitioning algorithm (§3.1.2).
+//
+// Cells are visited in grid order (y varying fastest, then x) and packed
+// into partitions of roughly target = total / n points:
+//   * a cell that would overflow the target starts the next partition,
+//     unless the partition is still empty or is the final one;
+//   * a running difference from the target shrinks subsequent partitions
+//     ("proportionately smaller") after an oversized cell, floored at
+//     MinPts points;
+//   * shadow regions (all non-empty neighbours of owned cells) are added;
+//   * a backward rebalancing pass then trims each partition down to
+//     1.075 x the final target (the mean with shadows), handing trimmed
+//     cells to the previous partition, because sequential packing leaves
+//     the collective deficit in the last partition (Figure 2).
+//
+// Profitability (§3.1.2) is inherent: every partition spans at least one
+// Eps x Eps cell (longest distance > Eps) and holds >= MinPts points
+// whenever the dataset allows it.
+#pragma once
+
+#include "index/cell_histogram.hpp"
+#include "partition/plan.hpp"
+
+namespace mrscan::partition {
+
+struct PartitionerConfig {
+  /// Desired partition count (one per clustering leaf). The plan may hold
+  /// fewer parts when the grid has fewer non-empty cells.
+  std::size_t target_parts = 1;
+  /// DBSCAN MinPts — the minimum profitable partition size.
+  std::size_t min_pts = 4;
+  /// Enable the backward rebalancing pass.
+  bool rebalance = true;
+  /// Trim threshold relative to the final target size; 1.075 "worked well
+  /// in practice on our datasets" (§3.1.2).
+  double rebalance_threshold = 1.075;
+  /// Shadow regions are required for correctness (§3.1.1); turning them
+  /// off exists only for the ablation that demonstrates the cluster
+  /// splitting a naive disjoint partitioning causes.
+  bool shadow_regions = true;
+  /// Grid refinement factor (§5.1.2 future work): the grid uses cells of
+  /// Eps/cell_refine so extremely dense Eps x Eps cells can be subdivided
+  /// across partitions. Shadow regions widen to cell_refine rings. The
+  /// histogram and geometry handed to plan_partitions must already be
+  /// built at the refined cell size.
+  std::size_t cell_refine = 1;
+};
+
+/// Plan partitions of the cells in `hist` over `geometry`'s grid.
+PartitionPlan plan_partitions(const index::CellHistogram& hist,
+                              const geom::GridGeometry& geometry,
+                              const PartitionerConfig& config);
+
+}  // namespace mrscan::partition

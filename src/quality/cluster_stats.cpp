@@ -1,0 +1,76 @@
+#include "quality/cluster_stats.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <unordered_map>
+
+namespace mrscan::quality {
+
+double ClusterStats::density() const {
+  const double area = extent.width() * extent.height();
+  if (area <= 0.0) return std::numeric_limits<double>::infinity();
+  return static_cast<double>(count) / area;
+}
+
+std::vector<ClusterStats> cluster_statistics(
+    std::span<const sweep::LabeledPoint> records) {
+  struct Accumulator {
+    ClusterStats stats;
+    double sum_x = 0.0, sum_y = 0.0;
+    double wsum_x = 0.0, wsum_y = 0.0;
+  };
+  std::unordered_map<dbscan::ClusterId, Accumulator> acc;
+  for (const auto& record : records) {
+    const dbscan::ClusterId id =
+        record.cluster < 0 ? dbscan::kNoise : record.cluster;
+    Accumulator& a = acc[id];
+    a.stats.cluster = id;
+    ++a.stats.count;
+    a.stats.weight_sum += record.point.weight;
+    a.sum_x += record.point.x;
+    a.sum_y += record.point.y;
+    a.wsum_x += record.point.x * record.point.weight;
+    a.wsum_y += record.point.y * record.point.weight;
+    a.stats.extent.expand(record.point);
+  }
+
+  std::vector<ClusterStats> out;
+  out.reserve(acc.size());
+  for (auto& [id, a] : acc) {
+    ClusterStats s = a.stats;
+    s.centroid_x = a.sum_x / static_cast<double>(s.count);
+    s.centroid_y = a.sum_y / static_cast<double>(s.count);
+    if (s.weight_sum > 0.0) {
+      s.weighted_centroid_x = a.wsum_x / s.weight_sum;
+      s.weighted_centroid_y = a.wsum_y / s.weight_sum;
+    } else {
+      s.weighted_centroid_x = s.centroid_x;
+      s.weighted_centroid_y = s.centroid_y;
+    }
+    out.push_back(s);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const ClusterStats& a, const ClusterStats& b) {
+              if (a.count != b.count) return a.count > b.count;
+              return a.cluster < b.cluster;
+            });
+  return out;
+}
+
+std::vector<ClusterStats> top_clusters_by_weight(
+    std::span<const sweep::LabeledPoint> records, std::size_t k) {
+  auto stats = cluster_statistics(records);
+  std::erase_if(stats, [](const ClusterStats& s) {
+    return s.cluster == dbscan::kNoise;
+  });
+  std::sort(stats.begin(), stats.end(),
+            [](const ClusterStats& a, const ClusterStats& b) {
+              if (a.weight_sum != b.weight_sum)
+                return a.weight_sum > b.weight_sum;
+              return a.cluster < b.cluster;
+            });
+  if (stats.size() > k) stats.resize(k);
+  return stats;
+}
+
+}  // namespace mrscan::quality

@@ -1,0 +1,46 @@
+// Per-cluster statistics over labeled output.
+//
+// The paper's input format carries "an optional weight that can be used
+// for analysis of the clustered output" (§3); this module is that
+// analysis: per-cluster counts, weight sums, centroids (weighted and
+// unweighted), extents, and densities, with ranking helpers used by the
+// example applications.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "dbscan/labels.hpp"
+#include "geometry/bbox.hpp"
+#include "sweep/sweep.hpp"
+
+namespace mrscan::quality {
+
+struct ClusterStats {
+  dbscan::ClusterId cluster = dbscan::kNoise;
+  std::size_t count = 0;
+  double weight_sum = 0.0;
+  /// Unweighted centroid.
+  double centroid_x = 0.0;
+  double centroid_y = 0.0;
+  /// Weight-weighted centroid.
+  double weighted_centroid_x = 0.0;
+  double weighted_centroid_y = 0.0;
+  geom::BBox extent;
+
+  /// Points per unit area of the extent (infinity for degenerate extents).
+  double density() const;
+};
+
+/// Compute statistics for every cluster in `records` (noise records are
+/// summarised under cluster id kNoise when present). Results are sorted by
+/// descending count.
+std::vector<ClusterStats> cluster_statistics(
+    std::span<const sweep::LabeledPoint> records);
+
+/// The top `k` clusters by weight sum (<= k results).
+std::vector<ClusterStats> top_clusters_by_weight(
+    std::span<const sweep::LabeledPoint> records, std::size_t k);
+
+}  // namespace mrscan::quality

@@ -1,0 +1,63 @@
+#include "quality/dbdc.hpp"
+
+#include <unordered_map>
+
+#include "util/assert.hpp"
+
+namespace mrscan::quality {
+
+QualityReport dbdc_report(std::span<const dbscan::ClusterId> reference,
+                          std::span<const dbscan::ClusterId> candidate) {
+  MRSCAN_REQUIRE(reference.size() == candidate.size());
+  QualityReport report;
+  report.points = reference.size();
+  if (reference.empty()) return report;
+
+  // Contingency counts: |A| per reference cluster, |B| per candidate
+  // cluster, |A ∩ B| per (A, B) pair (noise excluded from cluster sizes).
+  std::unordered_map<dbscan::ClusterId, std::size_t> size_a;
+  std::unordered_map<dbscan::ClusterId, std::size_t> size_b;
+  std::unordered_map<std::uint64_t, std::size_t> size_ab;
+  auto pair_key = [](dbscan::ClusterId a, dbscan::ClusterId b) {
+    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(a))
+            << 32) |
+           static_cast<std::uint32_t>(b);
+  };
+
+  for (std::size_t i = 0; i < reference.size(); ++i) {
+    const bool ref_noise = reference[i] < 0;
+    const bool cand_noise = candidate[i] < 0;
+    if (!ref_noise) ++size_a[reference[i]];
+    if (!cand_noise) ++size_b[candidate[i]];
+    if (!ref_noise && !cand_noise) {
+      ++size_ab[pair_key(reference[i], candidate[i])];
+    }
+  }
+
+  double total = 0.0;
+  for (std::size_t i = 0; i < reference.size(); ++i) {
+    const bool ref_noise = reference[i] < 0;
+    const bool cand_noise = candidate[i] < 0;
+    if (ref_noise != cand_noise) {
+      ++report.noise_mismatches;  // misidentified: scores 0
+      continue;
+    }
+    if (ref_noise && cand_noise) {
+      total += 1.0;  // correctly identified as noise
+      continue;
+    }
+    const std::size_t a = size_a[reference[i]];
+    const std::size_t b = size_b[candidate[i]];
+    const std::size_t ab = size_ab[pair_key(reference[i], candidate[i])];
+    total += static_cast<double>(ab) / static_cast<double>(a + b - ab);
+  }
+  report.score = total / static_cast<double>(reference.size());
+  return report;
+}
+
+double dbdc_quality(std::span<const dbscan::ClusterId> reference,
+                    std::span<const dbscan::ClusterId> candidate) {
+  return dbdc_report(reference, candidate).score;
+}
+
+}  // namespace mrscan::quality

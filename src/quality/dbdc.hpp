@@ -1,0 +1,36 @@
+// The DBDC quality metric (Januzaj et al., EDBT '04), as used in §5.1.3:
+//
+//   "The metric assigns a quality score between 0 and 1 to each point as
+//    |A ∩ B| / |A ∪ B|, where A is the cluster the point belongs to in
+//    DBSCAN's output, and B is the equivalent cluster from Mr. Scan's
+//    output. If a point is misidentified as a noise or non-noise point, it
+//    gets a quality score of 0. The final quality score is an average of
+//    the points' quality scores."
+//
+// A point that both outputs call noise is correctly identified and scores 1.
+#pragma once
+
+#include <span>
+
+#include "dbscan/labels.hpp"
+
+namespace mrscan::quality {
+
+/// Average per-point quality of `candidate` against `reference`. Both label
+/// vectors index the same points in the same order. Noise is any negative
+/// label. Returns 1.0 for empty inputs.
+double dbdc_quality(std::span<const dbscan::ClusterId> reference,
+                    std::span<const dbscan::ClusterId> candidate);
+
+/// Breakdown used by the quality bench: average score plus the count of
+/// noise/non-noise misidentifications.
+struct QualityReport {
+  double score = 1.0;
+  std::size_t points = 0;
+  std::size_t noise_mismatches = 0;
+};
+
+QualityReport dbdc_report(std::span<const dbscan::ClusterId> reference,
+                          std::span<const dbscan::ClusterId> candidate);
+
+}  // namespace mrscan::quality

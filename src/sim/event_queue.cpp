@@ -1,0 +1,29 @@
+#include "sim/event_queue.hpp"
+
+#include "util/assert.hpp"
+
+namespace mrscan::sim {
+
+void EventQueue::schedule_at(double when, Handler handler) {
+  MRSCAN_REQUIRE_MSG(when >= now_, "cannot schedule events in the past");
+  events_.push(Event{when, next_seq_++, std::move(handler)});
+}
+
+double EventQueue::run() {
+  while (!events_.empty()) {
+    // Move the handler out before popping so it can schedule new events.
+    Event ev = std::move(const_cast<Event&>(events_.top()));
+    events_.pop();
+    now_ = ev.when;
+    ev.handler();
+  }
+  return now_;
+}
+
+void EventQueue::reset() {
+  MRSCAN_REQUIRE_MSG(events_.empty(), "reset with pending events");
+  now_ = 0.0;
+  next_seq_ = 0;
+}
+
+}  // namespace mrscan::sim

@@ -1,0 +1,58 @@
+// Minimal discrete-event scheduler.
+//
+// Drives the simulated MRNet process network: message deliveries and node
+// completions are events on a virtual clock, so tree timing (fan-in waits,
+// per-level latching) is computed exactly rather than approximated with
+// closed-form level sums.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace mrscan::sim {
+
+class EventQueue {
+ public:
+  using Handler = std::function<void()>;
+
+  /// Current virtual time in seconds.
+  double now() const { return now_; }
+
+  /// Schedule `handler` at absolute time `when` (>= now). Events at equal
+  /// times fire in scheduling order.
+  void schedule_at(double when, Handler handler);
+
+  /// Schedule `handler` `delay` seconds from now.
+  void schedule_in(double delay, Handler handler) {
+    schedule_at(now_ + delay, std::move(handler));
+  }
+
+  /// Run until no events remain; returns the final clock value.
+  double run();
+
+  bool empty() const { return events_.empty(); }
+
+  /// Reset the clock to zero (queue must be drained).
+  void reset();
+
+ private:
+  struct Event {
+    double when;
+    std::uint64_t seq;  // stable FIFO order within a timestamp
+    Handler handler;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  double now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> events_;
+};
+
+}  // namespace mrscan::sim

@@ -1,0 +1,57 @@
+#include "sim/titan.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace mrscan::sim {
+
+namespace {
+
+double collective_io_seconds(std::uint64_t bytes, std::size_t clients,
+                             std::uint64_t op_bytes, double aggregate_bps,
+                             double per_client_bps, std::size_t client_cap,
+                             double per_op_latency_s) {
+  MRSCAN_REQUIRE(clients >= 1);
+  MRSCAN_REQUIRE(op_bytes >= 1);
+  if (bytes == 0) return 0.0;
+
+  // Bandwidth term: clients scale the achievable bandwidth linearly until
+  // either the aggregate limit or the effective-client cap stops them.
+  const std::size_t effective = std::min(clients, client_cap);
+  const double bw = std::min(aggregate_bps,
+                             static_cast<double>(effective) * per_client_bps);
+  const double stream_time = static_cast<double>(bytes) / bw;
+
+  // Latency term: ops are spread across all clients (even past the cap,
+  // each client still issues its own ops), each paying the per-op cost.
+  const double total_ops =
+      std::ceil(static_cast<double>(bytes) / static_cast<double>(op_bytes));
+  const double ops_per_client = total_ops / static_cast<double>(clients);
+  const double latency_time = ops_per_client * per_op_latency_s;
+
+  return stream_time + latency_time;
+}
+
+}  // namespace
+
+double lustre_read_seconds(const LustreParams& p, std::uint64_t bytes,
+                           std::size_t clients, std::uint64_t op_bytes) {
+  return collective_io_seconds(bytes, clients, op_bytes,
+                               p.aggregate_read_bps, p.per_client_bps,
+                               p.writer_cap, p.per_op_latency_s);
+}
+
+double lustre_write_seconds(const LustreParams& p, std::uint64_t bytes,
+                            std::size_t clients, std::uint64_t op_bytes) {
+  return collective_io_seconds(bytes, clients, op_bytes,
+                               p.aggregate_write_bps, p.per_client_bps,
+                               p.writer_cap, p.per_op_latency_s);
+}
+
+double alps_startup_seconds(const AlpsParams& p, std::size_t nodes) {
+  return p.base_s + p.per_node_s * static_cast<double>(nodes);
+}
+
+}  // namespace mrscan::sim

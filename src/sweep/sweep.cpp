@@ -1,0 +1,91 @@
+#include "sweep/sweep.hpp"
+
+#include <fstream>
+#include <stdexcept>
+
+#include "util/assert.hpp"
+
+namespace mrscan::sweep {
+
+GlobalAssignment assign_global_ids(const merge::MergeSummary& root_summary) {
+  GlobalAssignment assignment;
+  assignment.cluster_count = root_summary.clusters.size();
+  assignment.offsets.reserve(assignment.cluster_count + 1);
+  std::uint64_t cursor = 0;
+  for (const auto& cluster : root_summary.clusters) {
+    assignment.offsets.push_back(cursor);
+    cursor += cluster.owned_points;
+  }
+  assignment.offsets.push_back(cursor);
+  return assignment;
+}
+
+std::vector<LabeledPoint> label_owned_points(
+    std::span<const geom::Point> owned_points,
+    const dbscan::Labeling& labels,
+    std::span<const std::int64_t> global_of_local, bool keep_noise) {
+  MRSCAN_REQUIRE(labels.size() >= owned_points.size());
+  std::vector<LabeledPoint> out;
+  out.reserve(owned_points.size());
+  for (std::size_t i = 0; i < owned_points.size(); ++i) {
+    const dbscan::ClusterId local = labels.cluster[i];
+    if (local < 0) {
+      if (keep_noise) out.push_back({owned_points[i], dbscan::kNoise});
+      continue;
+    }
+    MRSCAN_REQUIRE_MSG(static_cast<std::size_t>(local) <
+                           global_of_local.size(),
+                       "local cluster id outside the sweep mapping");
+    out.push_back({owned_points[i], global_of_local[local]});
+  }
+  return out;
+}
+
+void write_labeled_text(const std::filesystem::path& path,
+                        std::span<const LabeledPoint> records) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    throw std::runtime_error("mrscan: cannot open for writing: " +
+                             path.string());
+  }
+  out.precision(17);
+  for (const LabeledPoint& r : records) {
+    out << r.point.id << ' ' << r.point.x << ' ' << r.point.y << ' '
+        << r.point.weight << ' ' << r.cluster << '\n';
+  }
+  if (!out) {
+    throw std::runtime_error("mrscan: write failed: " + path.string());
+  }
+}
+
+std::vector<LabeledPoint> read_labeled_text(
+    const std::filesystem::path& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error("mrscan: cannot open: " + path.string());
+  }
+  std::vector<LabeledPoint> records;
+  LabeledPoint r;
+  while (in >> r.point.id >> r.point.x >> r.point.y >> r.point.weight >>
+         r.cluster) {
+    records.push_back(r);
+  }
+  return records;
+}
+
+std::vector<dbscan::ClusterId> labels_in_input_order(
+    std::span<const geom::Point> points,
+    std::span<const LabeledPoint> records) {
+  std::unordered_map<geom::PointId, dbscan::ClusterId> by_id;
+  by_id.reserve(records.size());
+  for (const LabeledPoint& r : records) by_id.emplace(r.point.id, r.cluster);
+  std::vector<dbscan::ClusterId> out;
+  out.reserve(points.size());
+  for (const geom::Point& p : points) {
+    const auto it = by_id.find(p.id);
+    out.push_back(it == by_id.end() ? dbscan::kNoise : it->second);
+  }
+  return out;
+}
+
+}  // namespace mrscan::sweep

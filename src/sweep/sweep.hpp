@@ -1,0 +1,66 @@
+// The sweep step (§3.4): globally identify clusters and write the output.
+//
+// After the root's final merge, each cluster gets a globally unique id and
+// a file offset (computed from cluster sizes); the labelling information is
+// sent back down the tree, each level reversing its merge operation via the
+// child_cluster_map recorded during the merge; leaves write their owned
+// points with global cluster ids, in parallel, at their assigned offsets.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "dbscan/labels.hpp"
+#include "geometry/point.hpp"
+#include "merge/summary.hpp"
+
+namespace mrscan::sweep {
+
+/// Global ids and output file offsets assigned by the root.
+struct GlobalAssignment {
+  std::size_t cluster_count = 0;
+  /// Per global cluster id: first record index in the output file; the
+  /// final entry is the total clustered point count.
+  std::vector<std::uint64_t> offsets;
+};
+
+/// Assign global ids 0..k-1 to the root's merged clusters (in summary
+/// order) and compute cumulative file offsets from their sizes.
+GlobalAssignment assign_global_ids(const merge::MergeSummary& root_summary);
+
+/// A clustered output record.
+struct LabeledPoint {
+  geom::Point point;
+  dbscan::ClusterId cluster = dbscan::kNoise;
+
+  friend bool operator==(const LabeledPoint&, const LabeledPoint&) = default;
+};
+
+/// Label a leaf's owned points with global ids: local cluster c maps to
+/// global_of_local[c]; noise points are dropped (the output file contains
+/// "the points included in a cluster and their cluster IDs", §3).
+std::vector<LabeledPoint> label_owned_points(
+    std::span<const geom::Point> owned_points,
+    const dbscan::Labeling& labels,
+    std::span<const std::int64_t> global_of_local,
+    bool keep_noise = false);
+
+/// Write labeled points as text: "id x y weight cluster" per line.
+void write_labeled_text(const std::filesystem::path& path,
+                        std::span<const LabeledPoint> records);
+
+/// Read back a labeled text file.
+std::vector<LabeledPoint> read_labeled_text(
+    const std::filesystem::path& path);
+
+/// Align a clustered output with an input point order: result[i] is the
+/// cluster of points[i] (noise when absent from `records`). Used by the
+/// quality benches to compare against the single-CPU reference.
+std::vector<dbscan::ClusterId> labels_in_input_order(
+    std::span<const geom::Point> points,
+    std::span<const LabeledPoint> records);
+
+}  // namespace mrscan::sweep

@@ -1,0 +1,56 @@
+// Assertion and precondition macros for the Mr. Scan library.
+//
+// MRSCAN_ASSERT  — internal invariant; aborts the process on failure in all
+//                  build types (invariant violations are programming errors
+//                  and continuing would corrupt results).
+// MRSCAN_REQUIRE — public API precondition; throws std::invalid_argument so
+//                  callers can recover from bad inputs.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+namespace mrscan::util {
+
+[[noreturn]] inline void assert_fail(const char* expr, const char* file,
+                                     int line, const char* msg) {
+  std::fprintf(stderr, "mrscan: assertion failed: %s at %s:%d%s%s\n", expr,
+               file, line, msg[0] ? ": " : "", msg);
+  std::abort();
+}
+
+[[noreturn]] inline void require_fail(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  throw std::invalid_argument("mrscan: precondition violated: " +
+                              std::string(expr) + " at " + file + ":" +
+                              std::to_string(line) +
+                              (msg.empty() ? "" : ": " + msg));
+}
+
+}  // namespace mrscan::util
+
+#define MRSCAN_ASSERT(expr)                                             \
+  do {                                                                  \
+    if (!(expr))                                                        \
+      ::mrscan::util::assert_fail(#expr, __FILE__, __LINE__, "");       \
+  } while (0)
+
+#define MRSCAN_ASSERT_MSG(expr, msg)                                    \
+  do {                                                                  \
+    if (!(expr))                                                        \
+      ::mrscan::util::assert_fail(#expr, __FILE__, __LINE__, (msg));    \
+  } while (0)
+
+#define MRSCAN_REQUIRE(expr)                                            \
+  do {                                                                  \
+    if (!(expr))                                                        \
+      ::mrscan::util::require_fail(#expr, __FILE__, __LINE__, "");      \
+  } while (0)
+
+#define MRSCAN_REQUIRE_MSG(expr, msg)                                   \
+  do {                                                                  \
+    if (!(expr))                                                        \
+      ::mrscan::util::require_fail(#expr, __FILE__, __LINE__, (msg));   \
+  } while (0)

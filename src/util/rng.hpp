@@ -1,0 +1,64 @@
+// Deterministic, seedable random number generation.
+//
+// Experiments must be reproducible across runs and machines, so the library
+// does not use std::random_device or the (implementation-defined)
+// distributions from <random>. Rng is xoshiro256** seeded through SplitMix64,
+// with portable uniform / normal / exponential / Pareto samplers on top.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace mrscan::util {
+
+/// SplitMix64 step; used for seeding and as a cheap stateless hash.
+std::uint64_t splitmix64(std::uint64_t& state);
+
+/// xoshiro256** PRNG with portable distribution samplers.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  /// Next raw 64-bit value.
+  std::uint64_t next_u64();
+
+  /// Uniform in [0, n). Requires n > 0.
+  std::uint64_t next_below(std::uint64_t n);
+
+  /// Uniform double in [0, 1).
+  double next_double();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Standard normal via Box–Muller (cached second value).
+  double normal();
+
+  /// Normal with mean/stddev.
+  double normal(double mean, double stddev);
+
+  /// Exponential with rate lambda.
+  double exponential(double lambda);
+
+  /// Pareto (power-law) sample with minimum xm and shape alpha.
+  double pareto(double xm, double alpha);
+
+  /// Split off an independent stream (for per-worker determinism).
+  Rng split();
+
+  /// Fisher–Yates shuffle of an index vector.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::size_t j = static_cast<std::size_t>(next_below(i));
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+ private:
+  std::uint64_t s_[4];
+  bool has_cached_normal_ = false;
+  double cached_normal_ = 0.0;
+};
+
+}  // namespace mrscan::util

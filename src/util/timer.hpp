@@ -1,0 +1,81 @@
+// Wall-clock timing helpers.
+//
+// Timer measures a single interval; PhaseTimer accumulates named phases so
+// the pipeline driver can report the partition / cluster / merge / sweep
+// breakdown the paper's Figure 9 uses.
+#pragma once
+
+#include <chrono>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace mrscan::util {
+
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void reset() { start_ = Clock::now(); }
+
+  /// Elapsed seconds since construction or last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Accumulates elapsed seconds under named phases (insertion-ordered).
+class PhaseTimer {
+ public:
+  /// Add `seconds` to phase `name`, creating it if needed.
+  void add(const std::string& name, double seconds) {
+    for (auto& [n, s] : phases_) {
+      if (n == name) {
+        s += seconds;
+        return;
+      }
+    }
+    phases_.emplace_back(name, seconds);
+  }
+
+  /// Accumulated seconds for `name` (0 if never recorded).
+  double get(const std::string& name) const {
+    for (const auto& [n, s] : phases_)
+      if (n == name) return s;
+    return 0.0;
+  }
+
+  double total() const {
+    double t = 0.0;
+    for (const auto& [n, s] : phases_) t += s;
+    return t;
+  }
+
+  const std::vector<std::pair<std::string, double>>& phases() const {
+    return phases_;
+  }
+
+  /// RAII guard: times a scope and adds it to the named phase.
+  class Scope {
+   public:
+    Scope(PhaseTimer& pt, std::string name)
+        : pt_(pt), name_(std::move(name)) {}
+    ~Scope() { pt_.add(name_, timer_.seconds()); }
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+
+   private:
+    PhaseTimer& pt_;
+    std::string name_;
+    Timer timer_;
+  };
+
+ private:
+  std::vector<std::pair<std::string, double>> phases_;
+};
+
+}  // namespace mrscan::util

@@ -1,0 +1,108 @@
+// Tests for the grid-refinement extension (§5.1.2 future work): partition
+// on Eps/k cells so that an extremely dense Eps x Eps region — the paper's
+// strong-scaling limiter ("the slowest cluster process is executing a
+// partition made up of a single dense grid cell. Since this partition
+// cannot be subdivided further...") — can split across leaves.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/mrscan.hpp"
+#include "data/synthetic.hpp"
+#include "data/twitter.hpp"
+#include "dbscan/sequential.hpp"
+#include "quality/dbdc.hpp"
+
+namespace mg = mrscan::geom;
+namespace mc = mrscan::core;
+
+TEST(CellRefine, QualityPreservedAtRefine2And4) {
+  mrscan::data::TwitterConfig tw;
+  tw.num_points = 10000;
+  const auto points = mrscan::data::generate_twitter(tw);
+  const mrscan::dbscan::DbscanParams params{0.1, 40};
+  const auto ref = mrscan::dbscan::dbscan_sequential(points, params);
+
+  for (const std::size_t refine : {1UL, 2UL, 4UL}) {
+    mc::MrScanConfig config;
+    config.params = params;
+    config.leaves = 6;
+    config.cell_refine = refine;
+    const auto result = mc::MrScan(config).run(points);
+    const double q = mrscan::quality::dbdc_quality(
+        ref.cluster, result.labels_for(points));
+    EXPECT_GT(q, 0.995) << "refine " << refine;
+    EXPECT_EQ(result.cluster_count, ref.cluster_count())
+        << "refine " << refine;
+  }
+}
+
+TEST(CellRefine, SubdividesASingleDenseCell) {
+  // All points inside one Eps x Eps cell: the paper's configuration can
+  // only ever form one partition; refine=2 splits it across leaves.
+  const auto points = mrscan::data::uniform_points(
+      8000, mg::BBox{0.0, 0.0, 0.099, 0.099}, 7);
+
+  mc::MrScanConfig config;
+  config.params = {0.1, 40};
+  config.leaves = 4;
+
+  const auto paper = mc::MrScan(config).run(points);
+  EXPECT_EQ(paper.leaves_used, 1u);  // cannot subdivide
+
+  config.cell_refine = 2;
+  const auto refined = mc::MrScan(config).run(points);
+  EXPECT_GT(refined.leaves_used, 1u);
+
+  // Clustering stays correct: everything is one cluster either way.
+  EXPECT_EQ(paper.cluster_count, 1u);
+  EXPECT_EQ(refined.cluster_count, 1u);
+  EXPECT_EQ(refined.output.size(), paper.output.size());
+}
+
+TEST(CellRefine, SplitsTheOwnedWorkOfADenseCell) {
+  // With the dense cell split, per-leaf OWNED work (labelling, summary
+  // building, output writing) divides across leaves. Note what does NOT
+  // divide: when the entire dataset is mutually within Eps, every refined
+  // partition's shadow region re-includes the rest of the points — the
+  // cluster-phase input cannot shrink, which is exactly why the paper
+  // pairs this idea with the dense-box optimisation (the dense box already
+  // collapses such a cell's expansion cost).
+  const auto points = mrscan::data::uniform_points(
+      8000, mg::BBox{0.0, 0.0, 0.099, 0.099}, 8);
+  mc::MrScanConfig config;
+  config.params = {0.1, 40};
+  config.leaves = 4;
+
+  const auto paper = mc::MrScan(config).run(points);
+  config.cell_refine = 2;
+  const auto refined = mc::MrScan(config).run(points);
+
+  auto max_owned = [](const mc::MrScanResult& result) {
+    std::uint64_t mx = 0;
+    for (const auto& part : result.partition_phase.plan.parts) {
+      mx = std::max(mx, part.owned_points);
+    }
+    return mx;
+  };
+  EXPECT_EQ(max_owned(paper), 8000u);
+  EXPECT_LE(max_owned(refined), 8000u / 2);
+}
+
+TEST(CellRefine, ShadowRingsWidenWithRefinement) {
+  // With Eps/2 cells, the shadow must reach 2 rings so every point within
+  // Eps of the boundary is present — checked via the plan metadata and
+  // the neighbourhood-completeness property.
+  mrscan::data::TwitterConfig tw;
+  tw.num_points = 5000;
+  const auto points = mrscan::data::generate_twitter(tw);
+  mc::MrScanConfig config;
+  config.params = {0.1, 10};
+  config.leaves = 6;
+  config.cell_refine = 2;
+  config.keep_noise = true;
+  const auto result = mc::MrScan(config).run(points);
+  EXPECT_EQ(result.partition_phase.plan.shadow_rings, 2);
+  EXPECT_DOUBLE_EQ(result.partition_phase.plan.geometry.cell_size, 0.05);
+  EXPECT_EQ(result.output.size(), points.size());
+}

@@ -1,0 +1,75 @@
+#include <gtest/gtest.h>
+
+#include "quality/cluster_stats.hpp"
+
+namespace mq = mrscan::quality;
+namespace msw = mrscan::sweep;
+using mrscan::dbscan::kNoise;
+
+namespace {
+
+msw::LabeledPoint lp(std::uint64_t id, double x, double y, float w,
+                     std::int64_t cluster) {
+  return msw::LabeledPoint{{id, x, y, w}, cluster};
+}
+
+}  // namespace
+
+TEST(ClusterStats, CountsWeightsAndCentroids) {
+  std::vector<msw::LabeledPoint> records{
+      lp(1, 0.0, 0.0, 1.0f, 0), lp(2, 2.0, 0.0, 3.0f, 0),
+      lp(3, 5.0, 5.0, 1.0f, 1)};
+  const auto stats = mq::cluster_statistics(records);
+  ASSERT_EQ(stats.size(), 2u);
+  // Sorted by count descending: cluster 0 first.
+  EXPECT_EQ(stats[0].cluster, 0);
+  EXPECT_EQ(stats[0].count, 2u);
+  EXPECT_FLOAT_EQ(stats[0].weight_sum, 4.0f);
+  EXPECT_DOUBLE_EQ(stats[0].centroid_x, 1.0);
+  // Weighted centroid pulled toward the heavier point.
+  EXPECT_DOUBLE_EQ(stats[0].weighted_centroid_x, (0.0 * 1 + 2.0 * 3) / 4.0);
+  EXPECT_EQ(stats[1].cluster, 1);
+  EXPECT_EQ(stats[1].count, 1u);
+}
+
+TEST(ClusterStats, NoiseSummarisedSeparately) {
+  std::vector<msw::LabeledPoint> records{
+      lp(1, 0.0, 0.0, 1.0f, 0), lp(2, 1.0, 1.0, 1.0f, kNoise),
+      lp(3, 2.0, 2.0, 1.0f, kNoise)};
+  const auto stats = mq::cluster_statistics(records);
+  ASSERT_EQ(stats.size(), 2u);
+  EXPECT_EQ(stats[0].cluster, kNoise);
+  EXPECT_EQ(stats[0].count, 2u);
+}
+
+TEST(ClusterStats, ExtentAndDensity) {
+  std::vector<msw::LabeledPoint> records{
+      lp(1, 0.0, 0.0, 1.0f, 0), lp(2, 2.0, 1.0, 1.0f, 0),
+      lp(3, 1.0, 0.5, 1.0f, 0)};
+  const auto stats = mq::cluster_statistics(records);
+  ASSERT_EQ(stats.size(), 1u);
+  EXPECT_DOUBLE_EQ(stats[0].extent.width(), 2.0);
+  EXPECT_DOUBLE_EQ(stats[0].extent.height(), 1.0);
+  EXPECT_DOUBLE_EQ(stats[0].density(), 3.0 / 2.0);
+}
+
+TEST(ClusterStats, DegenerateExtentHasInfiniteDensity) {
+  std::vector<msw::LabeledPoint> records{lp(1, 1.0, 1.0, 1.0f, 0)};
+  const auto stats = mq::cluster_statistics(records);
+  EXPECT_TRUE(std::isinf(stats[0].density()));
+}
+
+TEST(ClusterStats, TopByWeightExcludesNoiseAndTruncates) {
+  std::vector<msw::LabeledPoint> records{
+      lp(1, 0, 0, 10.0f, 0), lp(2, 0, 0, 1.0f, 1), lp(3, 0, 0, 5.0f, 2),
+      lp(4, 0, 0, 99.0f, kNoise)};
+  const auto top = mq::top_clusters_by_weight(records, 2);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0].cluster, 0);
+  EXPECT_EQ(top[1].cluster, 2);
+}
+
+TEST(ClusterStats, EmptyInput) {
+  EXPECT_TRUE(mq::cluster_statistics({}).empty());
+  EXPECT_TRUE(mq::top_clusters_by_weight({}, 5).empty());
+}

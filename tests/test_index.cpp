@@ -1,0 +1,229 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "data/synthetic.hpp"
+#include "geometry/point.hpp"
+#include "index/cell_histogram.hpp"
+#include "index/grid.hpp"
+#include "index/kdtree.hpp"
+#include "util/rng.hpp"
+
+namespace mg = mrscan::geom;
+namespace mi = mrscan::index;
+
+namespace {
+
+/// Brute-force radius neighbours, the oracle for index queries.
+std::set<std::uint32_t> brute_radius(const mg::PointSet& pts,
+                                     const mg::Point& q, double r) {
+  std::set<std::uint32_t> out;
+  for (std::uint32_t i = 0; i < pts.size(); ++i) {
+    if (mg::dist2(q, pts[i]) <= r * r) out.insert(i);
+  }
+  return out;
+}
+
+mg::PointSet random_points(std::size_t n, std::uint64_t seed,
+                           double extent = 10.0) {
+  return mrscan::data::uniform_points(n, mg::BBox{0.0, 0.0, extent, extent},
+                                      seed);
+}
+
+}  // namespace
+
+TEST(Grid, AllPointsAccountedFor) {
+  const auto pts = random_points(500, 1);
+  mi::Grid grid(mg::GridGeometry{0.0, 0.0, 1.0}, pts);
+  std::size_t total = 0;
+  for (const std::uint64_t code : grid.codes()) {
+    total += grid.points_in(mg::cell_from_code(code)).size();
+  }
+  EXPECT_EQ(total, pts.size());
+  EXPECT_EQ(grid.point_count(), pts.size());
+}
+
+TEST(Grid, PointsInReturnsCorrectCellMembers) {
+  mg::PointSet pts{{0, 0.5, 0.5, 1.0f},
+                   {1, 0.6, 0.4, 1.0f},
+                   {2, 1.5, 0.5, 1.0f},
+                   {3, -0.5, -0.5, 1.0f}};
+  mi::Grid grid(mg::GridGeometry{0.0, 0.0, 1.0}, pts);
+  auto cell00 = grid.points_in(mg::CellKey{0, 0});
+  ASSERT_EQ(cell00.size(), 2u);
+  EXPECT_TRUE(grid.has_cell(mg::CellKey{-1, -1}));
+  EXPECT_EQ(grid.points_in(mg::CellKey{-1, -1}).size(), 1u);
+  EXPECT_FALSE(grid.has_cell(mg::CellKey{5, 5}));
+  EXPECT_TRUE(grid.points_in(mg::CellKey{5, 5}).empty());
+}
+
+TEST(Grid, RadiusQueryMatchesBruteForce) {
+  const auto pts = random_points(800, 2);
+  const double eps = 0.7;
+  mi::Grid grid(mg::GridGeometry{0.0, 0.0, eps}, pts);
+  mrscan::util::Rng rng(3);
+  for (int trial = 0; trial < 50; ++trial) {
+    const mg::Point q{9999, rng.uniform(-1.0, 11.0), rng.uniform(-1.0, 11.0),
+                      1.0f};
+    std::set<std::uint32_t> got;
+    grid.for_each_in_radius(q, eps, [&](std::uint32_t i) { got.insert(i); });
+    EXPECT_EQ(got, brute_radius(pts, q, eps));
+  }
+}
+
+TEST(Grid, CountInRadiusEarlyExit) {
+  const auto pts = random_points(1000, 4);
+  const double eps = 1.0;
+  mi::Grid grid(mg::GridGeometry{0.0, 0.0, eps}, pts);
+  const mg::Point q{0, 5.0, 5.0, 1.0f};
+  const std::size_t exact = grid.count_in_radius(q, eps);
+  EXPECT_EQ(exact, brute_radius(pts, q, eps).size());
+  if (exact >= 3) {
+    EXPECT_EQ(grid.count_in_radius(q, eps, 3), 3u);
+  }
+  EXPECT_EQ(grid.count_in_radius(q, eps, exact + 10), exact);
+}
+
+TEST(Grid, RejectsRadiusLargerThanCell) {
+  const auto pts = random_points(10, 5);
+  mi::Grid grid(mg::GridGeometry{0.0, 0.0, 0.5}, pts);
+  EXPECT_THROW(grid.count_in_radius(pts[0], 0.6), std::invalid_argument);
+}
+
+TEST(Grid, EmptyPointSet) {
+  mg::PointSet pts;
+  mi::Grid grid(mg::GridGeometry{0.0, 0.0, 1.0}, pts);
+  EXPECT_EQ(grid.cell_count(), 0u);
+  EXPECT_EQ(grid.count_in_radius(mg::Point{0, 0.0, 0.0, 1.0f}, 1.0), 0u);
+}
+
+TEST(KDTree, LeavesPartitionThePoints) {
+  const auto pts = random_points(2000, 6);
+  mi::KDTree tree(pts, mi::KDTreeConfig{32, 0.0});
+  std::size_t total = 0;
+  std::set<std::uint32_t> seen;
+  for (const auto& leaf : tree.leaves()) {
+    total += leaf.size();
+    EXPECT_LE(leaf.size(), 32u);
+    for (std::uint32_t i = leaf.begin; i < leaf.end; ++i) {
+      EXPECT_TRUE(seen.insert(tree.order()[i]).second);
+      EXPECT_TRUE(leaf.box.contains(pts[tree.order()[i]]));
+    }
+  }
+  EXPECT_EQ(total, pts.size());
+}
+
+TEST(KDTree, LeafOfIsConsistentWithLeafRanges) {
+  const auto pts = random_points(500, 7);
+  mi::KDTree tree(pts, mi::KDTreeConfig{16, 0.0});
+  for (std::uint32_t leaf_id = 0; leaf_id < tree.leaves().size(); ++leaf_id) {
+    const auto& leaf = tree.leaves()[leaf_id];
+    for (std::uint32_t i = leaf.begin; i < leaf.end; ++i) {
+      EXPECT_EQ(tree.leaf_of(tree.order()[i]), leaf_id);
+    }
+  }
+}
+
+TEST(KDTree, RadiusQueryMatchesBruteForce) {
+  const auto pts = random_points(1500, 8);
+  mi::KDTree tree(pts, mi::KDTreeConfig{24, 0.0});
+  mrscan::util::Rng rng(9);
+  std::vector<std::uint32_t> out;
+  for (int trial = 0; trial < 50; ++trial) {
+    const mg::Point q{0, rng.uniform(-1.0, 11.0), rng.uniform(-1.0, 11.0),
+                      1.0f};
+    const double r = rng.uniform(0.05, 2.0);
+    tree.radius_query(q, r, out);
+    std::set<std::uint32_t> got(out.begin(), out.end());
+    EXPECT_EQ(got.size(), out.size()) << "duplicates returned";
+    EXPECT_EQ(got, brute_radius(pts, q, r));
+  }
+}
+
+TEST(KDTree, CountInRadiusMatchesAndEarlyExits) {
+  const auto pts = random_points(1000, 10);
+  mi::KDTree tree(pts, mi::KDTreeConfig{24, 0.0});
+  const mg::Point q{0, 5.0, 5.0, 1.0f};
+  const std::size_t exact = tree.count_in_radius(q, 1.5);
+  EXPECT_EQ(exact, brute_radius(pts, q, 1.5).size());
+  if (exact >= 5) {
+    EXPECT_EQ(tree.count_in_radius(q, 1.5, 5), 5u);
+  }
+}
+
+TEST(KDTree, MinLeafExtentStopsSplittingDenseRegions) {
+  // 5000 points inside a 0.01 x 0.01 square: with min_leaf_extent 0.1 the
+  // tree must keep them in a single leaf instead of splitting to max_leaf.
+  mg::PointSet pts = random_points(5000, 11, 0.01);
+  mi::KDTree tree(pts, mi::KDTreeConfig{32, 0.1});
+  EXPECT_EQ(tree.leaves().size(), 1u);
+  EXPECT_EQ(tree.leaves()[0].size(), 5000u);
+}
+
+TEST(KDTree, EmptyAndSingleton) {
+  mg::PointSet empty;
+  mi::KDTree t0(empty, mi::KDTreeConfig{});
+  EXPECT_EQ(t0.leaves().size(), 0u);
+  EXPECT_EQ(t0.count_in_radius(mg::Point{0, 0, 0, 1.0f}, 1.0), 0u);
+
+  mg::PointSet one{{7, 1.0, 1.0, 1.0f}};
+  mi::KDTree t1(one, mi::KDTreeConfig{});
+  EXPECT_EQ(t1.leaves().size(), 1u);
+  EXPECT_EQ(t1.count_in_radius(mg::Point{0, 1.2, 1.0, 1.0f}, 0.3), 1u);
+  EXPECT_EQ(t1.count_in_radius(mg::Point{0, 2.0, 1.0, 1.0f}, 0.3), 0u);
+}
+
+TEST(CellHistogram, CountsMatchGrid) {
+  const auto pts = random_points(700, 12);
+  const mg::GridGeometry g{0.0, 0.0, 0.9};
+  mi::CellHistogram hist(g, pts);
+  mi::Grid grid(g, pts);
+  EXPECT_EQ(hist.total_points(), pts.size());
+  EXPECT_EQ(hist.cell_count(), grid.cell_count());
+  for (const std::uint64_t code : grid.codes()) {
+    EXPECT_EQ(hist.count_of(mg::cell_from_code(code)),
+              grid.points_in(mg::cell_from_code(code)).size());
+  }
+}
+
+TEST(CellHistogram, MergeIsAdditive) {
+  const auto a = random_points(300, 13);
+  const auto b = random_points(400, 14);
+  const mg::GridGeometry g{0.0, 0.0, 1.0};
+  mi::CellHistogram ha(g, a), hb(g, b);
+  mi::CellHistogram merged = ha;
+  merged.merge(hb);
+  EXPECT_EQ(merged.total_points(), 700u);
+
+  mg::PointSet all = a;
+  all.insert(all.end(), b.begin(), b.end());
+  mi::CellHistogram hall(g, all);
+  ASSERT_EQ(merged.cell_count(), hall.cell_count());
+  for (std::size_t i = 0; i < merged.entries().size(); ++i) {
+    EXPECT_EQ(merged.entries()[i].code, hall.entries()[i].code);
+    EXPECT_EQ(merged.entries()[i].count, hall.entries()[i].count);
+  }
+}
+
+TEST(CellHistogram, AddAndMaxCellCount) {
+  mi::CellHistogram hist;
+  hist.add(mg::CellKey{0, 0}, 5);
+  hist.add(mg::CellKey{1, 0}, 3);
+  hist.add(mg::CellKey{0, 0}, 2);
+  hist.add(mg::CellKey{2, 2}, 0);  // no-op
+  EXPECT_EQ(hist.total_points(), 10u);
+  EXPECT_EQ(hist.count_of(mg::CellKey{0, 0}), 7u);
+  EXPECT_EQ(hist.count_of(mg::CellKey{2, 2}), 0u);
+  EXPECT_EQ(hist.max_cell_count(), 7u);
+  EXPECT_EQ(hist.cell_count(), 2u);
+}
+
+TEST(CellHistogram, EntriesSortedByCode) {
+  const auto pts = random_points(200, 15);
+  mi::CellHistogram hist(mg::GridGeometry{0.0, 0.0, 0.5}, pts);
+  for (std::size_t i = 1; i < hist.entries().size(); ++i) {
+    EXPECT_LT(hist.entries()[i - 1].code, hist.entries()[i].code);
+  }
+}

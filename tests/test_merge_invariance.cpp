@@ -1,0 +1,144 @@
+// Tree-shape invariance: the clustering Mr. Scan produces must not depend
+// on how the merge tree is shaped. Merging is a union operation over
+// cluster connectivity, so flat reduction, deep narrow trees, and
+// hierarchical two-step merges must all converge to the same global
+// clusters.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <span>
+#include <string>
+
+#include "core/mrscan.hpp"
+#include "data/twitter.hpp"
+#include "data/synthetic.hpp"
+#include "dbscan/sequential.hpp"
+#include "merge/merger.hpp"
+
+namespace mg = mrscan::geom;
+namespace mc = mrscan::core;
+namespace mm = mrscan::merge;
+
+namespace {
+
+mg::PointSet make_points() {
+  mrscan::data::TwitterConfig tw;
+  tw.num_points = 9000;
+  tw.seed = 5;
+  return mrscan::data::generate_twitter(tw);
+}
+
+/// Labelings equal up to a bijective renaming of cluster ids (global ids
+/// are assigned in root-merge order, which legitimately depends on the
+/// tree shape; the induced partition must not).
+void expect_same_partition(std::span<const mrscan::dbscan::ClusterId> a,
+                           std::span<const mrscan::dbscan::ClusterId> b,
+                           const std::string& context) {
+  ASSERT_EQ(a.size(), b.size());
+  std::map<mrscan::dbscan::ClusterId, mrscan::dbscan::ClusterId> fwd, bwd;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const bool a_noise = a[i] < 0;
+    const bool b_noise = b[i] < 0;
+    ASSERT_EQ(a_noise, b_noise) << context << " at point " << i;
+    if (a_noise) continue;
+    auto [fit, fn] = fwd.emplace(a[i], b[i]);
+    EXPECT_EQ(fit->second, b[i]) << context << " split at point " << i;
+    auto [bit, bn] = bwd.emplace(b[i], a[i]);
+    EXPECT_EQ(bit->second, a[i]) << context << " merge at point " << i;
+  }
+}
+
+}  // namespace
+
+TEST(MergeInvariance, FanoutDoesNotChangeTheClustering) {
+  const auto points = make_points();
+  std::vector<mrscan::dbscan::ClusterId> reference;
+  for (const std::size_t fanout : {2UL, 4UL, 16UL, 256UL}) {
+    mc::MrScanConfig config;
+    config.params = {0.1, 20};
+    config.leaves = 12;
+    config.fanout = fanout;
+    const auto result = mc::MrScan(config).run(points);
+    const auto labels = result.labels_for(points);
+    if (reference.empty()) {
+      reference = labels;
+    } else {
+      expect_same_partition(labels, reference,
+                            "fanout " + std::to_string(fanout));
+    }
+  }
+}
+
+TEST(MergeInvariance, HierarchicalEqualsFlatMerge) {
+  // Build four leaf summaries from a cluster spanning a 2x2 partition
+  // arrangement, then merge them (a) all at once and (b) pairwise then
+  // combined. Final cluster counts must agree.
+  const double eps = 1.0;
+  const mg::GridGeometry geometry{0.0, 0.0, eps};
+
+  // One long horizontal chain of core points crossing four cells; each
+  // "leaf" owns one cell and sees its neighbours as shadow.
+  mg::PointSet points;
+  for (int i = 0; i < 40; ++i) {
+    points.push_back(
+        {static_cast<mg::PointId>(i), 0.1 * i + 0.05, 0.5, 1.0f});
+  }
+  const auto labels =
+      mrscan::dbscan::dbscan_sequential(points, {0.3, 2});
+  ASSERT_EQ(labels.cluster_count(), 1u);
+
+  std::vector<mm::MergeSummary> leaves;
+  for (int cell = 0; cell < 4; ++cell) {
+    mm::LeafSummaryInput input;
+    input.points = points;
+    input.owned_count = points.size();
+    input.labels = &labels;
+    input.geometry = geometry;
+    std::vector<std::uint64_t> owned{
+        mg::cell_code(mg::CellKey{cell, 0})};
+    std::vector<std::uint64_t> shadow;
+    if (cell > 0) shadow.push_back(mg::cell_code(mg::CellKey{cell - 1, 0}));
+    if (cell < 3) shadow.push_back(mg::cell_code(mg::CellKey{cell + 1, 0}));
+    std::sort(shadow.begin(), shadow.end());
+    input.owned_cells = owned;
+    input.shadow_cells = shadow;
+    leaves.push_back(mm::build_leaf_summary(input));
+  }
+
+  const auto flat = mm::merge_summaries(leaves, geometry, eps);
+  EXPECT_EQ(flat.merged.clusters.size(), 1u);
+
+  const auto left =
+      mm::merge_summaries({leaves[0], leaves[1]}, geometry, eps);
+  const auto right =
+      mm::merge_summaries({leaves[2], leaves[3]}, geometry, eps);
+  const auto combined =
+      mm::merge_summaries({left.merged, right.merged}, geometry, eps);
+  EXPECT_EQ(combined.merged.clusters.size(), flat.merged.clusters.size());
+}
+
+TEST(MergeInvariance, MergingWithEmptySummaryIsIdentityOnClusters) {
+  const auto points = mrscan::data::uniform_points(
+      500, mg::BBox{0.0, 0.0, 2.0, 2.0}, 9);
+  const auto labels = mrscan::dbscan::dbscan_sequential(points, {0.2, 4});
+  const mg::GridGeometry geometry{0.0, 0.0, 0.2};
+
+  mm::LeafSummaryInput input;
+  input.points = points;
+  input.owned_count = points.size();
+  input.labels = &labels;
+  input.geometry = geometry;
+  // All cells owned, nothing shadow: summaries carry no boundary cells —
+  // nothing to merge, cluster count must be preserved.
+  mrscan::index::CellHistogram hist(geometry, points);
+  std::vector<std::uint64_t> owned;
+  for (const auto& e : hist.entries()) owned.push_back(e.code);
+  input.owned_cells = owned;
+  input.shadow_cells = {};
+  const auto summary = mm::build_leaf_summary(input);
+
+  const auto merged =
+      mm::merge_summaries({summary, mm::MergeSummary{}}, geometry, 0.2);
+  EXPECT_EQ(merged.merged.clusters.size(), labels.cluster_count());
+  EXPECT_EQ(merged.merges_detected, 0u);
+}

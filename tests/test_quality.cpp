@@ -1,0 +1,83 @@
+#include <gtest/gtest.h>
+
+#include "data/synthetic.hpp"
+#include "dbscan/sequential.hpp"
+#include "quality/dbdc.hpp"
+
+namespace md = mrscan::dbscan;
+namespace mq = mrscan::quality;
+using md::kNoise;
+
+TEST(Dbdc, IdenticalLabelingsScoreOne) {
+  std::vector<md::ClusterId> labels{0, 0, 1, 1, kNoise, 2};
+  EXPECT_DOUBLE_EQ(mq::dbdc_quality(labels, labels), 1.0);
+}
+
+TEST(Dbdc, IdenticalUpToRenamingScoresOne) {
+  std::vector<md::ClusterId> a{0, 0, 1, 1, kNoise};
+  std::vector<md::ClusterId> b{5, 5, 9, 9, kNoise};
+  EXPECT_DOUBLE_EQ(mq::dbdc_quality(a, b), 1.0);
+}
+
+TEST(Dbdc, NoiseMisidentificationScoresZeroForThatPoint) {
+  std::vector<md::ClusterId> ref{0, 0, 0, kNoise};
+  std::vector<md::ClusterId> cand{0, 0, kNoise, kNoise};
+  // Point 2: misidentified (cluster->noise) = 0.
+  // Points 0,1: A={0,1,2} size 3, B={0,1} size 2, overlap 2 -> 2/3 each.
+  // Point 3: both noise -> 1.
+  const double expected = (2.0 / 3.0 + 2.0 / 3.0 + 0.0 + 1.0) / 4.0;
+  EXPECT_NEAR(mq::dbdc_quality(ref, cand), expected, 1e-12);
+
+  const auto report = mq::dbdc_report(ref, cand);
+  EXPECT_EQ(report.noise_mismatches, 1u);
+  EXPECT_EQ(report.points, 4u);
+}
+
+TEST(Dbdc, SplitClusterPenalised) {
+  // Reference: one cluster of 4; candidate splits it in half.
+  std::vector<md::ClusterId> ref{0, 0, 0, 0};
+  std::vector<md::ClusterId> cand{0, 0, 1, 1};
+  // Per point: |A|=4, |B|=2, |A∩B|=2 -> 2/(4+2-2) = 0.5.
+  EXPECT_NEAR(mq::dbdc_quality(ref, cand), 0.5, 1e-12);
+}
+
+TEST(Dbdc, MergedClustersPenalisedSymmetrically) {
+  std::vector<md::ClusterId> ref{0, 0, 1, 1};
+  std::vector<md::ClusterId> cand{0, 0, 0, 0};
+  EXPECT_NEAR(mq::dbdc_quality(ref, cand), 0.5, 1e-12);
+}
+
+TEST(Dbdc, AllNoiseBothWaysIsPerfect) {
+  std::vector<md::ClusterId> a{kNoise, kNoise, kNoise};
+  EXPECT_DOUBLE_EQ(mq::dbdc_quality(a, a), 1.0);
+}
+
+TEST(Dbdc, EmptyInputsScoreOne) {
+  EXPECT_DOUBLE_EQ(mq::dbdc_quality({}, {}), 1.0);
+}
+
+TEST(Dbdc, MismatchedSizesThrow) {
+  std::vector<md::ClusterId> a{0, 0};
+  std::vector<md::ClusterId> b{0};
+  EXPECT_THROW(mq::dbdc_quality(a, b), std::invalid_argument);
+}
+
+TEST(Dbdc, ScoreIsBetweenZeroAndOne) {
+  // Randomized-ish stress: compare DBSCAN outputs at two different MinPts;
+  // the score must stay in [0, 1].
+  const auto pts = mrscan::data::uniform_points(
+      500, mrscan::geom::BBox{0.0, 0.0, 10.0, 10.0}, 3);
+  const auto a = md::dbscan_sequential(pts, md::DbscanParams{0.5, 4});
+  const auto b = md::dbscan_sequential(pts, md::DbscanParams{0.5, 8});
+  const double q = mq::dbdc_quality(a.cluster, b.cluster);
+  EXPECT_GE(q, 0.0);
+  EXPECT_LE(q, 1.0);
+  EXPECT_LT(q, 1.0);  // parameters differ enough that output differs
+}
+
+TEST(Dbdc, SelfComparisonOfRealClusteringIsPerfect) {
+  const auto pts = mrscan::data::uniform_points(
+      300, mrscan::geom::BBox{0.0, 0.0, 5.0, 5.0}, 4);
+  const auto a = md::dbscan_sequential(pts, md::DbscanParams{0.4, 4});
+  EXPECT_DOUBLE_EQ(mq::dbdc_quality(a.cluster, a.cluster), 1.0);
+}

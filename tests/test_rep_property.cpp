@@ -1,0 +1,117 @@
+// Property test of the paper's Figure 5 claim: eight representative
+// points (nearest the 4 corners and 4 side midpoints of an Eps x Eps grid
+// cell) suffice to detect ANY core-point overlap between two clusters in
+// that cell, at arbitrary density.
+//
+// Randomised construction: two random "clusters" of core points in one
+// cell sharing at least one point. The theorem being checked: selecting
+// <= 8 representatives per side, some pair of representatives lies within
+// Eps. (Proof sketch from the paper: the shared point P is within Eps/2 of
+// some anchor; each side's representative nearest that anchor is at most
+// as far from it as P, so the two representatives are within Eps of each
+// other by the triangle inequality.)
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "geometry/cell.hpp"
+#include "geometry/rep_points.hpp"
+#include "util/rng.hpp"
+
+namespace mg = mrscan::geom;
+
+namespace {
+
+struct RepCase {
+  std::uint64_t seed;
+  std::size_t cluster_a_size;
+  std::size_t cluster_b_size;
+  std::size_t shared;
+};
+
+class RepresentativeProperty : public ::testing::TestWithParam<RepCase> {};
+
+}  // namespace
+
+TEST_P(RepresentativeProperty, SharedCorePointAlwaysDetected) {
+  const RepCase param = GetParam();
+  mrscan::util::Rng rng(param.seed);
+  const double eps = 1.0;  // cell side == Eps
+  const mg::GridGeometry geometry{0.0, 0.0, eps};
+  const mg::CellKey cell{0, 0};
+
+  for (int trial = 0; trial < 200; ++trial) {
+    // Cluster A and B core points inside the cell; `shared` points are
+    // members of both (the overlap DBSCAN merging hinges on).
+    mg::PointSet points;
+    std::vector<std::uint32_t> a_members, b_members;
+    mg::PointId id = 0;
+    auto add_point = [&]() {
+      points.push_back(mg::Point{id++, rng.uniform(0.0, eps),
+                                 rng.uniform(0.0, eps), 1.0f});
+      return static_cast<std::uint32_t>(points.size() - 1);
+    };
+    for (std::size_t i = 0; i < param.shared; ++i) {
+      const auto idx = add_point();
+      a_members.push_back(idx);
+      b_members.push_back(idx);
+    }
+    for (std::size_t i = 0; i < param.cluster_a_size; ++i) {
+      a_members.push_back(add_point());
+    }
+    for (std::size_t i = 0; i < param.cluster_b_size; ++i) {
+      b_members.push_back(add_point());
+    }
+
+    const auto reps_a =
+        mg::select_cell_representatives(geometry, cell, points, a_members);
+    const auto reps_b =
+        mg::select_cell_representatives(geometry, cell, points, b_members);
+    ASSERT_LE(reps_a.size(), 8u);
+    ASSERT_LE(reps_b.size(), 8u);
+
+    // The type-1 merge test must fire: some rep pair within Eps.
+    bool detected = false;
+    for (const auto ia : reps_a) {
+      for (const auto ib : reps_b) {
+        if (mg::within_eps(points[ia], points[ib], eps)) {
+          detected = true;
+          break;
+        }
+      }
+      if (detected) break;
+    }
+    EXPECT_TRUE(detected) << "trial " << trial << ": shared core point "
+                          << "missed by representative sets";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DensitySweep, RepresentativeProperty,
+    ::testing::Values(RepCase{1, 5, 5, 1}, RepCase{2, 50, 50, 1},
+                      RepCase{3, 500, 500, 1}, RepCase{4, 2000, 2000, 1},
+                      RepCase{5, 100, 3, 1}, RepCase{6, 0, 0, 1},
+                      RepCase{7, 300, 300, 5}),
+    [](const ::testing::TestParamInfo<RepCase>& info) {
+      return "a" + std::to_string(info.param.cluster_a_size) + "_b" +
+             std::to_string(info.param.cluster_b_size) + "_shared" +
+             std::to_string(info.param.shared);
+    });
+
+TEST(RepresentativeProperty, DisjointDistantClustersNotForcedTogether) {
+  // Sanity in the other direction: two clusters in one LARGE virtual cell
+  // scenario cannot happen (cells are Eps-sized), but two clusters with
+  // all pairs beyond Eps in adjacent corners of one cell must not produce
+  // reps within Eps of each other... unless geometry makes them close —
+  // verify the test is about actual distances, not set sizes.
+  const double eps = 1.0;
+  const mg::GridGeometry geometry{0.0, 0.0, eps};
+  mg::PointSet points{{0, 0.05, 0.05, 1.0f}, {1, 0.95, 0.95, 1.0f}};
+  const auto reps_a = mg::select_cell_representatives(
+      geometry, mg::CellKey{0, 0}, points, std::vector<std::uint32_t>{0});
+  const auto reps_b = mg::select_cell_representatives(
+      geometry, mg::CellKey{0, 0}, points, std::vector<std::uint32_t>{1});
+  // Corner-to-corner distance is sqrt(2 * 0.9^2) > Eps: no false merge.
+  EXPECT_FALSE(
+      mg::within_eps(points[reps_a[0]], points[reps_b[0]], eps));
+}

@@ -1,0 +1,141 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "data/synthetic.hpp"
+#include "data/twitter.hpp"
+#include "index/rtree.hpp"
+#include "util/rng.hpp"
+
+namespace mg = mrscan::geom;
+namespace mi = mrscan::index;
+
+namespace {
+
+std::set<std::uint32_t> brute_radius(const mg::PointSet& pts,
+                                     const mg::Point& q, double r) {
+  std::set<std::uint32_t> out;
+  for (std::uint32_t i = 0; i < pts.size(); ++i) {
+    if (mg::dist2(q, pts[i]) <= r * r) out.insert(i);
+  }
+  return out;
+}
+
+}  // namespace
+
+TEST(RTree, BulkLoadCoversAllPoints) {
+  const auto pts = mrscan::data::uniform_points(
+      2000, mg::BBox{0.0, 0.0, 10.0, 10.0}, 1);
+  mi::RTree tree(pts);
+  EXPECT_EQ(tree.size(), pts.size());
+  tree.check_invariants();
+  std::vector<std::uint32_t> all;
+  tree.radius_query(mg::Point{0, 5.0, 5.0, 1.0f}, 100.0, all);
+  EXPECT_EQ(all.size(), pts.size());
+}
+
+TEST(RTree, BulkLoadRadiusQueryMatchesBruteForce) {
+  const auto pts = mrscan::data::uniform_points(
+      1500, mg::BBox{0.0, 0.0, 10.0, 10.0}, 2);
+  mi::RTree tree(pts);
+  mrscan::util::Rng rng(3);
+  std::vector<std::uint32_t> out;
+  for (int trial = 0; trial < 50; ++trial) {
+    const mg::Point q{0, rng.uniform(-1.0, 11.0), rng.uniform(-1.0, 11.0),
+                      1.0f};
+    const double r = rng.uniform(0.05, 2.0);
+    tree.radius_query(q, r, out);
+    EXPECT_EQ(std::set<std::uint32_t>(out.begin(), out.end()),
+              brute_radius(pts, q, r));
+  }
+}
+
+TEST(RTree, IncrementalInsertMatchesBruteForce) {
+  const auto pts = mrscan::data::uniform_points(
+      800, mg::BBox{0.0, 0.0, 10.0, 10.0}, 4);
+  mi::RTree tree;
+  tree.attach(pts);
+  for (std::uint32_t i = 0; i < pts.size(); ++i) {
+    tree.insert(i);
+    if (i % 100 == 99) tree.check_invariants();
+  }
+  EXPECT_EQ(tree.size(), pts.size());
+  tree.check_invariants();
+
+  mrscan::util::Rng rng(5);
+  std::vector<std::uint32_t> out;
+  for (int trial = 0; trial < 30; ++trial) {
+    const mg::Point q{0, rng.uniform(0.0, 10.0), rng.uniform(0.0, 10.0),
+                      1.0f};
+    tree.radius_query(q, 0.8, out);
+    EXPECT_EQ(std::set<std::uint32_t>(out.begin(), out.end()),
+              brute_radius(pts, q, 0.8));
+  }
+}
+
+TEST(RTree, SkewedDataKeepsInvariants) {
+  // Heavy-tailed Twitter-like data stresses the split heuristics.
+  mrscan::data::TwitterConfig tw;
+  tw.num_points = 5000;
+  const auto pts = mrscan::data::generate_twitter(tw);
+  mi::RTree bulk(pts);
+  bulk.check_invariants();
+
+  mi::RTree incremental;
+  incremental.attach(pts);
+  for (std::uint32_t i = 0; i < pts.size(); ++i) incremental.insert(i);
+  incremental.check_invariants();
+
+  // Both trees answer identically.
+  std::vector<std::uint32_t> a, b;
+  bulk.radius_query(pts[123], 0.1, a);
+  incremental.radius_query(pts[123], 0.1, b);
+  EXPECT_EQ(std::set<std::uint32_t>(a.begin(), a.end()),
+            std::set<std::uint32_t>(b.begin(), b.end()));
+}
+
+TEST(RTree, CountInRadiusEarlyExit) {
+  const auto pts = mrscan::data::uniform_points(
+      1000, mg::BBox{0.0, 0.0, 5.0, 5.0}, 6);
+  mi::RTree tree(pts);
+  const mg::Point q{0, 2.5, 2.5, 1.0f};
+  const std::size_t exact = tree.count_in_radius(q, 1.0);
+  EXPECT_EQ(exact, brute_radius(pts, q, 1.0).size());
+  if (exact >= 7) {
+    EXPECT_EQ(tree.count_in_radius(q, 1.0, 7), 7u);
+  }
+}
+
+TEST(RTree, EmptyAndSingleton) {
+  mi::RTree empty;
+  EXPECT_EQ(empty.size(), 0u);
+  EXPECT_EQ(empty.height(), 0u);
+  EXPECT_EQ(empty.count_in_radius(mg::Point{0, 0, 0, 1}, 1.0), 0u);
+  empty.check_invariants();
+
+  mg::PointSet one{{5, 1.0, 2.0, 1.0f}};
+  mi::RTree tree(one);
+  EXPECT_EQ(tree.size(), 1u);
+  EXPECT_EQ(tree.count_in_radius(mg::Point{0, 1.1, 2.0, 1}, 0.2), 1u);
+}
+
+TEST(RTree, HeightGrowsLogarithmically) {
+  const auto pts = mrscan::data::uniform_points(
+      10000, mg::BBox{0.0, 0.0, 100.0, 100.0}, 7);
+  mi::RTree tree(pts);
+  // 10,000 points with fanout 16: height around ceil(log16(10000/16)) + 1.
+  EXPECT_GE(tree.height(), 3u);
+  EXPECT_LE(tree.height(), 5u);
+}
+
+TEST(RTree, InsertOutsideSpanThrows) {
+  mg::PointSet pts{{0, 0.0, 0.0, 1.0f}};
+  mi::RTree tree;
+  tree.attach(pts);
+  EXPECT_THROW(tree.insert(5), std::invalid_argument);
+}
+
+TEST(RTree, RejectsBadConfig) {
+  EXPECT_THROW(mi::RTree(mi::RTreeConfig{3, 2}), std::invalid_argument);
+  EXPECT_THROW(mi::RTree(mi::RTreeConfig{16, 12}), std::invalid_argument);
+}

@@ -1,0 +1,94 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <unistd.h>
+
+#include "data/synthetic.hpp"
+#include "sweep/sweep.hpp"
+
+namespace mg = mrscan::geom;
+namespace md = mrscan::dbscan;
+namespace msw = mrscan::sweep;
+namespace mm = mrscan::merge;
+namespace fs = std::filesystem;
+
+TEST(Sweep, GlobalIdsAndOffsetsFromClusterSizes) {
+  mm::MergeSummary root;
+  root.clusters.resize(3);
+  root.clusters[0].owned_points = 100;
+  root.clusters[1].owned_points = 50;
+  root.clusters[2].owned_points = 7;
+  const auto assignment = msw::assign_global_ids(root);
+  EXPECT_EQ(assignment.cluster_count, 3u);
+  EXPECT_EQ(assignment.offsets,
+            (std::vector<std::uint64_t>{0, 100, 150, 157}));
+}
+
+TEST(Sweep, EmptyRootSummary) {
+  const auto assignment = msw::assign_global_ids(mm::MergeSummary{});
+  EXPECT_EQ(assignment.cluster_count, 0u);
+  EXPECT_EQ(assignment.offsets, (std::vector<std::uint64_t>{0}));
+}
+
+TEST(Sweep, LabelOwnedPointsMapsLocalToGlobal) {
+  mg::PointSet pts{{10, 0, 0, 1}, {11, 1, 0, 1}, {12, 2, 0, 1}};
+  md::Labeling labels;
+  labels.cluster = {0, md::kNoise, 1};
+  labels.core = {1, 0, 1};
+  const std::vector<std::int64_t> global{42, 7};
+  const auto records = msw::label_owned_points(pts, labels, global);
+  ASSERT_EQ(records.size(), 2u);  // noise dropped
+  EXPECT_EQ(records[0].point.id, 10u);
+  EXPECT_EQ(records[0].cluster, 42);
+  EXPECT_EQ(records[1].point.id, 12u);
+  EXPECT_EQ(records[1].cluster, 7);
+}
+
+TEST(Sweep, KeepNoiseOptionRetainsNoisePoints) {
+  mg::PointSet pts{{10, 0, 0, 1}, {11, 1, 0, 1}};
+  md::Labeling labels;
+  labels.cluster = {md::kNoise, 0};
+  labels.core = {0, 1};
+  const std::vector<std::int64_t> global{3};
+  const auto records =
+      msw::label_owned_points(pts, labels, global, /*keep_noise=*/true);
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].cluster, md::kNoise);
+  EXPECT_EQ(records[1].cluster, 3);
+}
+
+TEST(Sweep, LabelOutOfRangeThrows) {
+  mg::PointSet pts{{1, 0, 0, 1}};
+  md::Labeling labels;
+  labels.cluster = {5};
+  labels.core = {1};
+  const std::vector<std::int64_t> global{0};  // only cluster 0 mapped
+  EXPECT_THROW(msw::label_owned_points(pts, labels, global),
+               std::invalid_argument);
+}
+
+TEST(Sweep, LabeledFileRoundTrip) {
+  const fs::path dir =
+      fs::temp_directory_path() /
+      ("mrscan_sweep_" + std::to_string(::getpid()));
+  fs::create_directories(dir);
+  std::vector<msw::LabeledPoint> records{
+      {{1, 0.5, -0.5, 1.0f}, 0},
+      {{2, 1.5, 2.5, 0.25f}, 0},
+      {{3, -3.5, 4.0, 1.0f}, 7},
+  };
+  const fs::path path = dir / "out.txt";
+  msw::write_labeled_text(path, records);
+  const auto back = msw::read_labeled_text(path);
+  EXPECT_EQ(back, records);
+  fs::remove_all(dir);
+}
+
+TEST(Sweep, LabelsInInputOrderAlignsById) {
+  mg::PointSet pts{{5, 0, 0, 1}, {6, 1, 1, 1}, {7, 2, 2, 1}};
+  std::vector<msw::LabeledPoint> records{{{7, 2, 2, 1}, 1},
+                                         {{5, 0, 0, 1}, 0}};
+  const auto labels = msw::labels_in_input_order(pts, records);
+  EXPECT_EQ(labels,
+            (std::vector<md::ClusterId>{0, md::kNoise, 1}));
+}

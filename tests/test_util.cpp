@@ -1,0 +1,193 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+#include <set>
+#include <thread>
+
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+#include "util/timer.hpp"
+#include "util/union_find.hpp"
+
+namespace mu = mrscan::util;
+
+TEST(Rng, DeterministicForSameSeed) {
+  mu::Rng a(42), b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  mu::Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a.next_u64() == b.next_u64()) ++same;
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, NextBelowIsInRange) {
+  mu::Rng rng(7);
+  for (std::uint64_t n : {1ULL, 2ULL, 3ULL, 17ULL, 1000ULL}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(rng.next_below(n), n);
+  }
+}
+
+TEST(Rng, NextBelowCoversAllValues) {
+  mu::Rng rng(11);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.next_below(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  mu::Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, NormalHasApproxUnitMoments) {
+  mu::Rng rng(5);
+  const int n = 200000;
+  double sum = 0.0, sum2 = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.normal();
+    sum += v;
+    sum2 += v * v;
+  }
+  const double mean = sum / n;
+  const double var = sum2 / n - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.02);
+  EXPECT_NEAR(var, 1.0, 0.03);
+}
+
+TEST(Rng, ExponentialMeanMatchesRate) {
+  mu::Rng rng(6);
+  const int n = 100000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(2.0);
+  EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+TEST(Rng, ParetoRespectsMinimum) {
+  mu::Rng rng(8);
+  for (int i = 0; i < 10000; ++i) EXPECT_GE(rng.pareto(3.0, 1.5), 3.0);
+}
+
+TEST(Rng, SplitStreamsAreIndependentlySeeded) {
+  mu::Rng parent(9);
+  mu::Rng child = parent.split();
+  // Child stream should not replay the parent stream.
+  mu::Rng parent2(9);
+  mu::Rng child2 = parent2.split();
+  EXPECT_EQ(child.next_u64(), child2.next_u64());  // deterministic
+  mu::Rng fresh(9);
+  EXPECT_NE(child2.next_u64(), fresh.next_u64());
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  mu::Rng rng(10);
+  std::vector<int> v(100);
+  std::iota(v.begin(), v.end(), 0);
+  auto orig = v;
+  rng.shuffle(v);
+  EXPECT_NE(v, orig);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, orig);
+}
+
+TEST(UnionFind, SingletonsAreDistinct) {
+  mu::UnionFind uf(5);
+  EXPECT_EQ(uf.count_sets(), 5u);
+  for (std::uint32_t i = 0; i < 5; ++i) EXPECT_EQ(uf.find(i), i);
+}
+
+TEST(UnionFind, UniteMergesAndFindAgrees) {
+  mu::UnionFind uf(6);
+  uf.unite(0, 1);
+  uf.unite(2, 3);
+  EXPECT_TRUE(uf.same(0, 1));
+  EXPECT_FALSE(uf.same(1, 2));
+  uf.unite(1, 3);
+  EXPECT_TRUE(uf.same(0, 2));
+  EXPECT_EQ(uf.count_sets(), 3u);  // {0,1,2,3}, {4}, {5}
+}
+
+TEST(UnionFind, SetSizeTracksUnions) {
+  mu::UnionFind uf(4);
+  EXPECT_EQ(uf.set_size(0), 1u);
+  uf.unite(0, 1);
+  uf.unite(0, 2);
+  EXPECT_EQ(uf.set_size(2), 3u);
+}
+
+TEST(UnionFind, AddExtendsStructure) {
+  mu::UnionFind uf(2);
+  const auto id = uf.add();
+  EXPECT_EQ(id, 2u);
+  uf.unite(0, id);
+  EXPECT_TRUE(uf.same(0, 2));
+}
+
+TEST(UnionFind, TransitiveChainCollapses) {
+  const std::uint32_t n = 1000;
+  mu::UnionFind uf(n);
+  for (std::uint32_t i = 0; i + 1 < n; ++i) uf.unite(i, i + 1);
+  EXPECT_EQ(uf.count_sets(), 1u);
+  EXPECT_EQ(uf.set_size(0), n);
+}
+
+TEST(PhaseTimer, AccumulatesNamedPhases) {
+  mu::PhaseTimer pt;
+  pt.add("partition", 1.5);
+  pt.add("cluster", 2.0);
+  pt.add("partition", 0.5);
+  EXPECT_DOUBLE_EQ(pt.get("partition"), 2.0);
+  EXPECT_DOUBLE_EQ(pt.get("cluster"), 2.0);
+  EXPECT_DOUBLE_EQ(pt.get("missing"), 0.0);
+  EXPECT_DOUBLE_EQ(pt.total(), 4.0);
+  ASSERT_EQ(pt.phases().size(), 2u);
+  EXPECT_EQ(pt.phases()[0].first, "partition");
+}
+
+TEST(PhaseTimer, ScopeRecordsElapsed) {
+  mu::PhaseTimer pt;
+  {
+    mu::PhaseTimer::Scope scope(pt, "work");
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_GT(pt.get("work"), 0.0);
+}
+
+TEST(ThreadPool, ParallelForCoversRange) {
+  mu::ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallel_for(0, hits.size(),
+                    [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, EmptyRangeIsNoop) {
+  mu::ThreadPool pool(2);
+  bool ran = false;
+  pool.parallel_for(5, 5, [&](std::size_t) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+TEST(ThreadPool, SubmitAndWaitIdle) {
+  mu::ThreadPool pool(3);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 50; ++i) pool.submit([&] { count.fetch_add(1); });
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 50);
+}
+
+TEST(ThreadPool, SingleWorkerIsSequential) {
+  mu::ThreadPool pool(1);
+  std::vector<std::size_t> order;
+  pool.parallel_for(0, 10, [&](std::size_t i) { order.push_back(i); });
+  ASSERT_EQ(order.size(), 10u);
+  for (std::size_t i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
