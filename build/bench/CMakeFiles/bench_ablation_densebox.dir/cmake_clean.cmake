@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_densebox.dir/bench_ablation_densebox.cpp.o"
+  "CMakeFiles/bench_ablation_densebox.dir/bench_ablation_densebox.cpp.o.d"
+  "bench_ablation_densebox"
+  "bench_ablation_densebox.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_densebox.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

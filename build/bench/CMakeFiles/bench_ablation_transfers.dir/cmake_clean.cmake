@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_transfers.dir/bench_ablation_transfers.cpp.o"
+  "CMakeFiles/bench_ablation_transfers.dir/bench_ablation_transfers.cpp.o.d"
+  "bench_ablation_transfers"
+  "bench_ablation_transfers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_transfers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_ablation_transport.cpp" "bench/CMakeFiles/bench_ablation_transport.dir/bench_ablation_transport.cpp.o" "gcc" "bench/CMakeFiles/bench_ablation_transport.dir/bench_ablation_transport.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/mrscan_bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/mrscan_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/partition/CMakeFiles/mrscan_partition.dir/DependInfo.cmake"
+  "/root/repo/build/src/quality/CMakeFiles/mrscan_quality.dir/DependInfo.cmake"
+  "/root/repo/build/src/sweep/CMakeFiles/mrscan_sweep.dir/DependInfo.cmake"
+  "/root/repo/build/src/merge/CMakeFiles/mrscan_merge.dir/DependInfo.cmake"
+  "/root/repo/build/src/mrnet/CMakeFiles/mrscan_mrnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mrscan_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpu/CMakeFiles/mrscan_gpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/dbscan/CMakeFiles/mrscan_dbscan.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/mrscan_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/mrscan_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/mrscan_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/geometry/CMakeFiles/mrscan_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mrscan_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

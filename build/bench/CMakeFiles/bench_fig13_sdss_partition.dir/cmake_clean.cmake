@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_sdss_partition.dir/bench_fig13_sdss_partition.cpp.o"
+  "CMakeFiles/bench_fig13_sdss_partition.dir/bench_fig13_sdss_partition.cpp.o.d"
+  "bench_fig13_sdss_partition"
+  "bench_fig13_sdss_partition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_sdss_partition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_weak_total.dir/bench_fig8_weak_total.cpp.o"
+  "CMakeFiles/bench_fig8_weak_total.dir/bench_fig8_weak_total.cpp.o.d"
+  "bench_fig8_weak_total"
+  "bench_fig8_weak_total.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_weak_total.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

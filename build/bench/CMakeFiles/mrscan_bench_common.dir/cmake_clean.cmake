@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mrscan_bench_common.dir/common/experiment.cpp.o"
+  "CMakeFiles/mrscan_bench_common.dir/common/experiment.cpp.o.d"
+  "libmrscan_bench_common.a"
+  "libmrscan_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mrscan_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mrscan_cli.dir/mrscan_cli.cpp.o"
+  "CMakeFiles/mrscan_cli.dir/mrscan_cli.cpp.o.d"
+  "mrscan_cli"
+  "mrscan_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mrscan_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdss_objects.dir/sdss_objects.cpp.o"
+  "CMakeFiles/sdss_objects.dir/sdss_objects.cpp.o.d"
+  "sdss_objects"
+  "sdss_objects.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdss_objects.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tree_network_demo.dir/tree_network_demo.cpp.o"
+  "CMakeFiles/tree_network_demo.dir/tree_network_demo.cpp.o.d"
+  "tree_network_demo"
+  "tree_network_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tree_network_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

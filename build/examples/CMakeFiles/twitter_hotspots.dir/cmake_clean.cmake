@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/twitter_hotspots.dir/twitter_hotspots.cpp.o"
+  "CMakeFiles/twitter_hotspots.dir/twitter_hotspots.cpp.o.d"
+  "twitter_hotspots"
+  "twitter_hotspots.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/twitter_hotspots.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

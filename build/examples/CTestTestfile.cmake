@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build/examples/quickstart")
+set_tests_properties(example_quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;13;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_twitter_hotspots "/root/repo/build/examples/twitter_hotspots" "20000")
+set_tests_properties(example_twitter_hotspots PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;14;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_sdss_objects "/root/repo/build/examples/sdss_objects" "20000")
+set_tests_properties(example_sdss_objects PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;15;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_tree_network_demo "/root/repo/build/examples/tree_network_demo")
+set_tests_properties(example_tree_network_demo PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;16;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_mrscan_cli "/root/repo/build/examples/mrscan_cli" "--demo" "5000" "--eps" "0.1" "--minpts" "40" "--output" "/root/repo/build/examples/cli_smoke.clusters")
+set_tests_properties(example_mrscan_cli PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;17;add_test;/root/repo/examples/CMakeLists.txt;0;")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mrscan_core.dir/mrscan.cpp.o"
+  "CMakeFiles/mrscan_core.dir/mrscan.cpp.o.d"
+  "libmrscan_core.a"
+  "libmrscan_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mrscan_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

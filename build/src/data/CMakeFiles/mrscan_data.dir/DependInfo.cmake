@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/sdss.cpp" "src/data/CMakeFiles/mrscan_data.dir/sdss.cpp.o" "gcc" "src/data/CMakeFiles/mrscan_data.dir/sdss.cpp.o.d"
+  "/root/repo/src/data/synthetic.cpp" "src/data/CMakeFiles/mrscan_data.dir/synthetic.cpp.o" "gcc" "src/data/CMakeFiles/mrscan_data.dir/synthetic.cpp.o.d"
+  "/root/repo/src/data/twitter.cpp" "src/data/CMakeFiles/mrscan_data.dir/twitter.cpp.o" "gcc" "src/data/CMakeFiles/mrscan_data.dir/twitter.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/geometry/CMakeFiles/mrscan_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/mrscan_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mrscan_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

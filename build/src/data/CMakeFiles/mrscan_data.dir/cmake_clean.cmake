@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mrscan_data.dir/sdss.cpp.o"
+  "CMakeFiles/mrscan_data.dir/sdss.cpp.o.d"
+  "CMakeFiles/mrscan_data.dir/synthetic.cpp.o"
+  "CMakeFiles/mrscan_data.dir/synthetic.cpp.o.d"
+  "CMakeFiles/mrscan_data.dir/twitter.cpp.o"
+  "CMakeFiles/mrscan_data.dir/twitter.cpp.o.d"
+  "libmrscan_data.a"
+  "libmrscan_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mrscan_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dbscan/disjoint_set.cpp" "src/dbscan/CMakeFiles/mrscan_dbscan.dir/disjoint_set.cpp.o" "gcc" "src/dbscan/CMakeFiles/mrscan_dbscan.dir/disjoint_set.cpp.o.d"
+  "/root/repo/src/dbscan/labels.cpp" "src/dbscan/CMakeFiles/mrscan_dbscan.dir/labels.cpp.o" "gcc" "src/dbscan/CMakeFiles/mrscan_dbscan.dir/labels.cpp.o.d"
+  "/root/repo/src/dbscan/rtree_dbscan.cpp" "src/dbscan/CMakeFiles/mrscan_dbscan.dir/rtree_dbscan.cpp.o" "gcc" "src/dbscan/CMakeFiles/mrscan_dbscan.dir/rtree_dbscan.cpp.o.d"
+  "/root/repo/src/dbscan/sequential.cpp" "src/dbscan/CMakeFiles/mrscan_dbscan.dir/sequential.cpp.o" "gcc" "src/dbscan/CMakeFiles/mrscan_dbscan.dir/sequential.cpp.o.d"
+  "/root/repo/src/dbscan/ti_dbscan.cpp" "src/dbscan/CMakeFiles/mrscan_dbscan.dir/ti_dbscan.cpp.o" "gcc" "src/dbscan/CMakeFiles/mrscan_dbscan.dir/ti_dbscan.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/index/CMakeFiles/mrscan_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/geometry/CMakeFiles/mrscan_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mrscan_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mrscan_dbscan.dir/disjoint_set.cpp.o"
+  "CMakeFiles/mrscan_dbscan.dir/disjoint_set.cpp.o.d"
+  "CMakeFiles/mrscan_dbscan.dir/labels.cpp.o"
+  "CMakeFiles/mrscan_dbscan.dir/labels.cpp.o.d"
+  "CMakeFiles/mrscan_dbscan.dir/rtree_dbscan.cpp.o"
+  "CMakeFiles/mrscan_dbscan.dir/rtree_dbscan.cpp.o.d"
+  "CMakeFiles/mrscan_dbscan.dir/sequential.cpp.o"
+  "CMakeFiles/mrscan_dbscan.dir/sequential.cpp.o.d"
+  "CMakeFiles/mrscan_dbscan.dir/ti_dbscan.cpp.o"
+  "CMakeFiles/mrscan_dbscan.dir/ti_dbscan.cpp.o.d"
+  "libmrscan_dbscan.a"
+  "libmrscan_dbscan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mrscan_dbscan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/geometry/bbox.cpp" "src/geometry/CMakeFiles/mrscan_geometry.dir/bbox.cpp.o" "gcc" "src/geometry/CMakeFiles/mrscan_geometry.dir/bbox.cpp.o.d"
+  "/root/repo/src/geometry/rep_points.cpp" "src/geometry/CMakeFiles/mrscan_geometry.dir/rep_points.cpp.o" "gcc" "src/geometry/CMakeFiles/mrscan_geometry.dir/rep_points.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/mrscan_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

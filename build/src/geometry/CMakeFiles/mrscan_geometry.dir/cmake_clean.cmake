@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mrscan_geometry.dir/bbox.cpp.o"
+  "CMakeFiles/mrscan_geometry.dir/bbox.cpp.o.d"
+  "CMakeFiles/mrscan_geometry.dir/rep_points.cpp.o"
+  "CMakeFiles/mrscan_geometry.dir/rep_points.cpp.o.d"
+  "libmrscan_geometry.a"
+  "libmrscan_geometry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mrscan_geometry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

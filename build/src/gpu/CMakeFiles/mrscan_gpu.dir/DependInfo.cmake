@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gpu/cuda_dclust.cpp" "src/gpu/CMakeFiles/mrscan_gpu.dir/cuda_dclust.cpp.o" "gcc" "src/gpu/CMakeFiles/mrscan_gpu.dir/cuda_dclust.cpp.o.d"
+  "/root/repo/src/gpu/dense_box.cpp" "src/gpu/CMakeFiles/mrscan_gpu.dir/dense_box.cpp.o" "gcc" "src/gpu/CMakeFiles/mrscan_gpu.dir/dense_box.cpp.o.d"
+  "/root/repo/src/gpu/device.cpp" "src/gpu/CMakeFiles/mrscan_gpu.dir/device.cpp.o" "gcc" "src/gpu/CMakeFiles/mrscan_gpu.dir/device.cpp.o.d"
+  "/root/repo/src/gpu/mrscan_gpu.cpp" "src/gpu/CMakeFiles/mrscan_gpu.dir/mrscan_gpu.cpp.o" "gcc" "src/gpu/CMakeFiles/mrscan_gpu.dir/mrscan_gpu.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/index/CMakeFiles/mrscan_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/dbscan/CMakeFiles/mrscan_dbscan.dir/DependInfo.cmake"
+  "/root/repo/build/src/geometry/CMakeFiles/mrscan_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mrscan_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mrscan_gpu.dir/cuda_dclust.cpp.o"
+  "CMakeFiles/mrscan_gpu.dir/cuda_dclust.cpp.o.d"
+  "CMakeFiles/mrscan_gpu.dir/dense_box.cpp.o"
+  "CMakeFiles/mrscan_gpu.dir/dense_box.cpp.o.d"
+  "CMakeFiles/mrscan_gpu.dir/device.cpp.o"
+  "CMakeFiles/mrscan_gpu.dir/device.cpp.o.d"
+  "CMakeFiles/mrscan_gpu.dir/mrscan_gpu.cpp.o"
+  "CMakeFiles/mrscan_gpu.dir/mrscan_gpu.cpp.o.d"
+  "libmrscan_gpu.a"
+  "libmrscan_gpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mrscan_gpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmrscan_gpu.a"
+)

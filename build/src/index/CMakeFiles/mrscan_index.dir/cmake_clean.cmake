@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mrscan_index.dir/cell_histogram.cpp.o"
+  "CMakeFiles/mrscan_index.dir/cell_histogram.cpp.o.d"
+  "CMakeFiles/mrscan_index.dir/grid.cpp.o"
+  "CMakeFiles/mrscan_index.dir/grid.cpp.o.d"
+  "CMakeFiles/mrscan_index.dir/kdtree.cpp.o"
+  "CMakeFiles/mrscan_index.dir/kdtree.cpp.o.d"
+  "CMakeFiles/mrscan_index.dir/rtree.cpp.o"
+  "CMakeFiles/mrscan_index.dir/rtree.cpp.o.d"
+  "libmrscan_index.a"
+  "libmrscan_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mrscan_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

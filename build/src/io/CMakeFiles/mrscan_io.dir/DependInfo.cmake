@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/io/point_file.cpp" "src/io/CMakeFiles/mrscan_io.dir/point_file.cpp.o" "gcc" "src/io/CMakeFiles/mrscan_io.dir/point_file.cpp.o.d"
+  "/root/repo/src/io/segment_file.cpp" "src/io/CMakeFiles/mrscan_io.dir/segment_file.cpp.o" "gcc" "src/io/CMakeFiles/mrscan_io.dir/segment_file.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/geometry/CMakeFiles/mrscan_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mrscan_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

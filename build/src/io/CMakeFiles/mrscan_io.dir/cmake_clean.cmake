@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mrscan_io.dir/point_file.cpp.o"
+  "CMakeFiles/mrscan_io.dir/point_file.cpp.o.d"
+  "CMakeFiles/mrscan_io.dir/segment_file.cpp.o"
+  "CMakeFiles/mrscan_io.dir/segment_file.cpp.o.d"
+  "libmrscan_io.a"
+  "libmrscan_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mrscan_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

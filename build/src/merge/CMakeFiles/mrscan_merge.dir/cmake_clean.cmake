@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mrscan_merge.dir/merger.cpp.o"
+  "CMakeFiles/mrscan_merge.dir/merger.cpp.o.d"
+  "CMakeFiles/mrscan_merge.dir/summary.cpp.o"
+  "CMakeFiles/mrscan_merge.dir/summary.cpp.o.d"
+  "libmrscan_merge.a"
+  "libmrscan_merge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mrscan_merge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

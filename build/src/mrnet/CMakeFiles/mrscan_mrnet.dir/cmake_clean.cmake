@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mrscan_mrnet.dir/network.cpp.o"
+  "CMakeFiles/mrscan_mrnet.dir/network.cpp.o.d"
+  "CMakeFiles/mrscan_mrnet.dir/packet.cpp.o"
+  "CMakeFiles/mrscan_mrnet.dir/packet.cpp.o.d"
+  "CMakeFiles/mrscan_mrnet.dir/topology.cpp.o"
+  "CMakeFiles/mrscan_mrnet.dir/topology.cpp.o.d"
+  "libmrscan_mrnet.a"
+  "libmrscan_mrnet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mrscan_mrnet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

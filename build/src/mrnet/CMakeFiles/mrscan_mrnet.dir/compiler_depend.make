@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for mrscan_mrnet.
+# This may be replaced when dependencies are built.

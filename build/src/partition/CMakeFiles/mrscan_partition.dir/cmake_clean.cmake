@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mrscan_partition.dir/distributed.cpp.o"
+  "CMakeFiles/mrscan_partition.dir/distributed.cpp.o.d"
+  "CMakeFiles/mrscan_partition.dir/materialize.cpp.o"
+  "CMakeFiles/mrscan_partition.dir/materialize.cpp.o.d"
+  "CMakeFiles/mrscan_partition.dir/partitioner.cpp.o"
+  "CMakeFiles/mrscan_partition.dir/partitioner.cpp.o.d"
+  "CMakeFiles/mrscan_partition.dir/plan.cpp.o"
+  "CMakeFiles/mrscan_partition.dir/plan.cpp.o.d"
+  "libmrscan_partition.a"
+  "libmrscan_partition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mrscan_partition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

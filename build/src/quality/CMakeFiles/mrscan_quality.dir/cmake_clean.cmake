@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mrscan_quality.dir/cluster_stats.cpp.o"
+  "CMakeFiles/mrscan_quality.dir/cluster_stats.cpp.o.d"
+  "CMakeFiles/mrscan_quality.dir/dbdc.cpp.o"
+  "CMakeFiles/mrscan_quality.dir/dbdc.cpp.o.d"
+  "libmrscan_quality.a"
+  "libmrscan_quality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mrscan_quality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

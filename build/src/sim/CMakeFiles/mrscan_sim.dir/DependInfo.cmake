@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/event_queue.cpp" "src/sim/CMakeFiles/mrscan_sim.dir/event_queue.cpp.o" "gcc" "src/sim/CMakeFiles/mrscan_sim.dir/event_queue.cpp.o.d"
+  "/root/repo/src/sim/titan.cpp" "src/sim/CMakeFiles/mrscan_sim.dir/titan.cpp.o" "gcc" "src/sim/CMakeFiles/mrscan_sim.dir/titan.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/gpu/CMakeFiles/mrscan_gpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mrscan_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/dbscan/CMakeFiles/mrscan_dbscan.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/mrscan_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/geometry/CMakeFiles/mrscan_geometry.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

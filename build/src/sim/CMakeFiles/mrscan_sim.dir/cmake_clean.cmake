@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mrscan_sim.dir/event_queue.cpp.o"
+  "CMakeFiles/mrscan_sim.dir/event_queue.cpp.o.d"
+  "CMakeFiles/mrscan_sim.dir/titan.cpp.o"
+  "CMakeFiles/mrscan_sim.dir/titan.cpp.o.d"
+  "libmrscan_sim.a"
+  "libmrscan_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mrscan_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

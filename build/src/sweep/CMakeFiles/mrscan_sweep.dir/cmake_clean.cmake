@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mrscan_sweep.dir/sweep.cpp.o"
+  "CMakeFiles/mrscan_sweep.dir/sweep.cpp.o.d"
+  "libmrscan_sweep.a"
+  "libmrscan_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mrscan_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mrscan_util.dir/logging.cpp.o"
+  "CMakeFiles/mrscan_util.dir/logging.cpp.o.d"
+  "CMakeFiles/mrscan_util.dir/rng.cpp.o"
+  "CMakeFiles/mrscan_util.dir/rng.cpp.o.d"
+  "CMakeFiles/mrscan_util.dir/thread_pool.cpp.o"
+  "CMakeFiles/mrscan_util.dir/thread_pool.cpp.o.d"
+  "libmrscan_util.a"
+  "libmrscan_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mrscan_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cell_refine.dir/test_cell_refine.cpp.o"
+  "CMakeFiles/test_cell_refine.dir/test_cell_refine.cpp.o.d"
+  "test_cell_refine"
+  "test_cell_refine.pdb"
+  "test_cell_refine[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cell_refine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cluster_stats.dir/test_cluster_stats.cpp.o"
+  "CMakeFiles/test_cluster_stats.dir/test_cluster_stats.cpp.o.d"
+  "test_cluster_stats"
+  "test_cluster_stats.pdb"
+  "test_cluster_stats[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cluster_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

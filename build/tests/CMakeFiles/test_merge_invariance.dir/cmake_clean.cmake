@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_merge_invariance.dir/test_merge_invariance.cpp.o"
+  "CMakeFiles/test_merge_invariance.dir/test_merge_invariance.cpp.o.d"
+  "test_merge_invariance"
+  "test_merge_invariance.pdb"
+  "test_merge_invariance[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_merge_invariance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

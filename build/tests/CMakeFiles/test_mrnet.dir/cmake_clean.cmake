@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mrnet.dir/test_mrnet.cpp.o"
+  "CMakeFiles/test_mrnet.dir/test_mrnet.cpp.o.d"
+  "test_mrnet"
+  "test_mrnet.pdb"
+  "test_mrnet[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mrnet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rep_property.dir/test_rep_property.cpp.o"
+  "CMakeFiles/test_rep_property.dir/test_rep_property.cpp.o.d"
+  "test_rep_property"
+  "test_rep_property.pdb"
+  "test_rep_property[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rep_property.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_util[1]_include.cmake")
+include("/root/repo/build/tests/test_geometry[1]_include.cmake")
+include("/root/repo/build/tests/test_index[1]_include.cmake")
+include("/root/repo/build/tests/test_data[1]_include.cmake")
+include("/root/repo/build/tests/test_io[1]_include.cmake")
+include("/root/repo/build/tests/test_dbscan[1]_include.cmake")
+include("/root/repo/build/tests/test_quality[1]_include.cmake")
+include("/root/repo/build/tests/test_gpu[1]_include.cmake")
+include("/root/repo/build/tests/test_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_mrnet[1]_include.cmake")
+include("/root/repo/build/tests/test_partition[1]_include.cmake")
+include("/root/repo/build/tests/test_merge[1]_include.cmake")
+include("/root/repo/build/tests/test_sweep[1]_include.cmake")
+include("/root/repo/build/tests/test_core[1]_include.cmake")
+include("/root/repo/build/tests/test_rtree[1]_include.cmake")
+include("/root/repo/build/tests/test_baseline_variants[1]_include.cmake")
+include("/root/repo/build/tests/test_pipeline_properties[1]_include.cmake")
+include("/root/repo/build/tests/test_extensions[1]_include.cmake")
+include("/root/repo/build/tests/test_cluster_stats[1]_include.cmake")
+include("/root/repo/build/tests/test_rep_property[1]_include.cmake")
+include("/root/repo/build/tests/test_edge_cases[1]_include.cmake")
+include("/root/repo/build/tests/test_merge_invariance[1]_include.cmake")
+include("/root/repo/build/tests/test_cell_refine[1]_include.cmake")
