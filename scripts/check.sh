@@ -1,0 +1,77 @@
+#!/usr/bin/env bash
+# scripts/check.sh — run the full correctness-tooling matrix and fail on
+# any report:
+#
+#   1. mrscan_lint        repo-specific invariant lint over src/
+#   2. default preset     build + full test suite (tier-1 bar)
+#   3. asan-ubsan preset  full suite under ASan+UBSan with
+#                         MRSCAN_CHECK_INVARIANTS=ON and MRSCAN_WERROR=ON
+#   4. tsan preset        full suite (incl. the `stress`-labeled tests)
+#                         under TSan, same options
+#   5. tidy preset        clang-tidy over every TU (skipped with a notice
+#                         when clang-tidy is not installed)
+#
+# Usage: scripts/check.sh [--quick] [--jobs N]
+#   --quick   lint + default preset only (the fast pre-commit loop)
+#   --jobs N  parallelism for builds and ctest (default: nproc)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+JOBS=$(nproc 2>/dev/null || echo 2)
+QUICK=0
+for arg in "$@"; do
+  case "$arg" in
+    --quick) QUICK=1 ;;
+    --jobs) ;; # value handled below
+    --jobs=*) JOBS="${arg#--jobs=}" ;;
+    [0-9]*) JOBS="$arg" ;;
+    *) echo "unknown argument: $arg" >&2; exit 2 ;;
+  esac
+done
+
+bold() { printf '\n\033[1m== %s ==\033[0m\n' "$*"; }
+FAILURES=()
+
+run_step() {
+  local name="$1"; shift
+  bold "$name"
+  if "$@"; then
+    echo "-- $name: OK"
+  else
+    echo "-- $name: FAILED" >&2
+    FAILURES+=("$name")
+  fi
+}
+
+run_preset() {
+  local preset="$1"
+  run_step "configure:$preset" cmake --preset "$preset"
+  run_step "build:$preset" cmake --build --preset "$preset" -j "$JOBS"
+  run_step "test:$preset" ctest --preset "$preset" -j "$JOBS"
+}
+
+run_step "lint" python3 tools/lint/mrscan_lint.py src
+
+run_preset default
+
+if [[ "$QUICK" -eq 0 ]]; then
+  run_preset asan-ubsan
+  run_preset tsan
+
+  if command -v clang-tidy >/dev/null 2>&1; then
+    run_step "configure:tidy" cmake --preset tidy
+    run_step "build:tidy" cmake --build --preset tidy -j "$JOBS"
+  else
+    bold "tidy"
+    echo "-- clang-tidy not installed; skipping the tidy preset" \
+         "(install clang-tidy to enable)"
+  fi
+fi
+
+bold "summary"
+if [[ "${#FAILURES[@]}" -gt 0 ]]; then
+  echo "check.sh: FAILED steps: ${FAILURES[*]}" >&2
+  exit 1
+fi
+echo "check.sh: all steps passed"

@@ -1,3 +1,6 @@
+// mrscan-lint: allow-file(require-validation) Labeling's methods take no
+// arguments — they summarise or renumber the structure's own state, so
+// there are no inputs to validate.
 #include "dbscan/labels.hpp"
 
 #include <unordered_map>

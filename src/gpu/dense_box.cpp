@@ -1,9 +1,16 @@
 #include "gpu/dense_box.hpp"
 
+#include "gpu/audit.hpp"
+#include "util/assert.hpp"
+#include "util/audit.hpp"
+
 namespace mrscan::gpu {
 
 DenseBoxes detect_dense_boxes(const index::KDTree& tree, double eps,
                               std::size_t min_pts) {
+  MRSCAN_REQUIRE(eps > 0.0);
+  MRSCAN_REQUIRE(min_pts >= 1);
+
   DenseBoxes result;
   result.box_of_point.assign(tree.point_count(), DenseBoxes::kNone);
 
@@ -19,6 +26,10 @@ DenseBoxes detect_dense_boxes(const index::KDTree& tree, double eps,
       result.box_of_point[tree.order()[i]] = box_ordinal;
     }
     result.covered_points += leaf.size();
+  }
+
+  if constexpr (util::kAuditEnabled) {
+    audit_dense_boxes(result, tree, eps, min_pts);
   }
   return result;
 }

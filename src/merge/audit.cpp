@@ -1,0 +1,70 @@
+#include "merge/audit.hpp"
+
+#include <unordered_set>
+#include <vector>
+
+#include "util/audit.hpp"
+
+namespace mrscan::merge {
+
+void audit_merge(const MergeResult& result,
+                 const std::vector<MergeSummary>& children) {
+  const std::size_t out_clusters = result.merged.clusters.size();
+
+  // ---- Routing table totality. ----
+  MRSCAN_AUDIT_ASSERT_MSG(result.child_cluster_map.size() == children.size(),
+                          "routing table has wrong child count");
+  std::vector<bool> referenced(out_clusters, false);
+  std::uint64_t child_owned = 0;
+  for (std::size_t c = 0; c < children.size(); ++c) {
+    MRSCAN_AUDIT_ASSERT_MSG(
+        result.child_cluster_map[c].size() == children[c].clusters.size(),
+        "routing table misses child clusters");
+    for (const std::uint32_t out : result.child_cluster_map[c]) {
+      MRSCAN_AUDIT_ASSERT_MSG(out < out_clusters,
+                              "routing table points past merged clusters");
+      referenced[out] = true;
+    }
+    for (const ClusterSummary& cluster : children[c].clusters) {
+      child_owned += cluster.owned_points;
+    }
+  }
+  for (std::size_t k = 0; k < out_clusters; ++k) {
+    MRSCAN_AUDIT_ASSERT_MSG(referenced[k],
+                            "merged cluster with no child cluster");
+  }
+
+  // ---- Conservation of owned points. ----
+  std::uint64_t merged_owned = 0;
+  for (const ClusterSummary& cluster : result.merged.clusters) {
+    merged_owned += cluster.owned_points;
+  }
+  MRSCAN_AUDIT_ASSERT_MSG(merged_owned == child_owned,
+                          "owned points not conserved across merge");
+
+  // ---- Per-cluster cell structure. ----
+  for (const ClusterSummary& cluster : result.merged.clusters) {
+    for (std::size_t i = 0; i < cluster.cells.size(); ++i) {
+      const CellSummary& cell = cluster.cells[i];
+      if (i > 0) {
+        MRSCAN_AUDIT_ASSERT_MSG(
+            cluster.cells[i - 1].cell_code < cell.cell_code,
+            "merged cluster cells not sorted/unique by code");
+      }
+      MRSCAN_AUDIT_ASSERT_MSG(cell.reps.size() <= kMaxRepsPerCell,
+                              "more than 8 representatives in a cell");
+      std::unordered_set<geom::PointId> ids;
+      for (const SummaryPoint& rep : cell.reps) {
+        MRSCAN_AUDIT_ASSERT_MSG(ids.insert(rep.id).second,
+                                "duplicate representative in a cell");
+      }
+      ids.clear();
+      for (const SummaryPoint& p : cell.noncore) {
+        MRSCAN_AUDIT_ASSERT_MSG(ids.insert(p.id).second,
+                                "duplicate non-core point in a cell");
+      }
+    }
+  }
+}
+
+}  // namespace mrscan::merge

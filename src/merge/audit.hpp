@@ -1,0 +1,31 @@
+// Deep invariant audit of a tree-node merge (phase boundary: merge).
+//
+// Checks what merge_summaries promises (§3.3):
+//   * the routing table (child_cluster_map) is total — every child
+//     cluster maps to a merged cluster, every merged cluster is the image
+//     of at least one child cluster, and indices are in range;
+//   * owned point totals are conserved across the merge;
+//   * within each merged cluster, grid cells are unique and sorted, each
+//     carries at most 8 representatives (§3.3.1), and representative /
+//     non-core point ids are unique within their cell.
+//
+// Aborts via MRSCAN_AUDIT_ASSERT on any violation. Compiled always,
+// called from merge_summaries only when MRSCAN_CHECK_INVARIANTS is ON
+// (union-find acyclicity is audited inside merge_summaries itself, where
+// the structure lives).
+#pragma once
+
+#include <vector>
+
+#include "merge/merger.hpp"
+#include "merge/summary.hpp"
+
+namespace mrscan::merge {
+
+/// Maximum representatives per grid cell in a summary (§3.3.1).
+inline constexpr std::size_t kMaxRepsPerCell = 8;
+
+void audit_merge(const MergeResult& result,
+                 const std::vector<MergeSummary>& children);
+
+}  // namespace mrscan::merge

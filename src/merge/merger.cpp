@@ -5,7 +5,9 @@
 #include <unordered_set>
 
 #include "geometry/rep_points.hpp"
+#include "merge/audit.hpp"
 #include "util/assert.hpp"
+#include "util/audit.hpp"
 #include "util/union_find.hpp"
 
 namespace mrscan::merge {
@@ -150,6 +152,10 @@ MergeResult merge_summaries(const std::vector<MergeSummary>& children,
     }
   }
 
+  if constexpr (util::kAuditEnabled) {
+    uf.validate();  // acyclic, in-range parents after all unions
+  }
+
   // ---- Build the merged summary: group pairs by union-find root. ----
   std::unordered_map<std::uint32_t, std::uint32_t> root_to_out;
   for (std::uint32_t p = 0; p < pairs.size(); ++p) {
@@ -229,6 +235,10 @@ MergeResult merge_summaries(const std::vector<MergeSummary>& children,
       }
       cluster.cells.push_back(std::move(cell));
     }
+  }
+
+  if constexpr (util::kAuditEnabled) {
+    audit_merge(result, children);
   }
 
   return result;

@@ -1,2 +1,4 @@
 // Packet is header-only; this TU anchors the library target.
+// mrscan-lint: allow-file(require-validation) No functions are defined
+// here; the header's readers validate bounds via MRSCAN_REQUIRE already.
 #include "mrnet/packet.hpp"

@@ -5,7 +5,9 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "partition/audit.hpp"
 #include "util/assert.hpp"
+#include "util/audit.hpp"
 
 namespace mrscan::partition {
 
@@ -235,11 +237,13 @@ PartitionPlan plan_partitions(const index::CellHistogram& hist,
   // mean including shadow regions, then trim each partition from the back
   // of the sequence toward the front, handing trimmed cells to the
   // previous partition. The first partition absorbs the residue. ----
+  double used_threshold = 0.0;
   if (config.rebalance && reb.part_count() >= 2) {
     const double final_target =
         static_cast<double>(reb.total_with_shadow()) /
         static_cast<double>(reb.part_count());
     const double threshold = config.rebalance_threshold * final_target;
+    used_threshold = threshold;
 
     for (std::uint32_t pi = reb.part_count() - 1; pi >= 1; --pi) {
       while (reb.owned_cell_count(pi) > 1 &&
@@ -253,7 +257,11 @@ PartitionPlan plan_partitions(const index::CellHistogram& hist,
     }
   }
 
-  return make_plan(geometry, reb.export_parts(), rings);
+  PartitionPlan plan = make_plan(geometry, reb.export_parts(), rings);
+  if constexpr (util::kAuditEnabled) {
+    audit_plan(plan, hist, config, used_threshold);
+  }
+  return plan;
 }
 
 }  // namespace mrscan::partition

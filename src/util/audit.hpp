@@ -1,0 +1,51 @@
+// Deep invariant audits (MRSCAN_CHECK_INVARIANTS / -DMRSCAN_AUDIT).
+//
+// The audit layer re-derives the pipeline's correctness conditions from
+// first principles at phase boundaries — shadow-region completeness and
+// the 1.075x rebalance bound after partitioning, the <=8-reps-per-cell
+// rule and union-find acyclicity after a merge, the side/MinPts
+// conditions for dense boxes — and aborts on any violation. Audits are
+// O(output) or worse and are therefore compiled in only when the CMake
+// option MRSCAN_CHECK_INVARIANTS is ON (the sanitizer presets enable it,
+// so the regular test suite doubles as an invariant fuzz).
+//
+// The audit *functions* (partition/audit.hpp, merge/audit.hpp,
+// gpu/audit.hpp) are always compiled and unit-tested; only the pipeline
+// call sites are gated, via `if constexpr (util::kAuditEnabled)`, so both
+// configurations type-check every audit.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace mrscan::util {
+
+#ifdef MRSCAN_AUDIT
+inline constexpr bool kAuditEnabled = true;
+#else
+inline constexpr bool kAuditEnabled = false;
+#endif
+
+[[noreturn]] inline void audit_fail(const char* expr, const char* file,
+                                    int line, const char* msg) {
+  std::fprintf(stderr,
+               "mrscan: invariant audit failed: %s at %s:%d%s%s\n", expr,
+               file, line, msg[0] ? ": " : "", msg);
+  std::abort();
+}
+
+}  // namespace mrscan::util
+
+// Always-armed inside audit functions; the cost gate is the call site,
+// not the check.
+#define MRSCAN_AUDIT_ASSERT(expr)                                       \
+  do {                                                                  \
+    if (!(expr))                                                        \
+      ::mrscan::util::audit_fail(#expr, __FILE__, __LINE__, "");        \
+  } while (0)
+
+#define MRSCAN_AUDIT_ASSERT_MSG(expr, msg)                              \
+  do {                                                                  \
+    if (!(expr))                                                        \
+      ::mrscan::util::audit_fail(#expr, __FILE__, __LINE__, (msg));     \
+  } while (0)

@@ -35,6 +35,12 @@ void ThreadPool::submit(std::function<void()> task) {
 void ThreadPool::wait_idle() {
   std::unique_lock<std::mutex> lock(mutex_);
   cv_idle_.wait(lock, [this] { return in_flight_ == 0; });
+  if (first_exception_) {
+    std::exception_ptr e = nullptr;
+    std::swap(e, first_exception_);
+    lock.unlock();
+    std::rethrow_exception(e);
+  }
 }
 
 void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
@@ -63,9 +69,21 @@ void ThreadPool::worker_loop() {
       task = std::move(tasks_.front());
       tasks_.pop();
     }
-    task();
+    std::exception_ptr thrown = nullptr;
+    try {
+      task();
+    } catch (...) {
+      thrown = std::current_exception();
+    }
     {
       std::lock_guard<std::mutex> lock(mutex_);
+      // Hand the reference off (or drop it) entirely inside the critical
+      // section: releasing it after unlock would make the refcount drop
+      // race with the waiter consuming the rethrown exception.
+      if (thrown) {
+        if (!first_exception_) first_exception_ = std::move(thrown);
+        thrown = nullptr;
+      }
       --in_flight_;
       if (in_flight_ == 0) cv_idle_.notify_all();
     }

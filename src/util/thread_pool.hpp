@@ -8,6 +8,7 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <queue>
@@ -27,14 +28,21 @@ class ThreadPool {
 
   std::size_t worker_count() const { return workers_.size(); }
 
-  /// Enqueue a task; tasks may not throw (std::terminate otherwise).
+  /// Enqueue a task. A task that throws does not kill the worker: the
+  /// first exception is captured and rethrown from the next wait_idle()
+  /// (and therefore from parallel_for); later exceptions before that
+  /// wait are dropped. Remaining queued tasks still run.
   void submit(std::function<void()> task);
 
-  /// Block until all submitted tasks have finished.
+  /// Block until all submitted tasks have finished. Rethrows the first
+  /// exception any task raised since the last wait, clearing it so the
+  /// pool stays usable.
   void wait_idle();
 
   /// Run fn(i) for i in [begin, end), blocking until done. Work is split
-  /// into contiguous chunks, one per worker.
+  /// into contiguous chunks, one per worker. If fn throws, the remaining
+  /// indices of other chunks still run and the first exception is
+  /// rethrown here after the range completes.
   void parallel_for(std::size_t begin, std::size_t end,
                     const std::function<void(std::size_t)>& fn);
 
@@ -46,6 +54,7 @@ class ThreadPool {
   std::mutex mutex_;
   std::condition_variable cv_task_;
   std::condition_variable cv_idle_;
+  std::exception_ptr first_exception_;  // guarded by mutex_
   std::size_t in_flight_ = 0;
   bool stop_ = false;
 };

@@ -67,6 +67,23 @@ class UnionFind {
     return c;
   }
 
+  /// Deep audit: every parent pointer in range and every chain reaches a
+  /// root within size() steps (i.e. the forest is acyclic). Aborts on
+  /// violation; used by the MRSCAN_CHECK_INVARIANTS merge audits.
+  void validate() const {
+    const std::size_t n = parent_.size();
+    MRSCAN_ASSERT_MSG(size_.size() == n, "union-find size table mismatch");
+    for (std::uint32_t i = 0; i < n; ++i) {
+      MRSCAN_ASSERT_MSG(parent_[i] < n, "union-find parent out of range");
+      std::uint32_t x = i;
+      std::size_t steps = 0;
+      while (parent_[x] != x) {
+        x = parent_[x];
+        MRSCAN_ASSERT_MSG(++steps <= n, "union-find parent chain cyclic");
+      }
+    }
+  }
+
  private:
   std::vector<std::uint32_t> parent_;
   std::vector<std::uint32_t> size_;

@@ -1,16 +1,69 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cmath>
 #include <numeric>
 #include <set>
+#include <stdexcept>
 #include <thread>
 
+#include "util/assert.hpp"
+#include "util/audit.hpp"
 #include "util/rng.hpp"
 #include "util/thread_pool.hpp"
 #include "util/timer.hpp"
 #include "util/union_find.hpp"
 
 namespace mu = mrscan::util;
+
+// ---- Assertion / precondition macros. MRSCAN_ASSERT aborts (invariant
+// violations are unrecoverable); MRSCAN_REQUIRE throws (bad inputs are
+// the caller's to handle). Death tests pin down both the failure mode
+// and the message format the rest of the suite greps for. ----
+
+TEST(AssertMacros, AssertPassesOnTrue) {
+  MRSCAN_ASSERT(1 + 1 == 2);
+  MRSCAN_ASSERT_MSG(true, "never shown");
+  MRSCAN_AUDIT_ASSERT(true);
+  MRSCAN_AUDIT_ASSERT_MSG(true, "never shown");
+  SUCCEED();
+}
+
+TEST(AssertMacrosDeath, AssertAbortsWithExpression) {
+  EXPECT_DEATH(MRSCAN_ASSERT(2 + 2 == 5),
+               "assertion failed: 2 \\+ 2 == 5");
+}
+
+TEST(AssertMacrosDeath, AssertMsgCarriesMessage) {
+  EXPECT_DEATH(MRSCAN_ASSERT_MSG(false, "tree imbalance"),
+               "assertion failed: false.*tree imbalance");
+}
+
+TEST(AssertMacrosDeath, AuditAssertAbortsWithAuditTag) {
+  EXPECT_DEATH(MRSCAN_AUDIT_ASSERT(false), "invariant audit failed");
+  EXPECT_DEATH(MRSCAN_AUDIT_ASSERT_MSG(false, "shadow hole"),
+               "invariant audit failed: false.*shadow hole");
+}
+
+TEST(AssertMacros, RequireThrowsInvalidArgument) {
+  EXPECT_THROW(MRSCAN_REQUIRE(false), std::invalid_argument);
+  EXPECT_THROW(MRSCAN_REQUIRE_MSG(false, "eps must be positive"),
+               std::invalid_argument);
+  EXPECT_NO_THROW(MRSCAN_REQUIRE(true));
+  EXPECT_NO_THROW(MRSCAN_REQUIRE_MSG(true, "ok"));
+}
+
+TEST(AssertMacros, RequireMessageNamesExpressionAndReason) {
+  try {
+    MRSCAN_REQUIRE_MSG(1 > 2, "eps must be positive");
+    FAIL() << "MRSCAN_REQUIRE_MSG did not throw";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("precondition violated"), std::string::npos);
+    EXPECT_NE(what.find("1 > 2"), std::string::npos);
+    EXPECT_NE(what.find("eps must be positive"), std::string::npos);
+  }
+}
 
 TEST(Rng, DeterministicForSameSeed) {
   mu::Rng a(42), b(42);
@@ -139,6 +192,15 @@ TEST(UnionFind, TransitiveChainCollapses) {
   EXPECT_EQ(uf.set_size(0), n);
 }
 
+TEST(UnionFind, ValidateAcceptsHeavilyUsedStructure) {
+  mu::UnionFind uf(500);
+  for (std::uint32_t i = 0; i < 500; i += 2) uf.unite(i, (i * 7 + 3) % 500);
+  uf.validate();  // aborts on a cyclic or out-of-range parent chain
+  for (std::uint32_t i = 0; i < 500; ++i) uf.find(i);  // full halving
+  uf.validate();
+  SUCCEED();
+}
+
 TEST(PhaseTimer, AccumulatesNamedPhases) {
   mu::PhaseTimer pt;
   pt.add("partition", 1.5);
@@ -190,4 +252,68 @@ TEST(ThreadPool, SingleWorkerIsSequential) {
   pool.parallel_for(0, 10, [&](std::size_t i) { order.push_back(i); });
   ASSERT_EQ(order.size(), 10u);
   for (std::size_t i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+// ---- Exception safety (regression: throwing tasks used to hit the
+// noexcept worker loop and std::terminate the process). ----
+
+TEST(ThreadPool, ThrowingSubmitSurfacesFromWaitIdle) {
+  mu::ThreadPool pool(2);
+  pool.submit([] { throw std::runtime_error("task failed"); });
+  EXPECT_THROW(pool.wait_idle(), std::runtime_error);
+}
+
+TEST(ThreadPool, FirstExceptionWinsAndWaitClearsIt) {
+  mu::ThreadPool pool(1);  // deterministic order: logic_error is first
+  pool.submit([] { throw std::logic_error("first"); });
+  pool.submit([] { throw std::runtime_error("second"); });
+  try {
+    pool.wait_idle();
+    FAIL() << "wait_idle did not rethrow";
+  } catch (const std::logic_error& e) {
+    EXPECT_STREQ(e.what(), "first");
+  }
+  // The slot was cleared: the pool is reusable and idle-able again.
+  std::atomic<int> ran{0};
+  pool.submit([&] { ran.fetch_add(1); });
+  EXPECT_NO_THROW(pool.wait_idle());
+  EXPECT_EQ(ran.load(), 1);
+}
+
+TEST(ThreadPool, ThrowingParallelForRethrowsAndCompletesRest) {
+  mu::ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(100);
+  EXPECT_THROW(
+      pool.parallel_for(0, hits.size(),
+                        [&](std::size_t i) {
+                          if (i == 37) throw std::runtime_error("boom");
+                          hits[i].fetch_add(1);
+                        }),
+      std::runtime_error);
+  // A throwing chunk abandons only its own remaining indices; every
+  // other chunk still covers its range.
+  int covered = 0;
+  for (const auto& h : hits) covered += h.load();
+  EXPECT_GE(covered, 1);
+  // Pool remains fully functional afterwards.
+  std::atomic<int> after{0};
+  pool.parallel_for(0, 10, [&](std::size_t) { after.fetch_add(1); });
+  EXPECT_EQ(after.load(), 10);
+}
+
+TEST(ThreadPool, ExceptionDoesNotKillWorkers) {
+  mu::ThreadPool pool(2);
+  for (int round = 0; round < 10; ++round) {
+    pool.submit([] { throw 42; });  // non-std exceptions survive too
+    try {
+      pool.wait_idle();
+      FAIL() << "wait_idle did not rethrow";
+    } catch (int v) {
+      EXPECT_EQ(v, 42);
+    }
+  }
+  std::atomic<int> count{0};
+  for (int i = 0; i < 20; ++i) pool.submit([&] { count.fetch_add(1); });
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 20);
 }

@@ -1,0 +1,216 @@
+#!/usr/bin/env python3
+"""mrscan_lint — repo-specific invariant lint for the Mr. Scan library.
+
+Enforces rules that clang-tidy cannot express because they encode this
+repository's conventions rather than general C++ hygiene:
+
+  require-validation   every implementation file in the pipeline layers
+                       (partition/, dbscan/, gpu/, mrnet/, sweep/) must
+                       validate its inputs with MRSCAN_REQUIRE /
+                       MRSCAN_REQUIRE_MSG at its public entry points.
+  no-raw-rand          rand() / std::rand / srand are banned outside
+                       util/rng: experiments must be reproducible from a
+                       seed, and the C generator is neither splittable nor
+                       portable across libcs.
+  no-naked-new         no naked new / delete expressions; ownership lives
+                       in containers and smart pointers so the sanitizer
+                       presets stay leak-clean by construction.
+  no-printf-library    no printf-family calls in library code outside
+                       util/logging and util/assert; diagnostics must flow
+                       through the leveled logger so test output stays
+                       machine-checkable.
+  no-manual-lock       no direct std::mutex .lock()/.unlock() calls; use
+                       std::lock_guard / std::unique_lock / std::scoped_lock
+                       so early returns and exceptions cannot leak a lock.
+
+Suppressions (always give a reason at the end of the line):
+  // mrscan-lint: allow(<rule>) <reason>        — this line only
+  // mrscan-lint: allow-file(<rule>) <reason>   — whole file
+
+Usage:
+  mrscan_lint.py [--list-rules] <dir-or-file> [...]
+
+Exit status is 0 when no violations are found, 1 otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+# Directories whose .cpp files are public pipeline entry points and must
+# validate their inputs (ISSUE: partition, dbscan, gpu, mrnet, sweep).
+REQUIRE_DIRS = ("partition", "dbscan", "gpu", "mrnet", "sweep")
+
+# Files allowed to use the facilities the rules ban for everyone else.
+RNG_EXEMPT = re.compile(r"util/rng\.(hpp|cpp)$")
+PRINTF_EXEMPT = re.compile(r"util/(logging\.(hpp|cpp)|assert\.hpp|audit\.hpp)$")
+
+SUPPRESS_LINE = re.compile(r"//\s*mrscan-lint:\s*allow\(([\w,\s-]+)\)")
+SUPPRESS_FILE = re.compile(r"//\s*mrscan-lint:\s*allow-file\(([\w,\s-]+)\)")
+
+RULES = {
+    "require-validation": "pipeline .cpp files must use MRSCAN_REQUIRE",
+    "no-raw-rand": "rand()/srand banned outside util/rng",
+    "no-naked-new": "no naked new/delete expressions",
+    "no-printf-library": "printf family banned outside util/logging|assert",
+    "no-manual-lock": "no manual mutex lock()/unlock(); use RAII guards",
+}
+
+RAW_RAND = re.compile(r"(?<![\w:])(?:std\s*::\s*)?s?rand\s*\(")
+NAKED_NEW = re.compile(r"(?<![\w.])new\b(?!\s*\()")
+NAKED_DELETE = re.compile(r"(?<![\w.])delete\b(?!\s*;| *\))")
+EQUALS_DELETE = re.compile(r"=\s*delete\b")
+PRINTF_FAMILY = re.compile(
+    r"(?<![\w:])(?:std\s*::\s*)?"
+    r"(v?f?printf|sprintf|snprintf|puts|fputs|putchar|fputc)\s*\("
+)
+MANUAL_LOCK = re.compile(r"[\w\])]\s*(?:\.|->)\s*(?:un)?lock\s*\(\s*\)")
+# RAII wrappers expose .lock()/.unlock() too (e.g. unique_lock around a
+# condition-variable wait); those are deliberate and named accordingly.
+RAII_LOCK_VAR = re.compile(r"\b(?:lk|lock|guard)\s*(?:\.|->)\s*(?:un)?lock\b")
+
+
+def strip_comments_and_strings(text: str) -> str:
+    """Blank out comments and string/char literals, preserving line
+    structure so reported line numbers stay correct."""
+    out = []
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if c == "/" and nxt == "/":
+            j = text.find("\n", i)
+            j = n if j < 0 else j
+            i = j
+        elif c == "/" and nxt == "*":
+            j = text.find("*/", i + 2)
+            j = n - 2 if j < 0 else j
+            out.append("\n" * text.count("\n", i, j + 2))
+            i = j + 2
+        elif c in "\"'":
+            quote = c
+            j = i + 1
+            while j < n and text[j] != quote:
+                j += 2 if text[j] == "\\" else 1
+            out.append(quote + quote)
+            i = j + 1
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+class Violation:
+    def __init__(self, path: Path, line: int, rule: str, message: str):
+        self.path, self.line, self.rule, self.message = path, line, rule, message
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+def collect_suppressions(raw_lines: list[str]):
+    per_line: dict[int, set[str]] = {}
+    per_file: set[str] = set()
+    for lineno, line in enumerate(raw_lines, 1):
+        m = SUPPRESS_LINE.search(line)
+        if m:
+            per_line.setdefault(lineno, set()).update(
+                r.strip() for r in m.group(1).split(","))
+        m = SUPPRESS_FILE.search(line)
+        if m:
+            per_file.update(r.strip() for r in m.group(1).split(","))
+    return per_line, per_file
+
+
+def lint_file(path: Path, rel: str) -> list[Violation]:
+    raw = path.read_text(encoding="utf-8")
+    raw_lines = raw.splitlines()
+    per_line, per_file = collect_suppressions(raw_lines)
+    stripped_lines = strip_comments_and_strings(raw).splitlines()
+
+    violations: list[Violation] = []
+
+    def report(lineno: int, rule: str, message: str):
+        if rule in per_file or rule in per_line.get(lineno, set()):
+            return
+        violations.append(Violation(path, lineno, rule, message))
+
+    for lineno, line in enumerate(stripped_lines, 1):
+        if not RNG_EXEMPT.search(rel) and RAW_RAND.search(line):
+            report(lineno, "no-raw-rand",
+                   "use mrscan::util::Rng instead of the C generator")
+        if NAKED_NEW.search(line):
+            report(lineno, "no-naked-new",
+                   "naked new expression; use containers or make_unique")
+        if NAKED_DELETE.search(EQUALS_DELETE.sub("", line)):
+            report(lineno, "no-naked-new",
+                   "naked delete expression; use owning types instead")
+        if not PRINTF_EXEMPT.search(rel) and PRINTF_FAMILY.search(line):
+            report(lineno, "no-printf-library",
+                   "printf-family call in library code; use util/logging")
+        m = MANUAL_LOCK.search(line)
+        if m and not RAII_LOCK_VAR.search(line):
+            report(lineno, "no-manual-lock",
+                   "manual mutex lock/unlock; use std::lock_guard or "
+                   "std::unique_lock")
+
+    if (path.suffix == ".cpp"
+            and any(f"/{d}/" in f"/{rel}" for d in REQUIRE_DIRS)
+            and "require-validation" not in per_file):
+        body = "\n".join(stripped_lines)
+        if not re.search(r"\bMRSCAN_REQUIRE(_MSG)?\s*\(", body):
+            violations.append(Violation(
+                path, 1, "require-validation",
+                "pipeline entry points must validate inputs with "
+                "MRSCAN_REQUIRE (or carry an allow-file suppression "
+                "explaining why there is nothing to validate)"))
+
+    return violations
+
+
+def gather_files(roots: list[str]) -> list[tuple[Path, str]]:
+    files: list[tuple[Path, str]] = []
+    for root in roots:
+        rp = Path(root)
+        if rp.is_file():
+            files.append((rp, rp.as_posix()))
+            continue
+        for p in sorted(rp.rglob("*")):
+            if p.suffix in (".cpp", ".hpp", ".h", ".cc", ".cu", ".cuh"):
+                files.append((p, p.relative_to(rp).as_posix()))
+    return files
+
+
+def main(argv: list[str]) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("paths", nargs="*", help="directories or files to lint")
+    ap.add_argument("--list-rules", action="store_true")
+    args = ap.parse_args(argv)
+
+    if args.list_rules:
+        for rule, desc in RULES.items():
+            print(f"{rule:20s} {desc}")
+        return 0
+
+    if not args.paths:
+        ap.error("no paths given")
+
+    violations: list[Violation] = []
+    checked = 0
+    for path, rel in gather_files(args.paths):
+        checked += 1
+        violations.extend(lint_file(path, rel))
+
+    for v in violations:
+        print(v)
+    tag = "FAILED" if violations else "OK"
+    print(f"mrscan_lint: {tag} — {checked} files checked, "
+          f"{len(violations)} violation(s)")
+    return 1 if violations else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
