@@ -11,18 +11,22 @@
 #   5. tidy preset        clang-tidy over every TU (skipped with a notice
 #                         when clang-tidy is not installed)
 #
-# Usage: scripts/check.sh [--quick] [--jobs N]
-#   --quick   lint + default preset only (the fast pre-commit loop)
-#   --jobs N  parallelism for builds and ctest (default: nproc)
+# Usage: scripts/check.sh [--quick] [--no-stress] [--jobs N]
+#   --quick      lint + default preset only (the fast pre-commit loop)
+#   --no-stress  skip the `stress`-labeled tests in every preset (the
+#                push/PR CI path; a scheduled job runs them)
+#   --jobs N     parallelism for builds and ctest (default: nproc)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 JOBS=$(nproc 2>/dev/null || echo 2)
 QUICK=0
+NO_STRESS=0
 for arg in "$@"; do
   case "$arg" in
     --quick) QUICK=1 ;;
+    --no-stress) NO_STRESS=1 ;;
     --jobs) ;; # value handled below
     --jobs=*) JOBS="${arg#--jobs=}" ;;
     [0-9]*) JOBS="$arg" ;;
@@ -48,7 +52,11 @@ run_preset() {
   local preset="$1"
   run_step "configure:$preset" cmake --preset "$preset"
   run_step "build:$preset" cmake --build --preset "$preset" -j "$JOBS"
-  run_step "test:$preset" ctest --preset "$preset" -j "$JOBS"
+  local ctest_args=(--preset "$preset" -j "$JOBS")
+  if [[ "$NO_STRESS" -eq 1 ]]; then
+    ctest_args+=(-LE stress)
+  fi
+  run_step "test:$preset" ctest "${ctest_args[@]}"
 }
 
 run_step "lint" python3 tools/lint/mrscan_lint.py src

@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
 #include <unordered_map>
+#include <utility>
 
+#include "fault/injector.hpp"
 #include "merge/merger.hpp"
 #include "merge/summary.hpp"
 #include "mrnet/topology.hpp"
@@ -73,62 +76,105 @@ MrScanResult MrScan::run(std::span<const geom::Point> points) const {
   gpu::MrScanGpuConfig gpu_config = config_.gpu;
   gpu_config.params = config_.params;
 
+  std::optional<fault::FaultInjector> injector;
+  if (!config_.fault_plan.empty()) {
+    injector.emplace(config_.fault_plan);
+    for (const auto& kill : config_.fault_plan.kill_leaves) {
+      MRSCAN_REQUIRE_MSG(kill.leaf_rank < segments.size(),
+                         "FaultPlan kills a leaf rank beyond the partitions "
+                         "actually produced");
+    }
+  }
+
   std::vector<dbscan::Labeling> leaf_labels(segments.size());
   std::vector<mrnet::Packet> leaf_packets(segments.size());
   std::vector<double> leaf_ready(segments.size(), 0.0);
   std::vector<geom::PointSet> leaf_points(segments.size());
   result.leaf_stats.resize(segments.size());
 
+  // Cluster one partition: fills leaf_points/leaf_labels/leaf_stats and
+  // returns the summary packet plus the host + device compute seconds
+  // (partition read time is charged separately by the caller). Fully
+  // deterministic, so a recovery re-run produces the exact packet the
+  // dead leaf would have sent.
+  const auto cluster_leaf =
+      [&](std::size_t leaf) -> std::pair<mrnet::Packet, double> {
+    geom::PointSet& pts = leaf_points[leaf];
+    pts = segments[leaf].owned;
+    pts.insert(pts.end(), segments[leaf].shadow.begin(),
+               segments[leaf].shadow.end());
+
+    gpu::VirtualDevice device(config_.titan.gpu_spec);
+    gpu::GpuDbscanResult clustered =
+        gpu::mrscan_gpu_dbscan(pts, gpu_config, device);
+    result.leaf_stats[leaf] = clustered.stats;
+
+    // Host-side KD-tree build cost (the tree ships to the device).
+    const double host_build =
+        pts.empty() ? 0.0
+                    : static_cast<double>(pts.size()) *
+                          std::log2(static_cast<double>(pts.size()) + 1) /
+                          config_.titan.cpu_op_rate;
+    leaf_labels[leaf] = std::move(clustered.labels);
+
+    merge::LeafSummaryInput input;
+    input.points = pts;
+    input.owned_count = segments[leaf].owned.size();
+    input.labels = &leaf_labels[leaf];
+    input.geometry = plan.geometry;
+    input.owned_cells = plan.parts[leaf].owned_cells;
+    input.shadow_cells = plan.parts[leaf].shadow_cells;
+    input.shadow_rings = plan.shadow_rings;
+    return {merge::build_leaf_summary(input).to_packet(),
+            host_build + clustered.stats.device_seconds};
+  };
+
   {
     util::PhaseTimer::Scope scope(result.wall, "cluster");
     for (std::size_t leaf = 0; leaf < segments.size(); ++leaf) {
-      geom::PointSet& pts = leaf_points[leaf];
-      pts = segments[leaf].owned;
-      pts.insert(pts.end(), segments[leaf].shadow.begin(),
-                 segments[leaf].shadow.end());
-
+      if (injector && injector->leaf_killed_before_cluster(
+                          static_cast<std::uint32_t>(leaf))) {
+        // The leaf process died before any clustering work; its partition
+        // is re-read and clustered on a sibling during the reduction.
+        continue;
+      }
       // Leaf reads its partition from the segmented file (modeled); with
       // direct transport the data already arrived over the network.
       const double read_time =
           config_.transport == partition::Transport::kDirect
               ? 0.0
               : sim::lustre_read_seconds(
-                    config_.titan.lustre, pts.size() * 28,
+                    config_.titan.lustre,
+                    (segments[leaf].owned.size() +
+                     segments[leaf].shadow.size()) *
+                        28,
                     std::max<std::size_t>(1, segments.size()),
                     sim::kSequentialOp);
 
-      gpu::VirtualDevice device(config_.titan.gpu_spec);
-      gpu::GpuDbscanResult clustered =
-          gpu::mrscan_gpu_dbscan(pts, gpu_config, device);
-      result.leaf_stats[leaf] = clustered.stats;
-
-      // Host-side KD-tree build cost (the tree ships to the device).
-      const double host_build =
-          pts.empty() ? 0.0
-                      : static_cast<double>(pts.size()) *
-                            std::log2(static_cast<double>(pts.size()) + 1) /
-                            config_.titan.cpu_op_rate;
-      leaf_ready[leaf] =
-          read_time + host_build + clustered.stats.device_seconds;
-      result.gpu_dbscan_seconds = std::max(
-          result.gpu_dbscan_seconds, clustered.stats.device_seconds);
-
-      leaf_labels[leaf] = std::move(clustered.labels);
-
-      merge::LeafSummaryInput input;
-      input.points = pts;
-      input.owned_count = segments[leaf].owned.size();
-      input.labels = &leaf_labels[leaf];
-      input.geometry = plan.geometry;
-      input.owned_cells = plan.parts[leaf].owned_cells;
-      input.shadow_cells = plan.parts[leaf].shadow_cells;
-      input.shadow_rings = plan.shadow_rings;
-      leaf_packets[leaf] = merge::build_leaf_summary(input).to_packet();
+      auto summary = cluster_leaf(leaf);
+      leaf_packets[leaf] = std::move(summary.first);
+      leaf_ready[leaf] = read_time + summary.second;
+      result.gpu_dbscan_seconds =
+          std::max(result.gpu_dbscan_seconds,
+                   result.leaf_stats[leaf].device_seconds);
     }
   }
 
   // ---- Merge phase: summaries reduce up the tree (§3.3). ----
   mrnet::Network net(topology, config_.titan.net, config_.titan.cpu_op_rate);
+  if (injector) {
+    net.set_fault_injector(&*injector);
+    net.set_recovery_handler(
+        [&](std::uint32_t rank, double& recovery_cost_s) {
+          // The adopting sibling re-reads the dead leaf's materialized
+          // partition from the PFS and re-clusters it from scratch.
+          const double reread = partition::segment_reread_seconds(
+              segments[rank], config_.titan.lustre);
+          auto summary = cluster_leaf(rank);
+          recovery_cost_s = reread + summary.second;
+          return std::move(summary.first);
+        });
+  }
   std::unordered_map<std::uint32_t, merge::MergeResult> node_results;
 
   mrnet::Packet root_packet;
@@ -157,6 +203,11 @@ MrScanResult MrScan::run(std::span<const geom::Point> points) const {
   // Cluster + merge pipeline: completion of the reduction, which started
   // from per-leaf ready times.
   result.sim.cluster_merge = result.merge_net.last_op_seconds;
+  result.fault.leaves_recovered = result.merge_net.leaves_recovered;
+  result.fault.packets_dropped = result.merge_net.packets_dropped;
+  result.fault.retries = result.merge_net.retries;
+  result.fault.timeouts = result.merge_net.timeouts;
+  result.fault.recovery_seconds = result.merge_net.recovery_seconds;
 
   // ---- Sweep phase: global ids travel back down (§3.4). ----
   const merge::MergeSummary root_summary =

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "dbscan/labels.hpp"
+#include "fault/plan.hpp"
 #include "geometry/point.hpp"
 #include "gpu/mrscan_gpu.hpp"
 #include "mrnet/network.hpp"
@@ -59,6 +60,14 @@ struct MrScanConfig {
   bool keep_noise = false;
   /// Machine model for simulated times.
   sim::TitanParams titan;
+  /// Seeded fault plan for the clustering tree's upstream reduction
+  /// (empty = fault-free run). Any plan within the retry budget yields
+  /// labels bit-identical to the fault-free run; leaf kills recover by
+  /// re-reading the dead leaf's partition on a sibling. Kill ranks must be
+  /// < the number of partitions actually produced (MrScanResult::
+  /// leaves_used). Drop/slow/reorder faults address nodes of
+  /// mrnet::Topology::balanced(leaves_used, fanout), or fault::kAllNodes.
+  fault::FaultPlan fault_plan;
 };
 
 /// Simulated per-phase seconds at machine scale.
@@ -72,6 +81,23 @@ struct PhaseBreakdown {
 
   double total() const {
     return startup + partition + cluster_merge + sweep;
+  }
+};
+
+/// Fault-handling outcome of a run, aggregated from the merge-tree
+/// network stats so benches can report fault-run overhead directly.
+struct FaultReport {
+  std::uint64_t leaves_recovered = 0;
+  std::uint64_t packets_dropped = 0;
+  std::uint64_t retries = 0;
+  std::uint64_t timeouts = 0;
+  /// Virtual seconds spent on partition re-reads and re-clustering
+  /// (already included in PhaseBreakdown::cluster_merge).
+  double recovery_seconds = 0.0;
+
+  bool any() const {
+    return leaves_recovered != 0 || packets_dropped != 0 || retries != 0 ||
+           timeouts != 0;
   }
 };
 
@@ -96,6 +122,10 @@ struct MrScanResult {
 
   /// Total merges detected across all tree nodes.
   std::size_t merges_detected = 0;
+
+  /// Fault-handling summary (all zero on a fault-free run); per-recovery
+  /// detail lives in merge_net.recoveries.
+  FaultReport fault;
 
   /// Labels aligned with an input order (convenience for quality checks).
   std::vector<dbscan::ClusterId> labels_for(

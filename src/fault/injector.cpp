@@ -1,0 +1,81 @@
+#include "fault/injector.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace mrscan::fault {
+
+namespace {
+
+bool node_matches(std::uint32_t selector, std::uint32_t node) {
+  return selector == kAllNodes || selector == node;
+}
+
+}  // namespace
+
+FaultInjector::FaultInjector(FaultPlan plan) : plan_(std::move(plan)) {
+  for (const SlowNode& s : plan_.slow_nodes) {
+    MRSCAN_REQUIRE_MSG(s.factor > 0.0, "slow factor must be positive");
+  }
+  for (const ReorderChildren& r : plan_.reorders) {
+    MRSCAN_REQUIRE_MSG(r.max_jitter_s >= 0.0, "jitter must be >= 0");
+  }
+  MRSCAN_REQUIRE_MSG(plan_.retry.max_attempts >= 1,
+                     "retry budget needs at least one attempt");
+  MRSCAN_REQUIRE(plan_.retry.ack_timeout_s > 0.0);
+  MRSCAN_REQUIRE(plan_.retry.backoff_base_s >= 0.0);
+  MRSCAN_REQUIRE(plan_.retry.leaf_timeout_s > 0.0);
+}
+
+bool FaultInjector::leaf_killed(std::uint32_t leaf_rank) const {
+  for (const KillLeaf& k : plan_.kill_leaves) {
+    if (k.leaf_rank == leaf_rank) return true;
+  }
+  return false;
+}
+
+bool FaultInjector::leaf_killed_before_cluster(std::uint32_t leaf_rank) const {
+  for (const KillLeaf& k : plan_.kill_leaves) {
+    if (k.leaf_rank == leaf_rank && k.before_cluster) return true;
+  }
+  return false;
+}
+
+bool FaultInjector::should_drop(std::uint32_t node,
+                                std::uint32_t attempt) const {
+  for (const DropPacket& d : plan_.drops) {
+    if (node_matches(d.node, node) && d.attempt == attempt) return true;
+  }
+  return false;
+}
+
+double FaultInjector::slow_factor(std::uint32_t node) const {
+  double factor = 1.0;
+  for (const SlowNode& s : plan_.slow_nodes) {
+    if (node_matches(s.node, node)) factor *= s.factor;
+  }
+  return factor;
+}
+
+double FaultInjector::arrival_jitter(std::uint32_t parent,
+                                     std::uint32_t child) const {
+  double max_jitter = 0.0;
+  for (const ReorderChildren& r : plan_.reorders) {
+    if (node_matches(r.parent, parent)) {
+      max_jitter = std::max(max_jitter, r.max_jitter_s);
+    }
+  }
+  if (max_jitter == 0.0) return 0.0;
+  // Stateless seeded hash of the edge: the same (plan, parent, child)
+  // always jitters by the same amount.
+  std::uint64_t state = plan_.seed ^
+                        (0x9e3779b97f4a7c15ULL * (parent + 1)) ^
+                        (0xbf58476d1ce4e5b9ULL * (child + 1));
+  const std::uint64_t bits = util::splitmix64(state);
+  const double unit = static_cast<double>(bits >> 11) * 0x1.0p-53;
+  return unit * max_jitter;
+}
+
+}  // namespace mrscan::fault

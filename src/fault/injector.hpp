@@ -1,0 +1,47 @@
+// Pure, deterministic fault oracle consulted by the tree network.
+//
+// The injector owns a validated FaultPlan and answers point queries:
+// "is this leaf dead?", "is this transmission attempt lost?", "how much
+// arrival jitter does this (parent, child) edge get?", "how slow is this
+// node?". All answers are functions of the plan and its seed only, so two
+// runs with the same plan inject byte-identical fault sequences — the
+// foundation of the differential fault tests.
+#pragma once
+
+#include <cstdint>
+
+#include "fault/plan.hpp"
+
+namespace mrscan::fault {
+
+class FaultInjector {
+ public:
+  /// Validates the plan (positive slow factors, non-negative jitter, a
+  /// sane retry policy) and takes ownership of it.
+  explicit FaultInjector(FaultPlan plan);
+
+  const FaultPlan& plan() const { return plan_; }
+  const sim::RetryPolicy& retry() const { return plan_.retry; }
+  bool active() const { return !plan_.empty(); }
+
+  /// True when the plan kills this leaf rank (either kind).
+  bool leaf_killed(std::uint32_t leaf_rank) const;
+
+  /// True when the plan kills this leaf rank before any GPGPU work.
+  bool leaf_killed_before_cluster(std::uint32_t leaf_rank) const;
+
+  /// True when the `attempt`-th upstream transmission from `node` is lost.
+  bool should_drop(std::uint32_t node, std::uint32_t attempt) const;
+
+  /// Local-time scale factor of `node` (1.0 when not slowed).
+  double slow_factor(std::uint32_t node) const;
+
+  /// Deterministic extra arrival delay for a packet from `child` into
+  /// `parent` (0 when `parent` is not reordered). Seeded by the plan.
+  double arrival_jitter(std::uint32_t parent, std::uint32_t child) const;
+
+ private:
+  FaultPlan plan_;
+};
+
+}  // namespace mrscan::fault

@@ -1,0 +1,30 @@
+#include "fault/plan.hpp"
+
+namespace mrscan::fault {
+
+bool FaultPlan::empty() const {
+  return kill_leaves.empty() && drops.empty() && reorders.empty() &&
+         slow_nodes.empty();
+}
+
+FaultPlan& FaultPlan::kill(std::uint32_t leaf_rank, bool before_cluster) {
+  kill_leaves.push_back(KillLeaf{leaf_rank, before_cluster});
+  return *this;
+}
+
+FaultPlan& FaultPlan::drop(std::uint32_t node, std::uint32_t attempt) {
+  drops.push_back(DropPacket{node, attempt});
+  return *this;
+}
+
+FaultPlan& FaultPlan::reorder(std::uint32_t parent, double max_jitter_s) {
+  reorders.push_back(ReorderChildren{parent, max_jitter_s});
+  return *this;
+}
+
+FaultPlan& FaultPlan::slow(std::uint32_t node, double factor) {
+  slow_nodes.push_back(SlowNode{node, factor});
+  return *this;
+}
+
+}  // namespace mrscan::fault

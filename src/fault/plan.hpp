@@ -1,0 +1,82 @@
+// Deterministic fault plans for the simulated MRNet tree.
+//
+// Mr. Scan ran on up to 8,192 Titan nodes, where leaf deaths, stragglers,
+// and lost messages are routine; a production tree must recover from them
+// without changing the clustering. A FaultPlan is a seeded, fully explicit
+// description of what goes wrong in a run: which leaves die (before or
+// during their GPGPU clustering), which upstream transmissions are lost,
+// which parents see their children's packets arrive out of order, and
+// which nodes run slow. Because the plan is data — no wall clocks, no
+// global RNG — a faulty run is exactly reproducible, which is what lets
+// the test battery assert that recovery leaves the output bit-identical
+// to the fault-free run.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/titan.hpp"
+
+namespace mrscan::fault {
+
+/// Wildcard node id: the fault applies at every matching node.
+inline constexpr std::uint32_t kAllNodes = 0xffffffffu;
+
+/// Kill one clustering leaf (addressed by leaf rank). `before_cluster`
+/// distinguishes a node that dies before doing any GPGPU work from one
+/// that dies after clustering but before its summary reaches its parent;
+/// either way the parent's watchdog times out and recovery re-reads the
+/// leaf's partition from the materialized partition file (§3.1.3's
+/// PFS-backed layout is exactly what makes this restart possible).
+struct KillLeaf {
+  std::uint32_t leaf_rank = 0;
+  bool before_cluster = true;
+};
+
+/// Lose the `attempt`-th (0-based) upstream transmission from `node`.
+/// The sender's ack timer expires and it retransmits with exponential
+/// backoff; more drops than the retry budget allows surface a clean error.
+struct DropPacket {
+  std::uint32_t node = kAllNodes;
+  std::uint32_t attempt = 0;
+};
+
+/// Jitter the arrival times of packets converging on `parent` so children
+/// are received in a seed-dependent permuted order. Upstream filters slot
+/// packets by child position, so this must never change the output.
+struct ReorderChildren {
+  std::uint32_t parent = kAllNodes;
+  /// Maximum extra delay; keep well below RetryPolicy::ack_timeout_s or
+  /// the jitter itself triggers (harmless, deduplicated) retransmits.
+  double max_jitter_s = 2e-4;
+};
+
+/// Scale a node's local time by `factor` (> 1 = straggler): a leaf's
+/// ready time, or an internal node's filter compute time.
+struct SlowNode {
+  std::uint32_t node = kAllNodes;
+  double factor = 1.0;
+};
+
+struct FaultPlan {
+  /// Seed for the deterministic jitter stream (reorder injection).
+  std::uint64_t seed = 0x5eedULL;
+  std::vector<KillLeaf> kill_leaves;
+  std::vector<DropPacket> drops;
+  std::vector<ReorderChildren> reorders;
+  std::vector<SlowNode> slow_nodes;
+  /// Detection timeouts and the retry budget; every delay is charged to
+  /// the virtual clock.
+  sim::RetryPolicy retry;
+
+  bool empty() const;
+
+  // Fluent builders (test ergonomics).
+  FaultPlan& kill(std::uint32_t leaf_rank, bool before_cluster = true);
+  FaultPlan& drop(std::uint32_t node, std::uint32_t attempt = 0);
+  FaultPlan& reorder(std::uint32_t parent = kAllNodes,
+                     double max_jitter_s = 2e-4);
+  FaultPlan& slow(std::uint32_t node, double factor);
+};
+
+}  // namespace mrscan::fault

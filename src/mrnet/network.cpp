@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <optional>
+#include <utility>
 
 #include "sim/event_queue.hpp"
 #include "util/assert.hpp"
@@ -21,11 +22,30 @@ double Network::link_delay(std::size_t bytes) const {
          static_cast<double>(bytes) / params_.bandwidth_bps;
 }
 
+std::uint32_t Network::recovery_sibling(std::uint32_t dead_leaf) const {
+  const std::uint32_t parent = topology_.parent(dead_leaf);
+  for (const std::uint32_t child : topology_.children(parent)) {
+    if (child == dead_leaf || !topology_.is_leaf(child)) continue;
+    const std::uint32_t rank = topology_.leaf_rank(child);
+    if (injector_ != nullptr && injector_->leaf_killed(rank)) continue;
+    return rank;
+  }
+  // No live sibling leaf under this parent: the parent itself re-reads,
+  // reported as the dead rank.
+  return topology_.leaf_rank(dead_leaf);
+}
+
 Packet Network::reduce(std::vector<Packet> leaf_packets, const Filter& filter,
                        const std::vector<double>& leaf_ready) {
   MRSCAN_REQUIRE(leaf_packets.size() == topology_.leaf_count());
   MRSCAN_REQUIRE(leaf_ready.empty() ||
                  leaf_ready.size() == topology_.leaf_count());
+  if (injector_ != nullptr) {
+    for (const fault::KillLeaf& kill : injector_->plan().kill_leaves) {
+      MRSCAN_REQUIRE_MSG(kill.leaf_rank < topology_.leaf_count(),
+                         "FaultPlan kills a leaf rank outside the tree");
+    }
+  }
 
   const std::size_t n = topology_.node_count();
   sim::EventQueue queue;
@@ -33,6 +53,9 @@ Packet Network::reduce(std::vector<Packet> leaf_packets, const Filter& filter,
   // Per-node fan-in state: child packets land here until all arrive.
   struct NodeState {
     std::vector<Packet> inbox;
+    /// Guards against duplicate deliveries (a retransmission racing its
+    /// original after a very late ack timeout).
+    std::vector<std::uint8_t> arrived;
     std::size_t pending = 0;
     /// Receives serialise at the parent: each incoming child packet
     /// occupies it for per_child_overhead seconds.
@@ -42,65 +65,198 @@ Packet Network::reduce(std::vector<Packet> leaf_packets, const Filter& filter,
   for (std::uint32_t node = 0; node < n; ++node) {
     nodes[node].pending = topology_.children(node).size();
     nodes[node].inbox.resize(topology_.children(node).size());
+    nodes[node].arrived.assign(topology_.children(node).size(), 0);
   }
 
   std::optional<Packet> root_result;
 
+  std::function<void(std::uint32_t, Packet)> fire;
+  std::function<void(std::uint32_t, Packet, std::uint32_t, std::uint64_t)>
+      send;
+
+  // deliver: a packet from `node` lands at `parent` and is slotted by the
+  // child's position under its parent, so the filter's input order never
+  // depends on arrival order (reorder injection must not change output).
+  auto deliver = [&](std::uint32_t parent, std::uint32_t node, Packet pkt,
+                     std::uint64_t checksum) {
+    NodeState& state = nodes[parent];
+    const auto& kids = topology_.children(parent);
+    const auto it = std::find(kids.begin(), kids.end(), node);
+    MRSCAN_ASSERT(it != kids.end());
+    const auto pos = static_cast<std::size_t>(it - kids.begin());
+    if (state.arrived[pos] != 0) {
+      ++stats_.duplicates_discarded;
+      return;
+    }
+    state.arrived[pos] = 1;
+    if (injector_ != nullptr) {
+      // The retry path keeps copies of in-flight packets; make sure the
+      // one that got through is byte-identical to the one first sent.
+      MRSCAN_ASSERT_MSG(pkt.checksum() == checksum,
+                        "packet corrupted across retransmission");
+    }
+    // Receives serialise: this packet is handled only after the parent
+    // finishes the ones already in flight.
+    const double handled = std::max(queue.now(), state.recv_busy_until) +
+                           params_.per_child_overhead_s;
+    state.recv_busy_until = handled;
+    state.inbox[pos] = std::move(pkt);
+    MRSCAN_ASSERT(state.pending > 0);
+    if (--state.pending == 0) {
+      std::uint64_t ops = 0;
+      Packet merged;
+      try {
+        merged = filter(parent, std::move(state.inbox), ops);
+      } catch (const NetworkError&) {
+        throw;
+      } catch (const std::exception& e) {
+        state.inbox.clear();
+        const std::size_t level = topology_.depth(parent);
+        throw NetworkError(
+            "mrnet: filter failed at node " + std::to_string(parent) +
+                " (level " + std::to_string(level) + ", " +
+                std::to_string(kids.size()) + " children): " + e.what(),
+            parent, level);
+      }
+      state.inbox.clear();
+      double compute = static_cast<double>(ops) / cpu_op_rate_;
+      if (injector_ != nullptr) compute *= injector_->slow_factor(parent);
+      queue.schedule_at(handled + compute,
+                        [&, parent, out = std::move(merged)]() mutable {
+                          fire(parent, std::move(out));
+                        });
+    }
+  };
+
+  // send: one transmission attempt of `node`'s upstream output. With a
+  // fault injector attached, every attempt arms a per-message ack timer:
+  // if the packet was lost the timer fires (timeout detection against the
+  // virtual clock) and the sender retransmits after exponential backoff,
+  // up to the retry budget.
+  send = [&](std::uint32_t node, Packet packet, std::uint32_t attempt,
+             std::uint64_t checksum) {
+    ++stats_.packets_up;
+    stats_.bytes_up += packet.size_bytes();
+    stats_.max_packet_bytes =
+        std::max(stats_.max_packet_bytes, packet.size_bytes());
+    const std::uint32_t parent = topology_.parent(node);
+    const std::size_t bytes = packet.size_bytes();
+    const bool dropped =
+        injector_ != nullptr && injector_->should_drop(node, attempt);
+
+    sim::EventQueue::EventId ack_timer = 0;
+    bool has_ack_timer = false;
+    if (injector_ != nullptr) {
+      const sim::RetryPolicy& rp = injector_->retry();
+      ack_timer = queue.schedule_in(
+          rp.ack_timeout_s,
+          [&, node, attempt, checksum, retry_packet = packet]() mutable {
+            ++stats_.timeouts;
+            const sim::RetryPolicy& policy = injector_->retry();
+            if (attempt + 1 >= policy.max_attempts) {
+              const std::size_t level = topology_.depth(node);
+              throw NetworkError(
+                  "mrnet: retry budget exhausted sending upstream from "
+                  "node " +
+                      std::to_string(node) + " (level " +
+                      std::to_string(level) + ") after " +
+                      std::to_string(attempt + 1) + " attempts",
+                  node, level);
+            }
+            ++stats_.retries;
+            queue.schedule_in(
+                policy.backoff_seconds(attempt),
+                [&, node, attempt, checksum,
+                 pkt = std::move(retry_packet)]() mutable {
+                  send(node, std::move(pkt), attempt + 1, checksum);
+                });
+          });
+      has_ack_timer = true;
+    }
+
+    if (dropped) {
+      // The packet is lost in the interconnect; only the ack timer will
+      // notice.
+      ++stats_.packets_dropped;
+      return;
+    }
+    double jitter = 0.0;
+    if (injector_ != nullptr) {
+      jitter = injector_->arrival_jitter(parent, node);
+      if (jitter > 0.0) ++stats_.reorders_injected;
+    }
+    const double arrive = queue.now() + link_delay(bytes) + jitter;
+    queue.schedule_at(arrive, [&, parent, node, has_ack_timer, ack_timer,
+                               checksum, pkt = std::move(packet)]() mutable {
+      // Delivery doubles as the ack: disarm the sender's timer.
+      if (has_ack_timer) queue.cancel(ack_timer);
+      deliver(parent, node, std::move(pkt), checksum);
+    });
+  };
+
   // fire(node, packet): the node's upstream output is ready; send to the
   // parent (charging the link), or finish if the node is the root.
-  std::function<void(std::uint32_t, Packet)> fire =
-      [&](std::uint32_t node, Packet packet) {
-        ++stats_.packets_up;
-        stats_.bytes_up += packet.size_bytes();
-        stats_.max_packet_bytes =
-            std::max(stats_.max_packet_bytes, packet.size_bytes());
-        if (topology_.is_root(node)) {
-          root_result = std::move(packet);
-          return;
-        }
-        const std::uint32_t parent = topology_.parent(node);
-        const double arrive = queue.now() + link_delay(packet.size_bytes());
-        queue.schedule_at(arrive, [&, parent, node,
-                                   pkt = std::move(packet)]() mutable {
-          NodeState& state = nodes[parent];
-          // Receives serialise: this packet is handled only after the
-          // parent finishes the ones already in flight.
-          const double handled =
-              std::max(queue.now(), state.recv_busy_until) +
-              params_.per_child_overhead_s;
-          state.recv_busy_until = handled;
-          // Slot the packet by the child's position under its parent.
-          const auto& kids = topology_.children(parent);
-          const auto it = std::find(kids.begin(), kids.end(), node);
-          MRSCAN_ASSERT(it != kids.end());
-          state.inbox[static_cast<std::size_t>(it - kids.begin())] =
-              std::move(pkt);
-          MRSCAN_ASSERT(state.pending > 0);
-          if (--state.pending == 0) {
-            std::uint64_t ops = 0;
-            Packet merged =
-                filter(parent, std::move(state.inbox), ops);
-            state.inbox.clear();
-            const double done =
-                handled + static_cast<double>(ops) / cpu_op_rate_;
-            queue.schedule_at(done, [&, parent,
-                                     out = std::move(merged)]() mutable {
-              fire(parent, std::move(out));
-            });
-          }
-        });
-      };
+  fire = [&](std::uint32_t node, Packet packet) {
+    if (topology_.is_root(node)) {
+      ++stats_.packets_up;
+      stats_.bytes_up += packet.size_bytes();
+      stats_.max_packet_bytes =
+          std::max(stats_.max_packet_bytes, packet.size_bytes());
+      root_result = std::move(packet);
+      return;
+    }
+    const std::uint64_t checksum =
+        injector_ != nullptr ? packet.checksum() : 0;
+    send(node, std::move(packet), 0, checksum);
+  };
 
-  // Leaves fire at their ready times.
+  // Leaves fire at their ready times. Killed leaves never fire: their
+  // parent's watchdog detects the silence at leaf_timeout_s and recovery
+  // re-reads the partition on a sibling.
   for (std::uint32_t rank = 0; rank < topology_.leaf_count(); ++rank) {
     const std::uint32_t leaf = topology_.leaves()[rank];
-    const double ready = leaf_ready.empty() ? 0.0 : leaf_ready[rank];
+    if (injector_ != nullptr && injector_->leaf_killed(rank)) {
+      MRSCAN_REQUIRE_MSG(
+          recovery_ != nullptr,
+          "FaultPlan kills a leaf but no recovery handler is configured");
+      queue.schedule_at(injector_->retry().leaf_timeout_s, [&, rank,
+                                                            leaf]() {
+        ++stats_.timeouts;
+        ++stats_.leaves_recovered;
+        double cost = 0.0;
+        Packet pkt = recovery_(rank, cost);
+        MRSCAN_ASSERT_MSG(cost >= 0.0, "negative recovery cost");
+        RecoveryEvent event;
+        event.leaf_rank = rank;
+        event.recovered_by = recovery_sibling(leaf);
+        event.detected_at = queue.now();
+        event.completed_at = queue.now() + cost;
+        stats_.recovery_seconds += cost;
+        stats_.recoveries.push_back(event);
+        queue.schedule_in(cost, [&, leaf, pkt = std::move(pkt)]() mutable {
+          fire(leaf, std::move(pkt));
+        });
+      });
+      continue;
+    }
+    double ready = leaf_ready.empty() ? 0.0 : leaf_ready[rank];
+    if (injector_ != nullptr) ready *= injector_->slow_factor(leaf);
     queue.schedule_at(ready, [&, leaf, rank]() {
       fire(leaf, std::move(leaf_packets[rank]));
     });
   }
 
-  const double finished = queue.run();
+  double finished = 0.0;
+  try {
+    finished = queue.run();
+  } catch (...) {
+    // Leave stats consistent on failure: packet counters reflect the
+    // transmissions that actually happened, and the clock records when
+    // the round died.
+    stats_.last_op_seconds = queue.now();
+    stats_.total_seconds += queue.now();
+    throw;
+  }
   MRSCAN_ASSERT_MSG(root_result.has_value(), "reduction never completed");
   stats_.last_op_seconds = finished;
   stats_.total_seconds += finished;
@@ -117,14 +273,38 @@ double Network::scatter(
       [&](std::uint32_t node, Packet packet) {
         if (topology_.is_leaf(node)) {
           last_delivery = std::max(last_delivery, queue.now());
-          deliver(topology_.leaf_rank(node), packet);
+          try {
+            deliver(topology_.leaf_rank(node), packet);
+          } catch (const NetworkError&) {
+            throw;
+          } catch (const std::exception& e) {
+            const std::size_t level = topology_.depth(node);
+            throw NetworkError("mrnet: delivery failed at leaf rank " +
+                                   std::to_string(topology_.leaf_rank(node)) +
+                                   " (node " + std::to_string(node) +
+                                   ", level " + std::to_string(level) +
+                                   "): " + e.what(),
+                               node, level);
+          }
           return;
         }
         // The parent serialises its sends: each child's packet leaves
         // after the per-child overhead of the ones before it.
         double send_at = queue.now();
         for (const std::uint32_t child : topology_.children(node)) {
-          Packet routed = router(node, packet, child);
+          Packet routed;
+          try {
+            routed = router(node, packet, child);
+          } catch (const NetworkError&) {
+            throw;
+          } catch (const std::exception& e) {
+            const std::size_t level = topology_.depth(node);
+            throw NetworkError(
+                "mrnet: router failed at node " + std::to_string(node) +
+                    " (level " + std::to_string(level) + ", routing to child " +
+                    std::to_string(child) + "): " + e.what(),
+                node, level);
+          }
           ++stats_.packets_down;
           stats_.bytes_down += routed.size_bytes();
           stats_.max_packet_bytes =
@@ -139,7 +319,14 @@ double Network::scatter(
       };
 
   queue.schedule_at(0.0, [&]() { descend(0, root_packet); });
-  const double finished = queue.run();
+  double finished = 0.0;
+  try {
+    finished = queue.run();
+  } catch (...) {
+    stats_.last_op_seconds = queue.now();
+    stats_.total_seconds += queue.now();
+    throw;
+  }
   stats_.last_op_seconds = finished;
   stats_.total_seconds += finished;
   return finished;

@@ -25,6 +25,19 @@ class Packet {
   std::size_t size_bytes() const { return bytes_.size(); }
   std::span<const std::uint8_t> bytes() const { return bytes_; }
 
+  /// FNV-1a hash of the payload. The network records it at first send and
+  /// verifies it at delivery when fault handling is armed, so a bug in the
+  /// retransmission path (delivering a moved-from or truncated copy) is
+  /// caught at the wire rather than as a wrong clustering.
+  std::uint64_t checksum() const {
+    std::uint64_t h = 1469598103934665603ULL;
+    for (const std::uint8_t b : bytes_) {
+      h ^= b;
+      h *= 1099511628211ULL;
+    }
+    return h;
+  }
+
   // -- Writing (appends) --
   void put_u8(std::uint8_t v) { bytes_.push_back(v); }
   void put_u32(std::uint32_t v) { put_raw(&v, 4); }

@@ -94,6 +94,17 @@ Topology Topology::balanced(std::size_t leaf_count, std::size_t fanout) {
   return t;
 }
 
+std::size_t Topology::depth(std::uint32_t node) const {
+  MRSCAN_REQUIRE(node < node_count());
+  std::size_t d = 0;
+  std::uint32_t cur = node;
+  while (cur != 0) {
+    cur = parent_[cur];
+    ++d;
+  }
+  return d;
+}
+
 std::size_t Topology::max_fanout() const {
   std::size_t best = 0;
   for (const auto& c : children_) best = std::max(best, c.size());

@@ -53,6 +53,10 @@ class Topology {
     return leaf_rank_[node];
   }
 
+  /// Level of `node`: root = 0, its children = 1, and so on. Used to
+  /// contextualise network errors ("filter failed at node 7, level 2").
+  std::size_t depth(std::uint32_t node) const;
+
   /// Maximum fan-out over all nodes.
   std::size_t max_fanout() const;
 

@@ -47,4 +47,15 @@ std::vector<io::Segment> materialize_partitions(
   return segments;
 }
 
+double segment_reread_seconds(const io::Segment& segment,
+                              const sim::LustreParams& lustre) {
+  MRSCAN_REQUIRE(lustre.per_client_bps > 0.0);
+  // 28 bytes per point record, matching the clustering leaves' read model.
+  const std::uint64_t bytes =
+      static_cast<std::uint64_t>(segment.owned.size() +
+                                 segment.shadow.size()) *
+      28ULL;
+  return sim::lustre_read_seconds(lustre, bytes, 1, sim::kSequentialOp);
+}
+
 }  // namespace mrscan::partition

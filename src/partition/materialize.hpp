@@ -11,6 +11,7 @@
 #include "index/grid.hpp"
 #include "io/segment_file.hpp"
 #include "partition/plan.hpp"
+#include "sim/titan.hpp"
 
 namespace mrscan::partition {
 
@@ -26,5 +27,13 @@ std::vector<io::Segment> materialize_partitions(
     const PartitionPlan& plan, const index::Grid& grid,
     std::span<const geom::Point> points,
     const MaterializeConfig& config = {});
+
+/// Modeled PFS cost of re-reading one materialized partition during leaf
+/// recovery: a single surviving sibling streams the dead leaf's segment
+/// back from the segmented partition file (§3.1.3's layout records each
+/// partition's offset, so the re-read is one contiguous stream). This
+/// PFS-backed restart is what makes leaf failure recoverable at all.
+double segment_reread_seconds(const io::Segment& segment,
+                              const sim::LustreParams& lustre);
 
 }  // namespace mrscan::partition

@@ -4,9 +4,16 @@
 
 namespace mrscan::sim {
 
-void EventQueue::schedule_at(double when, Handler handler) {
+EventQueue::EventId EventQueue::schedule_at(double when, Handler handler) {
   MRSCAN_REQUIRE_MSG(when >= now_, "cannot schedule events in the past");
-  events_.push(Event{when, next_seq_++, std::move(handler)});
+  const EventId id = next_seq_++;
+  events_.push(Event{when, id, std::move(handler)});
+  return id;
+}
+
+void EventQueue::cancel(EventId id) {
+  if (id >= next_seq_) return;  // never scheduled
+  cancelled_.insert(id);
 }
 
 double EventQueue::run() {
@@ -14,9 +21,12 @@ double EventQueue::run() {
     // Move the handler out before popping so it can schedule new events.
     Event ev = std::move(const_cast<Event&>(events_.top()));
     events_.pop();
+    // A cancelled event neither fires nor advances the clock.
+    if (cancelled_.erase(ev.seq) > 0) continue;
     now_ = ev.when;
     ev.handler();
   }
+  cancelled_.clear();
   return now_;
 }
 
@@ -24,6 +34,7 @@ void EventQueue::reset() {
   MRSCAN_REQUIRE_MSG(events_.empty(), "reset with pending events");
   now_ = 0.0;
   next_seq_ = 0;
+  cancelled_.clear();
 }
 
 }  // namespace mrscan::sim

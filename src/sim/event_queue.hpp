@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <functional>
 #include <queue>
+#include <unordered_set>
 #include <vector>
 
 namespace mrscan::sim {
@@ -16,18 +17,26 @@ namespace mrscan::sim {
 class EventQueue {
  public:
   using Handler = std::function<void()>;
+  /// Handle for a scheduled event, usable with cancel().
+  using EventId = std::uint64_t;
 
   /// Current virtual time in seconds.
   double now() const { return now_; }
 
   /// Schedule `handler` at absolute time `when` (>= now). Events at equal
-  /// times fire in scheduling order.
-  void schedule_at(double when, Handler handler);
+  /// times fire in scheduling order. Returns an id for cancel().
+  EventId schedule_at(double when, Handler handler);
 
   /// Schedule `handler` `delay` seconds from now.
-  void schedule_in(double delay, Handler handler) {
-    schedule_at(now_ + delay, std::move(handler));
+  EventId schedule_in(double delay, Handler handler) {
+    return schedule_at(now_ + delay, std::move(handler));
   }
+
+  /// Cancel a pending event: it will neither fire nor advance the clock.
+  /// Cancelling an event that already fired (or was cancelled) is a no-op.
+  /// Timeout watchdogs in the tree network rely on this — a timer armed per
+  /// message is cancelled when the acknowledgement arrives in time.
+  void cancel(EventId id);
 
   /// Run until no events remain; returns the final clock value.
   double run();
@@ -53,6 +62,7 @@ class EventQueue {
   double now_ = 0.0;
   std::uint64_t next_seq_ = 0;
   std::priority_queue<Event, std::vector<Event>, Later> events_;
+  std::unordered_set<EventId> cancelled_;
 };
 
 }  // namespace mrscan::sim

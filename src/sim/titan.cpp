@@ -54,4 +54,11 @@ double alps_startup_seconds(const AlpsParams& p, std::size_t nodes) {
   return p.base_s + p.per_node_s * static_cast<double>(nodes);
 }
 
+double RetryPolicy::backoff_seconds(std::uint32_t attempt) const {
+  MRSCAN_REQUIRE(backoff_base_s >= 0.0);
+  // Clamp the shift so a pathological attempt count cannot overflow.
+  const std::uint32_t shift = std::min<std::uint32_t>(attempt, 32);
+  return backoff_base_s * static_cast<double>(1ULL << shift);
+}
+
 }  // namespace mrscan::sim

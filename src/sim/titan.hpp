@@ -72,6 +72,27 @@ struct InterconnectParams {
   double per_child_overhead_s = 12e-6;
 };
 
+/// Timeout/retry discipline for upstream tree messages when fault handling
+/// is armed (fault::FaultPlan). All delays are virtual seconds charged to
+/// the same clock as the interconnect model, so a faulty run's reported
+/// time honestly includes detection and retransmission.
+struct RetryPolicy {
+  /// Transmission attempts per message before the run aborts with a clean
+  /// retry-budget error (1 = no retries).
+  std::uint32_t max_attempts = 4;
+  /// A sender declares a transmission lost when no acknowledgement arrived
+  /// within this window (must exceed the one-way delay by a wide margin).
+  double ack_timeout_s = 1e-3;
+  /// Exponential backoff before retransmission: base * 2^attempt.
+  double backoff_base_s = 1e-3;
+  /// A parent declares a silent leaf dead after this long and starts
+  /// partition-reread recovery on a sibling.
+  double leaf_timeout_s = 30.0;
+
+  /// Backoff delay after failed attempt number `attempt` (0-based).
+  double backoff_seconds(std::uint32_t attempt) const;
+};
+
 struct TitanParams {
   std::size_t total_nodes = 18688;
   std::size_t available_nodes = 8972;  // what the authors could get (§4)

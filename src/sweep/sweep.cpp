@@ -88,4 +88,29 @@ std::vector<dbscan::ClusterId> labels_in_input_order(
   return out;
 }
 
+bool equivalent_partitions_where(std::span<const dbscan::ClusterId> a,
+                                 std::span<const dbscan::ClusterId> b,
+                                 std::span<const std::uint8_t> mask) {
+  MRSCAN_REQUIRE(a.size() == b.size());
+  MRSCAN_REQUIRE(mask.empty() || mask.size() == a.size());
+  std::unordered_map<dbscan::ClusterId, dbscan::ClusterId> fwd, bwd;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (!mask.empty() && mask[i] == 0) continue;
+    const bool a_noise = a[i] < 0;
+    const bool b_noise = b[i] < 0;
+    if (a_noise != b_noise) return false;
+    if (a_noise) continue;
+    const auto fit = fwd.emplace(a[i], b[i]).first;
+    if (fit->second != b[i]) return false;  // a-cluster split across b
+    const auto bit = bwd.emplace(b[i], a[i]).first;
+    if (bit->second != a[i]) return false;  // b-cluster merged in a
+  }
+  return true;
+}
+
+bool equivalent_partitions(std::span<const dbscan::ClusterId> a,
+                           std::span<const dbscan::ClusterId> b) {
+  return equivalent_partitions_where(a, b, {});
+}
+
 }  // namespace mrscan::sweep

@@ -63,4 +63,19 @@ std::vector<dbscan::ClusterId> labels_in_input_order(
     std::span<const geom::Point> points,
     std::span<const LabeledPoint> records);
 
+/// True when two labelings induce the same clustering up to a renaming of
+/// cluster ids: noise sets coincide and a bijection maps a's labels onto
+/// b's. Global ids are assigned in root-merge order, which legitimately
+/// depends on the tree shape; the induced partition must not — this is the
+/// oracle the differential and fault batteries assert with.
+bool equivalent_partitions(std::span<const dbscan::ClusterId> a,
+                           std::span<const dbscan::ClusterId> b);
+
+/// equivalent_partitions restricted to points with mask[i] != 0. Used to
+/// compare against sequential DBSCAN on its core points only, where the
+/// assignment is order-independent (border-point ties are not, §2.1).
+bool equivalent_partitions_where(std::span<const dbscan::ClusterId> a,
+                                 std::span<const dbscan::ClusterId> b,
+                                 std::span<const std::uint8_t> mask);
+
 }  // namespace mrscan::sweep

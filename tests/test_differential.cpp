@@ -1,0 +1,145 @@
+// Differential battery: the full pipeline against the sequential DBSCAN
+// oracle, across a seeded grid of tree shapes, parameters, and dataset
+// shapes.
+//
+// Exact label equality with sequential DBSCAN is the wrong oracle: border
+// points that sit within eps of two clusters' cores are assigned by visit
+// order (§2.1), which legitimately differs between the implementations.
+// Core-point assignment is order-independent, so the battery asserts
+//   1. a bijection between the labelings restricted to the oracle's core
+//      points (sweep::equivalent_partitions_where),
+//   2. identical cluster counts (clusters are identified by their cores),
+//   3. DBDC quality over all points >= 0.99 (border drift only).
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/mrscan.hpp"
+#include "data/sdss.hpp"
+#include "data/synthetic.hpp"
+#include "data/twitter.hpp"
+#include "dbscan/sequential.hpp"
+#include "quality/dbdc.hpp"
+#include "sweep/sweep.hpp"
+
+namespace mc = mrscan::core;
+namespace md = mrscan::dbscan;
+namespace mg = mrscan::geom;
+
+namespace {
+
+mc::MrScanConfig make_config(double eps, std::size_t min_pts,
+                             std::size_t leaves, std::size_t fanout) {
+  mc::MrScanConfig config;
+  config.params = {eps, min_pts};
+  config.leaves = leaves;
+  config.fanout = fanout;
+  config.partition_nodes = 2;
+  return config;
+}
+
+void expect_matches_oracle(const mg::PointSet& points,
+                           const mc::MrScanConfig& config,
+                           const std::string& context) {
+  const auto result = mc::MrScan(config).run(points);
+  const auto got = result.labels_for(points);
+  const auto ref = md::dbscan_sequential(points, config.params);
+
+  EXPECT_EQ(result.cluster_count, ref.cluster_count()) << context;
+  EXPECT_TRUE(
+      mrscan::sweep::equivalent_partitions_where(got, ref.cluster, ref.core))
+      << context << ": core-point partition differs from the oracle";
+  EXPECT_GT(mrscan::quality::dbdc_quality(ref.cluster, got), 0.99)
+      << context;
+}
+
+}  // namespace
+
+TEST(Differential, TreeShapeGridOnTwitterData) {
+  mrscan::data::TwitterConfig tw;
+  tw.num_points = 10000;
+  tw.seed = 1;
+  const auto points = mrscan::data::generate_twitter(tw);
+  for (const std::size_t leaves : {1UL, 4UL, 9UL}) {
+    for (const std::size_t fanout : {2UL, 256UL}) {
+      expect_matches_oracle(points, make_config(0.1, 40, leaves, fanout),
+                            "leaves " + std::to_string(leaves) + " fanout " +
+                                std::to_string(fanout));
+    }
+  }
+}
+
+TEST(Differential, ParameterGridOnTwitterData) {
+  mrscan::data::TwitterConfig tw;
+  tw.num_points = 9000;
+  tw.seed = 5;
+  const auto points = mrscan::data::generate_twitter(tw);
+  for (const double eps : {0.05, 0.1, 0.2}) {
+    for (const std::size_t min_pts : {10UL, 40UL}) {
+      expect_matches_oracle(points, make_config(eps, min_pts, 6, 4),
+                            "eps " + std::to_string(eps) + " min_pts " +
+                                std::to_string(min_pts));
+    }
+  }
+}
+
+TEST(Differential, SdssSkySurveyShape) {
+  mrscan::data::SdssConfig sdss;
+  sdss.num_points = 10000;
+  const auto points = mrscan::data::generate_sdss(sdss);
+  for (const std::size_t leaves : {2UL, 6UL}) {
+    expect_matches_oracle(points, make_config(0.00015, 5, leaves, 4),
+                          "sdss leaves " + std::to_string(leaves));
+  }
+}
+
+TEST(Differential, GaussianBlobsWithUniformNoise) {
+  const std::vector<mrscan::data::Blob> blobs{{0.0, 0.0, 0.3, 900},
+                                              {8.0, 8.0, 0.4, 700},
+                                              {0.0, 8.0, 0.2, 500},
+                                              {8.0, 0.0, 0.3, 600}};
+  const auto points = mrscan::data::gaussian_blobs(
+      blobs, 400, mg::BBox{-4.0, -4.0, 12.0, 12.0}, 17);
+  for (const std::size_t leaves : {3UL, 8UL}) {
+    expect_matches_oracle(points, make_config(0.3, 5, leaves, 3),
+                          "blobs leaves " + std::to_string(leaves));
+  }
+}
+
+TEST(Differential, NonConvexAnnuliOnlyDensitySeparates) {
+  // Two concentric rings: centroid methods cannot split them; DBSCAN must
+  // find exactly two clusters, and so must the tree pipeline.
+  auto points = mrscan::data::annulus(2500, 0.0, 0.0, 1.8, 2.2, 23);
+  const auto inner = mrscan::data::annulus(2000, 0.0, 0.0, 0.6, 0.9, 29,
+                                           /*first_id=*/100000);
+  points.insert(points.end(), inner.begin(), inner.end());
+  const auto config = make_config(0.25, 5, 5, 4);
+  expect_matches_oracle(points, config, "annuli");
+  const auto result = mc::MrScan(config).run(points);
+  EXPECT_EQ(result.cluster_count, 2u);
+}
+
+TEST(Differential, DenseBoxOnAndOffAgreeWithTheOracle) {
+  mrscan::data::TwitterConfig tw;
+  tw.num_points = 9000;
+  tw.seed = 3;
+  const auto points = mrscan::data::generate_twitter(tw);
+  for (const bool dense_box : {true, false}) {
+    auto config = make_config(0.1, 40, 5, 4);
+    config.gpu.dense_box = dense_box;
+    expect_matches_oracle(points, config,
+                          dense_box ? "dense-box on" : "dense-box off");
+  }
+}
+
+TEST(Differential, UniformNoiseOnlyYieldsNoClustersAnywhere) {
+  const auto points = mrscan::data::uniform_points(
+      3000, mg::BBox{0.0, 0.0, 100.0, 100.0}, 31);
+  for (const std::size_t leaves : {1UL, 4UL}) {
+    const auto config = make_config(0.4, 8, leaves, 4);
+    const auto result = mc::MrScan(config).run(points);
+    const auto ref = md::dbscan_sequential(points, config.params);
+    EXPECT_EQ(result.cluster_count, ref.cluster_count())
+        << "leaves " << leaves;
+  }
+}

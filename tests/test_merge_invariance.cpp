@@ -5,9 +5,12 @@
 // clusters.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <map>
 #include <span>
 #include <string>
+
+#include "util/rng.hpp"
 
 #include "core/mrscan.hpp"
 #include "data/twitter.hpp"
@@ -115,6 +118,88 @@ TEST(MergeInvariance, HierarchicalEqualsFlatMerge) {
   const auto combined =
       mm::merge_summaries({left.merged, right.merged}, geometry, eps);
   EXPECT_EQ(combined.merged.clusters.size(), flat.merged.clusters.size());
+}
+
+namespace {
+
+/// Canonical form of a merged summary: the partition of member point ids
+/// into clusters, independent of cluster order and ids.
+std::vector<std::vector<mg::PointId>> cluster_signature(
+    const mm::MergeSummary& summary) {
+  std::vector<std::vector<mg::PointId>> sig;
+  for (const auto& cluster : summary.clusters) {
+    std::vector<mg::PointId> ids;
+    for (const auto& cell : cluster.cells) {
+      for (const auto& p : cell.reps) ids.push_back(p.id);
+      for (const auto& p : cell.noncore) ids.push_back(p.id);
+    }
+    std::sort(ids.begin(), ids.end());
+    ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+    sig.push_back(std::move(ids));
+  }
+  std::sort(sig.begin(), sig.end());
+  return sig;
+}
+
+}  // namespace
+
+TEST(MergeInvariance, ChildArrivalOrderDoesNotChangeTheMerge) {
+  // Property: the upstream filter's output is invariant under any
+  // permutation of its child summaries — this is what makes packet
+  // reordering in the tree network harmless. Two parallel chains of core
+  // points cross six cell columns; each "leaf" owns one column.
+  const double eps = 1.0;
+  const mg::GridGeometry geometry{0.0, 0.0, eps};
+  constexpr int kColumns = 6;
+
+  mg::PointSet points;
+  mg::PointId next_id = 0;
+  for (const double y : {0.5, 10.5}) {
+    for (int i = 0; i < 10 * kColumns; ++i) {
+      points.push_back({next_id++, 0.1 * i + 0.05, y, 1.0f});
+    }
+  }
+  const auto labels = mrscan::dbscan::dbscan_sequential(points, {0.3, 2});
+  ASSERT_EQ(labels.cluster_count(), 2u);  // one per chain
+
+  std::vector<mm::MergeSummary> leaves;
+  for (int col = 0; col < kColumns; ++col) {
+    mm::LeafSummaryInput input;
+    input.points = points;
+    input.owned_count = points.size();
+    input.labels = &labels;
+    input.geometry = geometry;
+    std::vector<std::uint64_t> owned{
+        mg::cell_code(mg::CellKey{col, 0}),
+        mg::cell_code(mg::CellKey{col, 10})};
+    std::vector<std::uint64_t> shadow;
+    for (const int n : {col - 1, col + 1}) {
+      if (n < 0 || n >= kColumns) continue;
+      shadow.push_back(mg::cell_code(mg::CellKey{n, 0}));
+      shadow.push_back(mg::cell_code(mg::CellKey{n, 10}));
+    }
+    std::sort(owned.begin(), owned.end());
+    std::sort(shadow.begin(), shadow.end());
+    input.owned_cells = owned;
+    input.shadow_cells = shadow;
+    leaves.push_back(mm::build_leaf_summary(input));
+  }
+
+  const auto canonical = mm::merge_summaries(leaves, geometry, eps);
+  ASSERT_EQ(canonical.merged.clusters.size(), 2u);
+  const auto reference = cluster_signature(canonical.merged);
+
+  for (const std::uint64_t seed : {3ULL, 17ULL, 99ULL, 2026ULL}) {
+    auto shuffled = leaves;
+    mrscan::util::Rng rng(seed);
+    rng.shuffle(shuffled);
+    const auto merged = mm::merge_summaries(shuffled, geometry, eps);
+    EXPECT_EQ(merged.merged.clusters.size(),
+              canonical.merged.clusters.size())
+        << "seed " << seed;
+    EXPECT_EQ(cluster_signature(merged.merged), reference)
+        << "seed " << seed;
+  }
 }
 
 TEST(MergeInvariance, MergingWithEmptySummaryIsIdentityOnClusters) {

@@ -128,6 +128,18 @@ TEST(Packet, UnderrunThrows) {
   EXPECT_THROW(r.get_u64(), std::invalid_argument);
 }
 
+TEST(Packet, ChecksumDistinguishesPayloads) {
+  mn::Packet a;
+  a.put_u64(1);
+  mn::Packet b;
+  b.put_u64(1);
+  mn::Packet c;
+  c.put_u64(2);
+  EXPECT_EQ(a.checksum(), b.checksum());  // equal bytes, equal checksum
+  EXPECT_NE(a.checksum(), c.checksum());
+  EXPECT_NE(mn::Packet{}.checksum(), a.checksum());
+}
+
 namespace {
 
 /// Sum-reduction filter: packets carry one u64 each.
@@ -247,6 +259,54 @@ TEST(Network, StatsCountBytesBothWays) {
   net.multicast(msg, [](std::uint32_t, const mn::Packet&) {});
   EXPECT_EQ(net.stats().packets_down, 3u);
   EXPECT_EQ(net.stats().bytes_down, 3 * 8u);
+}
+
+TEST(Network, FilterExceptionIsWrappedWithNodeContext) {
+  // Regression: a throwing filter used to propagate bare, with no clue
+  // which tree node died and the stats clock left at zero.
+  mn::Network net(mn::Topology::balanced(9, 3), fast_net());
+  std::vector<mn::Packet> inputs(9);
+  for (auto& p : inputs) p.put_u64(1);
+  try {
+    net.reduce(std::move(inputs),
+               [](std::uint32_t node, std::vector<mn::Packet>,
+                  std::uint64_t&) -> mn::Packet {
+                 if (node == 0) throw std::runtime_error("boom");
+                 mn::Packet out;
+                 out.put_u64(1);
+                 return out;
+               });
+    FAIL() << "filter exception must propagate";
+  } catch (const mn::NetworkError& e) {
+    EXPECT_EQ(e.node(), 0u);
+    EXPECT_EQ(e.level(), 0u);
+    const std::string what = e.what();
+    EXPECT_NE(what.find("node 0"), std::string::npos) << what;
+    EXPECT_NE(what.find("boom"), std::string::npos) << what;
+  }
+  // Stats stay consistent: the sends happened (9 leaves + 3 internal
+  // nodes; the root never produced output), the clock moved.
+  EXPECT_EQ(net.stats().packets_up, 12u);
+  EXPECT_GT(net.stats().last_op_seconds, 0.0);
+  EXPECT_GT(net.stats().total_seconds, 0.0);
+}
+
+TEST(Network, RouterExceptionIsWrappedWithNodeContext) {
+  mn::Network net(mn::Topology::flat(4), fast_net());
+  mn::Packet root;
+  try {
+    net.scatter(
+        root,
+        [](std::uint32_t, const mn::Packet&, std::uint32_t) -> mn::Packet {
+          throw std::runtime_error("bad route");
+        },
+        [](std::uint32_t, const mn::Packet&) {});
+    FAIL() << "router exception must propagate";
+  } catch (const mn::NetworkError& e) {
+    EXPECT_EQ(e.node(), 0u);
+    EXPECT_NE(std::string(e.what()).find("bad route"), std::string::npos);
+  }
+  EXPECT_GE(net.stats().total_seconds, 0.0);
 }
 
 TEST(Network, FilterOpsChargeCpuTime) {

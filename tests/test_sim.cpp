@@ -57,6 +57,46 @@ TEST(EventQueue, ResetClearsClock) {
   EXPECT_DOUBLE_EQ(q.now(), 0.0);
 }
 
+TEST(EventQueue, CancelledEventNeitherFiresNorAdvancesTheClock) {
+  // A cancelled ack timer must not drag the clock to its deadline —
+  // otherwise every in-time delivery would still pay the timeout.
+  ms::EventQueue q;
+  bool timer_fired = false;
+  const auto timer = q.schedule_at(100.0, [&] { timer_fired = true; });
+  q.schedule_at(1.0, [&] { q.cancel(timer); });
+  const double end = q.run();
+  EXPECT_FALSE(timer_fired);
+  EXPECT_DOUBLE_EQ(end, 1.0);
+  EXPECT_DOUBLE_EQ(q.now(), 1.0);
+}
+
+TEST(EventQueue, CancelAfterFireIsANoOp) {
+  ms::EventQueue q;
+  int fired = 0;
+  const auto id = q.schedule_at(1.0, [&] { ++fired; });
+  q.schedule_at(2.0, [&] {
+    q.cancel(id);  // already fired; must not disturb anything
+    q.cancel(12345678u);  // never existed
+    ++fired;
+  });
+  q.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueue, CancellationStateDoesNotLeakAcrossRuns) {
+  // An id cancelled in one run must not suppress an event that happens to
+  // reuse a nearby id in a later run on the same queue.
+  ms::EventQueue q;
+  const auto timer = q.schedule_at(10.0, [] { FAIL() << "cancelled"; });
+  q.schedule_at(1.0, [&] { q.cancel(timer); });
+  q.run();
+  q.reset();
+  bool second_run_fired = false;
+  q.schedule_at(1.0, [&] { second_run_fired = true; });
+  q.run();
+  EXPECT_TRUE(second_run_fired);
+}
+
 TEST(Lustre, MoreWritersAreFasterUpToCap) {
   ms::LustreParams p;
   const std::uint64_t bytes = 100ULL << 30;  // 100 GB
