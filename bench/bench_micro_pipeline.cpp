@@ -1,7 +1,9 @@
 // Micro-benchmarks: pipeline building blocks (dense box detection,
-// partition planning, leaf summaries, merging, packet serialisation).
+// partition planning, leaf summaries, merging, packet serialisation) and
+// the host-threaded cluster phase (wall-clock speedup vs host_threads=1).
 #include <benchmark/benchmark.h>
 
+#include "core/mrscan.hpp"
 #include "data/twitter.hpp"
 #include "dbscan/sequential.hpp"
 #include "gpu/dense_box.hpp"
@@ -123,6 +125,37 @@ void BM_SummaryPacketRoundTrip(benchmark::State& state) {
                           summary.to_packet().size_bytes());
 }
 BENCHMARK(BM_SummaryPacketRoundTrip);
+
+// Cluster-phase wall clock at 8 leaves across host worker counts. The
+// reported time IS the cluster phase (manual timing from the pipeline's
+// PhaseTimer), so the Arg(1) / Arg(4) ratio is the host-parallel speedup
+// the ISSUE-3 acceptance bar asks for (>= 2x at 4 workers).
+void BM_ClusterPhaseHostThreads(benchmark::State& state) {
+  const auto points = bench_points(60000);
+  core::MrScanConfig config;
+  config.params = {0.1, 40};
+  config.leaves = 8;
+  config.fanout = 4;
+  config.partition_nodes = 2;
+  config.host_threads = static_cast<std::size_t>(state.range(0));
+  const core::MrScan pipeline(config);
+  std::size_t clusters = 0;
+  for (auto _ : state) {
+    const auto result = pipeline.run(points);
+    state.SetIterationTime(result.wall.get("cluster"));
+    clusters = result.cluster_count;
+    benchmark::DoNotOptimize(clusters);
+  }
+  state.SetLabel("8 leaves, " + std::to_string(state.range(0)) +
+                 " host thread(s), " + std::to_string(clusters) +
+                 " clusters");
+}
+BENCHMARK(BM_ClusterPhaseHostThreads)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->UseManualTime()
+    ->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

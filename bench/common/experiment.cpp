@@ -34,6 +34,8 @@ BenchScale BenchScale::from_env() {
       env_u64("MRSCAN_BENCH_MAX_LEAVES", scale.max_leaves));
   scale.quality_points =
       env_u64("MRSCAN_BENCH_QUALITY_POINTS", scale.quality_points);
+  scale.host_threads = static_cast<std::size_t>(
+      env_u64("MRSCAN_BENCH_HOST_THREADS", scale.host_threads));
   return scale;
 }
 
@@ -121,6 +123,7 @@ Row run_config(const WeakConfig& config, const RunOptions& options,
     mr.partition_nodes = config.partition_nodes;
     mr.gpu.dense_box = options.dense_box;
     mr.shadow_rep_threshold = options.shadow_rep_threshold;
+    mr.host_threads = scale.host_threads;
     mr.titan = titan;
 
     const geom::PointSet points =

@@ -55,11 +55,16 @@ inline constexpr std::uint64_t kPaperPointsPerLeaf = 800'000;
 ///   MRSCAN_BENCH_MAX_LEAVES      (default 32; Table 1 rows above this
 ///                                 leaf count are skipped in replica runs)
 ///   MRSCAN_BENCH_QUALITY_POINTS  (default 20000)
+///   MRSCAN_BENCH_HOST_THREADS    (default 0 = hardware concurrency;
+///                                 host workers for the phase loops —
+///                                 results are bit-identical, only wall
+///                                 time changes)
 /// Larger values increase replica fidelity at the cost of wall time.
 struct BenchScale {
   std::uint64_t points_per_leaf = 1000;
   std::size_t max_leaves = 32;
   std::uint64_t quality_points = 20000;
+  std::size_t host_threads = 0;
 
   static BenchScale from_env();
 

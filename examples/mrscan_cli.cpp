@@ -14,6 +14,9 @@
 //   --minpts N        DBSCAN MinPts (default 40)
 //   --leaves N        clustering leaf processes (default 8)
 //   --partition-nodes N  partitioner width (default 4)
+//   --host-threads N  host workers for the phase loops (0 = hardware
+//                     concurrency, default 1); output is bit-identical
+//                     for any value (DESIGN §8)
 //   --keep-noise      include noise points (cluster id -1) in the output
 //   --demo N          instead of --input, generate N synthetic tweets
 #include <cstdio>
@@ -33,7 +36,7 @@ namespace {
   std::fprintf(stderr,
                "usage: %s --input PATH [--output PATH] [--eps F] "
                "[--minpts N] [--leaves N] [--partition-nodes N] "
-               "[--keep-noise] | --demo N\n",
+               "[--host-threads N] [--keep-noise] | --demo N\n",
                argv0);
   std::exit(2);
 }
@@ -55,6 +58,7 @@ int main(int argc, char** argv) {
   std::size_t min_pts = 40;
   std::size_t leaves = 8;
   std::size_t partition_nodes = 4;
+  std::size_t host_threads = 1;
   bool keep_noise = false;
   std::uint64_t demo_points = 0;
 
@@ -76,6 +80,8 @@ int main(int argc, char** argv) {
       leaves = std::strtoull(next(), nullptr, 10);
     } else if (arg == "--partition-nodes") {
       partition_nodes = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--host-threads") {
+      host_threads = std::strtoull(next(), nullptr, 10);
     } else if (arg == "--keep-noise") {
       keep_noise = true;
     } else if (arg == "--demo") {
@@ -110,6 +116,7 @@ int main(int argc, char** argv) {
   config.params = {eps, min_pts};
   config.leaves = leaves;
   config.partition_nodes = partition_nodes;
+  config.host_threads = host_threads;
   config.keep_noise = keep_noise;
 
   const core::MrScan pipeline(config);

@@ -56,7 +56,16 @@ run_preset() {
   if [[ "$NO_STRESS" -eq 1 ]]; then
     ctest_args+=(-LE stress)
   fi
-  run_step "test:$preset" ctest "${ctest_args[@]}"
+  # The tsan preset drives the phase loops with 4 host workers so the
+  # race detector sees real concurrency and the differential battery
+  # enforces the bit-identical-output determinism contract under it.
+  if [[ "$preset" == "tsan" ]]; then
+    run_step "test:$preset" \
+      env "MRSCAN_HOST_THREADS=${MRSCAN_HOST_THREADS:-4}" \
+      ctest "${ctest_args[@]}"
+  else
+    run_step "test:$preset" ctest "${ctest_args[@]}"
+  fi
 }
 
 run_step "lint" python3 tools/lint/mrscan_lint.py src

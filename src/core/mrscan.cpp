@@ -7,10 +7,12 @@
 #include <utility>
 
 #include "fault/injector.hpp"
+#include "io/point_file.hpp"
 #include "merge/merger.hpp"
 #include "merge/summary.hpp"
 #include "mrnet/topology.hpp"
 #include "util/assert.hpp"
+#include "util/thread_pool.hpp"
 
 namespace mrscan::core {
 
@@ -51,6 +53,7 @@ MrScanResult MrScan::run(std::span<const geom::Point> points) const {
   part_config.materialize.shadow_rep_threshold =
       config_.shadow_rep_threshold;
   part_config.transport = config_.transport;
+  part_config.host_threads = config_.host_threads;
 
   {
     util::PhaseTimer::Scope scope(result.wall, "partition");
@@ -129,14 +132,22 @@ MrScanResult MrScan::run(std::span<const geom::Point> points) const {
             host_build + clustered.stats.device_seconds};
   };
 
+  // The per-leaf cluster loop is the host-side concurrency the paper's
+  // thousands of leaves give for free (§3.2); here a ThreadPool supplies
+  // it. Every iteration writes only its own slots of leaf_labels /
+  // leaf_packets / leaf_ready / leaf_points / result.leaf_stats, and the
+  // cross-leaf gpu_dbscan_seconds max is reduced after the merge barrier
+  // (so recovery re-runs are included too) — which is what keeps the
+  // output bit-identical for any worker count.
+  util::ThreadPool pool(config_.host_threads);
   {
     util::PhaseTimer::Scope scope(result.wall, "cluster");
-    for (std::size_t leaf = 0; leaf < segments.size(); ++leaf) {
+    pool.parallel_for(0, segments.size(), [&](std::size_t leaf) {
       if (injector && injector->leaf_killed_before_cluster(
                           static_cast<std::uint32_t>(leaf))) {
         // The leaf process died before any clustering work; its partition
         // is re-read and clustered on a sibling during the reduction.
-        continue;
+        return;
       }
       // Leaf reads its partition from the segmented file (modeled); with
       // direct transport the data already arrived over the network.
@@ -147,17 +158,18 @@ MrScanResult MrScan::run(std::span<const geom::Point> points) const {
                     config_.titan.lustre,
                     (segments[leaf].owned.size() +
                      segments[leaf].shadow.size()) *
-                        28,
+                        io::kBinaryRecordSize,
                     std::max<std::size_t>(1, segments.size()),
                     sim::kSequentialOp);
 
       auto summary = cluster_leaf(leaf);
       leaf_packets[leaf] = std::move(summary.first);
       leaf_ready[leaf] = read_time + summary.second;
-      result.gpu_dbscan_seconds =
-          std::max(result.gpu_dbscan_seconds,
-                   result.leaf_stats[leaf].device_seconds);
-    }
+    });
+    // parallel_for rethrows the first leaf failure; any concurrent ones
+    // must have been counted, never silently swallowed.
+    MRSCAN_ASSERT_MSG(pool.dropped_exceptions() == 0,
+                      "cluster phase swallowed a worker exception");
   }
 
   // ---- Merge phase: summaries reduce up the tree (§3.3). ----
@@ -168,6 +180,9 @@ MrScanResult MrScan::run(std::span<const geom::Point> points) const {
         [&](std::uint32_t rank, double& recovery_cost_s) {
           // The adopting sibling re-reads the dead leaf's materialized
           // partition from the PFS and re-clusters it from scratch.
+          // Runs on the event-loop thread after the cluster-phase barrier,
+          // so refilling the dead rank's leaf_* slots cannot race the
+          // (already joined) cluster workers.
           const double reread = partition::segment_reread_seconds(
               segments[rank], config_.titan.lustre);
           auto summary = cluster_leaf(rank);
@@ -184,20 +199,36 @@ MrScanResult MrScan::run(std::span<const geom::Point> points) const {
         std::move(leaf_packets),
         [&](std::uint32_t node, std::vector<mrnet::Packet> children,
             std::uint64_t& ops) {
-          std::vector<merge::MergeSummary> summaries;
-          summaries.reserve(children.size());
-          for (const auto& c : children) {
-            summaries.push_back(merge::MergeSummary::from_packet(c));
-          }
+          // Per-child deserialization is independent (each Reader holds
+          // its own cursor); fan it out slot-by-slot on the pool. The
+          // merge itself needs all children and stays sequential.
+          std::vector<merge::MergeSummary> summaries(children.size());
+          pool.parallel_for(0, children.size(), [&](std::size_t i) {
+            summaries[i] = merge::MergeSummary::from_packet(children[i]);
+          });
           merge::MergeResult merged = merge::merge_summaries(
               summaries, plan.geometry, config_.params.eps);
           ops = merged.ops + 1;
-          result.merges_detected += merged.merges_detected;
           mrnet::Packet out = merged.merged.to_packet();
           node_results.emplace(node, std::move(merged));
           return out;
         },
         leaf_ready);
+  }
+  // Cross-node accumulators are reduced here, after the event loop, not
+  // inside the filter: the filter must stay free of shared mutable state
+  // so nothing races if filters ever run concurrently.
+  for (const auto& [node, merged] : node_results) {
+    result.merges_detected += merged.merges_detected;
+  }
+  // The reported GPGPU time is the slowest leaf's device time. Reduced
+  // after the merge phase so a leaf re-clustered by the recovery handler
+  // — which refills its leaf_stats slot during the reduction — contributes
+  // its device_seconds too (a killed-before-cluster leaf has no stats at
+  // all until recovery runs).
+  for (const auto& stats : result.leaf_stats) {
+    result.gpu_dbscan_seconds =
+        std::max(result.gpu_dbscan_seconds, stats.device_seconds);
   }
   result.merge_net = net.stats();
   // Cluster + merge pipeline: completion of the reduction, which started
@@ -263,8 +294,8 @@ MrScanResult MrScan::run(std::span<const geom::Point> points) const {
   // Leaves write the labelled output in parallel: contiguous runs at
   // per-cluster offsets (§3.4) — large ops, unlike the partition phase.
   const double output_write = sim::lustre_write_seconds(
-      config_.titan.lustre, result.output.size() * 36, segments.size(),
-      1ULL << 20);
+      config_.titan.lustre, result.output.size() * io::kLabeledRecordSize,
+      segments.size(), 1ULL << 20);
   result.sim.sweep = scatter_seconds + output_write;
 
   return result;

@@ -58,6 +58,15 @@ struct MrScanConfig {
   double rebalance_threshold = 1.075;
   /// Keep noise points in the output records.
   bool keep_noise = false;
+  /// Host worker threads for the embarrassingly parallel phase loops:
+  /// per-leaf clustering, the partitioner's per-node histogram build, and
+  /// per-child summary deserialization in the merge filter. 0 = hardware
+  /// concurrency, 1 = fully sequential (the historical behavior). The
+  /// output — records, cluster ids, and every simulated time — is
+  /// bit-identical for any value (DESIGN §8's determinism contract): each
+  /// leaf writes only its own slots and cross-leaf accumulators are
+  /// reduced after the barrier.
+  std::size_t host_threads = 1;
   /// Machine model for simulated times.
   sim::TitanParams titan;
   /// Seeded fault plan for the clustering tree's upstream reduction

@@ -27,6 +27,12 @@ void put_bytes(std::vector<char>& buf, const void* src, std::size_t n) {
                            path.string());
 }
 
+static_assert(kBinaryRecordSize == sizeof(geom::Point::id) +
+                                       sizeof(geom::Point::x) +
+                                       sizeof(geom::Point::y) +
+                                       sizeof(geom::Point::weight),
+              "kBinaryRecordSize must match the encoded point layout");
+
 void encode_record(std::vector<char>& buf, const geom::Point& p) {
   put_bytes(buf, &p.id, 8);
   put_bytes(buf, &p.x, 8);

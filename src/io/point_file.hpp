@@ -17,7 +17,17 @@
 namespace mrscan::io {
 
 /// Bytes per binary point record (id u64 + x f64 + y f64 + weight f32).
+/// The Titan I/O model charges partition reads/writes per record at this
+/// size; point_file.cpp static_asserts it against the encoded layout so
+/// the model cannot drift from what is actually serialized.
 inline constexpr std::size_t kBinaryRecordSize = 28;
+
+/// Bytes per clustered-output record the sweep phase writes (§3.4): a
+/// binary point record plus its global cluster id (i64). Matches
+/// sweep::LabeledPoint's wire form; shares kBinaryRecordSize so a point
+/// layout change flows into the output model automatically.
+inline constexpr std::size_t kLabeledRecordSize =
+    kBinaryRecordSize + sizeof(std::int64_t);
 
 /// Write points as the binary format (overwrites). Throws std::runtime_error
 /// on I/O failure.

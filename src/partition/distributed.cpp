@@ -6,6 +6,7 @@
 #include "index/grid.hpp"
 #include "io/point_file.hpp"
 #include "util/assert.hpp"
+#include "util/thread_pool.hpp"
 
 namespace mrscan::partition {
 
@@ -109,16 +110,20 @@ PartitionPhaseResult run_distributed_partitioner(
       config.eps / static_cast<double>(config.planner.cell_refine)};
 
   // ---- Leaves histogram their slices; reduce to the root. ----
+  // Each partitioner node histograms a disjoint slice and writes only its
+  // own leaf_packets slot, so the build fans out on the host pool; the
+  // packets (and hence the plan) are bit-identical for any worker count.
   mrnet::Network net(mrnet::Topology::flat(workers), titan.net,
                      titan.cpu_op_rate);
   std::vector<mrnet::Packet> leaf_packets(workers);
   const std::size_t chunk = (points.size() + workers - 1) / workers;
-  for (std::size_t w = 0; w < workers; ++w) {
+  util::ThreadPool pool(config.host_threads);
+  pool.parallel_for(0, workers, [&](std::size_t w) {
     const std::size_t lo = std::min(points.size(), w * chunk);
     const std::size_t hi = std::min(points.size(), lo + chunk);
     index::CellHistogram local(geometry, points.subspan(lo, hi - lo));
     leaf_packets[w] = pack_histogram(local);
-  }
+  });
   mrnet::Packet root_packet = net.reduce(
       std::move(leaf_packets),
       [](std::uint32_t, std::vector<mrnet::Packet> children,

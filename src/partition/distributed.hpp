@@ -43,6 +43,10 @@ struct DistributedPartitionerConfig {
   std::size_t partition_nodes = 2;
   double eps = 1.0;
   Transport transport = Transport::kLustre;
+  /// Host worker threads for the per-node cell-histogram build (the
+  /// partitioner leaves are independent). 0 = hardware concurrency,
+  /// 1 = sequential; the plan is bit-identical for any value.
+  std::size_t host_threads = 1;
 };
 
 struct PartitionPhaseResult {

@@ -43,6 +43,11 @@ void ThreadPool::wait_idle() {
   }
 }
 
+std::size_t ThreadPool::dropped_exceptions() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return dropped_exceptions_;
+}
+
 void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
                               const std::function<void(std::size_t)>& fn) {
   if (begin >= end) return;
@@ -81,7 +86,11 @@ void ThreadPool::worker_loop() {
       // section: releasing it after unlock would make the refcount drop
       // race with the waiter consuming the rethrown exception.
       if (thrown) {
-        if (!first_exception_) first_exception_ = std::move(thrown);
+        if (!first_exception_) {
+          first_exception_ = std::move(thrown);
+        } else {
+          ++dropped_exceptions_;
+        }
         thrown = nullptr;
       }
       --in_flight_;

@@ -31,13 +31,20 @@ class ThreadPool {
   /// Enqueue a task. A task that throws does not kill the worker: the
   /// first exception is captured and rethrown from the next wait_idle()
   /// (and therefore from parallel_for); later exceptions before that
-  /// wait are dropped. Remaining queued tasks still run.
+  /// wait are counted in dropped_exceptions() instead of vanishing.
+  /// Remaining queued tasks still run.
   void submit(std::function<void()> task);
 
   /// Block until all submitted tasks have finished. Rethrows the first
   /// exception any task raised since the last wait, clearing it so the
   /// pool stays usable.
   void wait_idle();
+
+  /// Exceptions swallowed since construction: every task exception that
+  /// could not become the rethrown "first" one. Callers that must not
+  /// lose failures assert this stays zero across their wait_idle() calls
+  /// (a throwing run rethrows the first and counts the rest here).
+  std::size_t dropped_exceptions() const;
 
   /// Run fn(i) for i in [begin, end), blocking until done. Work is split
   /// into contiguous chunks, one per worker. If fn throws, the remaining
@@ -51,10 +58,11 @@ class ThreadPool {
 
   std::vector<std::thread> workers_;
   std::queue<std::function<void()>> tasks_;
-  std::mutex mutex_;
+  mutable std::mutex mutex_;
   std::condition_variable cv_task_;
   std::condition_variable cv_idle_;
-  std::exception_ptr first_exception_;  // guarded by mutex_
+  std::exception_ptr first_exception_;     // guarded by mutex_
+  std::size_t dropped_exceptions_ = 0;     // guarded by mutex_
   std::size_t in_flight_ = 0;
   bool stop_ = false;
 };

@@ -12,6 +12,7 @@
 //   3. DBDC quality over all points >= 0.99 (border drift only).
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <string>
 
 #include "core/mrscan.hpp"
@@ -28,6 +29,16 @@ namespace mg = mrscan::geom;
 
 namespace {
 
+/// The battery runs host-threaded by default (MRSCAN_HOST_THREADS
+/// overrides; scripts/check.sh sets 4 under the tsan preset) so the
+/// determinism contract — bit-identical output for any worker count — is
+/// continuously enforced, not just in the dedicated sweep test.
+std::size_t host_threads_from_env() {
+  const char* v = std::getenv("MRSCAN_HOST_THREADS");
+  if (v == nullptr || *v == '\0') return 2;
+  return static_cast<std::size_t>(std::strtoull(v, nullptr, 10));
+}
+
 mc::MrScanConfig make_config(double eps, std::size_t min_pts,
                              std::size_t leaves, std::size_t fanout) {
   mc::MrScanConfig config;
@@ -35,6 +46,7 @@ mc::MrScanConfig make_config(double eps, std::size_t min_pts,
   config.leaves = leaves;
   config.fanout = fanout;
   config.partition_nodes = 2;
+  config.host_threads = host_threads_from_env();
   return config;
 }
 
@@ -130,6 +142,69 @@ TEST(Differential, DenseBoxOnAndOffAgreeWithTheOracle) {
     expect_matches_oracle(points, config,
                           dense_box ? "dense-box on" : "dense-box off");
   }
+}
+
+TEST(Differential, HostThreadSweepYieldsBitIdenticalOutput) {
+  mrscan::data::TwitterConfig tw;
+  tw.num_points = 10000;
+  tw.seed = 7;
+  const auto points = mrscan::data::generate_twitter(tw);
+
+  auto base_cfg = make_config(0.1, 40, 8, 4);
+  base_cfg.host_threads = 1;
+  const auto baseline = mc::MrScan(base_cfg).run(points);
+  ASSERT_GT(baseline.cluster_count, 0u);
+
+  // 0 = hardware concurrency: the sweep covers sequential, a fixed worker
+  // count, and whatever this machine has.
+  for (const std::size_t threads : {2UL, 0UL}) {
+    auto cfg = base_cfg;
+    cfg.host_threads = threads;
+    const auto result = mc::MrScan(cfg).run(points);
+    const std::string context =
+        "host_threads " + std::to_string(threads);
+    EXPECT_TRUE(result.output == baseline.output)
+        << context << ": output records differ from host_threads=1";
+    EXPECT_EQ(result.cluster_count, baseline.cluster_count) << context;
+    EXPECT_EQ(result.merges_detected, baseline.merges_detected) << context;
+    // Simulated times are part of the contract too: the virtual clock
+    // must not depend on how many host workers computed the inputs.
+    EXPECT_DOUBLE_EQ(result.gpu_dbscan_seconds, baseline.gpu_dbscan_seconds)
+        << context;
+    EXPECT_DOUBLE_EQ(result.sim.cluster_merge, baseline.sim.cluster_merge)
+        << context;
+    EXPECT_DOUBLE_EQ(result.sim.sweep, baseline.sim.sweep) << context;
+  }
+}
+
+TEST(Differential, FaultMatrixUnderHostThreadsStaysBitIdentical) {
+  mrscan::data::TwitterConfig tw;
+  tw.num_points = 8000;
+  tw.seed = 13;
+  const auto points = mrscan::data::generate_twitter(tw);
+
+  auto base_cfg = make_config(0.1, 20, 6, 4);
+  base_cfg.host_threads = 1;
+  const auto baseline = mc::MrScan(base_cfg).run(points);
+  ASSERT_GE(baseline.leaves_used, 3u);
+
+  // Leaf kills (before and during clustering) combined with drops and
+  // reorders, clustered on 4 host workers: recovery re-clustering must
+  // slot into the same leaf state the workers filled, bit-identically.
+  auto cfg = base_cfg;
+  cfg.host_threads = 4;
+  cfg.fault_plan.seed = 0xfeedULL;
+  cfg.fault_plan.kill(0, /*before_cluster=*/true)
+      .kill(2, /*before_cluster=*/false)
+      .drop(mrscan::fault::kAllNodes, 0)
+      .reorder(mrscan::fault::kAllNodes, 2e-4);
+  cfg.fault_plan.retry.leaf_timeout_s = 2.0;
+  const auto faulty = mc::MrScan(cfg).run(points);
+
+  EXPECT_EQ(faulty.fault.leaves_recovered, 2u);
+  EXPECT_TRUE(faulty.output == baseline.output)
+      << "faulty threaded run diverged from the sequential fault-free run";
+  EXPECT_EQ(faulty.cluster_count, baseline.cluster_count);
 }
 
 TEST(Differential, UniformNoiseOnlyYieldsNoClustersAnywhere) {

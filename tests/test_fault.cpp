@@ -458,6 +458,38 @@ TEST(PipelineFault, MatrixYieldsBitIdenticalOutput) {
   }
 }
 
+TEST(PipelineFault, KillingTheSlowestLeafStillReportsItsDeviceTime) {
+  // Regression: gpu_dbscan_seconds used to be a max taken only inside the
+  // main cluster loop, so a leaf killed before clustering — whose
+  // device_seconds only exist once the recovery handler re-clusters it
+  // during the reduction — silently vanished from the reported max.
+  // Killing the slowest leaf made the "slowest leaf device time" shrink.
+  const auto points = fault_points();
+  const auto baseline = mc::MrScan(fault_config()).run(points);
+  ASSERT_GT(baseline.gpu_dbscan_seconds, 0.0);
+
+  std::uint32_t slowest = 0;
+  for (std::uint32_t leaf = 0; leaf < baseline.leaf_stats.size(); ++leaf) {
+    if (baseline.leaf_stats[leaf].device_seconds >
+        baseline.leaf_stats[slowest].device_seconds) {
+      slowest = leaf;
+    }
+  }
+  ASSERT_DOUBLE_EQ(baseline.leaf_stats[slowest].device_seconds,
+                   baseline.gpu_dbscan_seconds);
+
+  auto cfg = fault_config();
+  cfg.fault_plan.kill(slowest, /*before_cluster=*/true);
+  cfg.fault_plan.retry.leaf_timeout_s = 2.0;
+  const auto result = mc::MrScan(cfg).run(points);
+
+  EXPECT_EQ(result.fault.leaves_recovered, 1u);
+  // Recovery re-clusters deterministically, so the recovered leaf's
+  // device time equals what the dead leaf would have reported — and it
+  // must reach the reduced max.
+  EXPECT_DOUBLE_EQ(result.gpu_dbscan_seconds, baseline.gpu_dbscan_seconds);
+}
+
 TEST(PipelineFault, RecoveryIsReportedInStatsAndChargedToTheClock) {
   const auto points = fault_points();
   auto cfg = fault_config();

@@ -301,6 +301,46 @@ TEST(ThreadPool, ThrowingParallelForRethrowsAndCompletesRest) {
   EXPECT_EQ(after.load(), 10);
 }
 
+TEST(ThreadPool, DroppedExceptionsAreCountedNotSwallowed) {
+  mu::ThreadPool pool(4);
+  EXPECT_EQ(pool.dropped_exceptions(), 0u);
+  // Every thrown exception either becomes the rethrown "first" or lands in
+  // the dropped counter: with 8 throwing tasks, exactly 7 are dropped, no
+  // matter how the workers interleave.
+  for (int i = 0; i < 8; ++i) {
+    pool.submit([] { throw std::runtime_error("worker failure"); });
+  }
+  EXPECT_THROW(pool.wait_idle(), std::runtime_error);
+  EXPECT_EQ(pool.dropped_exceptions(), 7u);
+  // A clean batch afterwards leaves the count untouched (it is a
+  // lifetime total, asserted against a baseline by callers).
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 4; ++i) pool.submit([&] { ran.fetch_add(1); });
+  EXPECT_NO_THROW(pool.wait_idle());
+  EXPECT_EQ(ran.load(), 4);
+  EXPECT_EQ(pool.dropped_exceptions(), 7u);
+}
+
+TEST(ThreadPool, ParallelForFromMultipleWorkersCountsConcurrentThrows) {
+  mu::ThreadPool pool(4);
+  // 4 chunks of 1 index each; every chunk throws from its own worker.
+  EXPECT_THROW(pool.parallel_for(0, 4,
+                                 [](std::size_t i) {
+                                   throw std::runtime_error(
+                                       "chunk " + std::to_string(i));
+                                 }),
+               std::runtime_error);
+  EXPECT_EQ(pool.dropped_exceptions(), 3u);
+}
+
+TEST(ThreadPool, CleanRunsDropNothing) {
+  mu::ThreadPool pool(4);
+  std::atomic<int> sum{0};
+  pool.parallel_for(0, 1000, [&](std::size_t) { sum.fetch_add(1); });
+  EXPECT_EQ(sum.load(), 1000);
+  EXPECT_EQ(pool.dropped_exceptions(), 0u);
+}
+
 TEST(ThreadPool, ExceptionDoesNotKillWorkers) {
   mu::ThreadPool pool(2);
   for (int round = 0; round < 10; ++round) {

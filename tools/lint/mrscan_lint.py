@@ -22,6 +22,13 @@ repository's conventions rather than general C++ hygiene:
   no-manual-lock       no direct std::mutex .lock()/.unlock() calls; use
                        std::lock_guard / std::unique_lock / std::scoped_lock
                        so early returns and exceptions cannot leak a lock.
+  pool-phase-loops     phase code (core/, partition/, merge/, sweep/) must
+                       not iterate `for (... segments.size() ...)`
+                       sequentially: per-segment work is the parallelism
+                       the paper's leaves supply, so route it through
+                       util::ThreadPool::parallel_for or annotate the loop
+                       with `// sequential-ok: <reason>` (same line or the
+                       line above).
 
 Suppressions (always give a reason at the end of the line):
   // mrscan-lint: allow(<rule>) <reason>        — this line only
@@ -57,6 +64,9 @@ RULES = {
     "no-naked-new": "no naked new/delete expressions",
     "no-printf-library": "printf family banned outside util/logging|assert",
     "no-manual-lock": "no manual mutex lock()/unlock(); use RAII guards",
+    "pool-phase-loops": "per-segment for loops in phase code must use "
+                        "ThreadPool::parallel_for or carry "
+                        "// sequential-ok: <reason>",
 }
 
 RAW_RAND = re.compile(r"(?<![\w:])(?:std\s*::\s*)?s?rand\s*\(")
@@ -71,6 +81,14 @@ MANUAL_LOCK = re.compile(r"[\w\])]\s*(?:\.|->)\s*(?:un)?lock\s*\(\s*\)")
 # RAII wrappers expose .lock()/.unlock() too (e.g. unique_lock around a
 # condition-variable wait); those are deliberate and named accordingly.
 RAII_LOCK_VAR = re.compile(r"\b(?:lk|lock|guard)\s*(?:\.|->)\s*(?:un)?lock\b")
+
+# Directories holding the pipeline's phase loops: sequential per-segment
+# `for` loops there bypass the host ThreadPool (ISSUE 3's tentpole).
+# The lookbehind keeps `pool.parallel_for(0, segments.size(), ...)` legal.
+PHASE_DIRS = ("core", "partition", "merge", "sweep")
+SEQUENTIAL_SEGMENT_LOOP = re.compile(
+    r"(?<![\w.])for\s*\([^)]*\bsegments\.size\s*\(\)")
+SEQUENTIAL_OK = re.compile(r"//\s*sequential-ok:\s*\S")
 
 
 def strip_comments_and_strings(text: str) -> str:
@@ -156,6 +174,18 @@ def lint_file(path: Path, rel: str) -> list[Violation]:
             report(lineno, "no-manual-lock",
                    "manual mutex lock/unlock; use std::lock_guard or "
                    "std::unique_lock")
+        if (any(f"/{d}/" in f"/{rel}" for d in PHASE_DIRS)
+                and SEQUENTIAL_SEGMENT_LOOP.search(line)):
+            # The annotation lives in a comment, so look at the raw
+            # source (this line or the one above), not the stripped text.
+            raw_here = raw_lines[lineno - 1] if lineno <= len(raw_lines) else ""
+            raw_prev = raw_lines[lineno - 2] if lineno >= 2 else ""
+            if not (SEQUENTIAL_OK.search(raw_here)
+                    or SEQUENTIAL_OK.search(raw_prev)):
+                report(lineno, "pool-phase-loops",
+                       "sequential per-segment loop in phase code; use "
+                       "util::ThreadPool::parallel_for or annotate with "
+                       "// sequential-ok: <reason>")
 
     if (path.suffix == ".cpp"
             and any(f"/{d}/" in f"/{rel}" for d in REQUIRE_DIRS)
