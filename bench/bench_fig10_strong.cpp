@@ -31,6 +31,7 @@ int main() {
     bench::RunOptions options;
     options.eps = 0.1;
     options.paper_min_pts = 40;
+    options.bench_name = "fig10_strong";
     // Run the replica at the data's native Eps (no inflation): Figure 10's
     // mechanism is geometric — more partitions subdivide the dense area
     // until the slowest partition is a single Eps x Eps cell — and that

@@ -23,6 +23,7 @@ int main() {
     options.dataset = bench::Dataset::kSdss;
     options.eps = 0.00015;
     options.paper_min_pts = 5;
+    options.bench_name = "fig12_sdss_weak";
     const auto row = bench::run_config(config, options, scale);
     bench::print_row(row);
   }

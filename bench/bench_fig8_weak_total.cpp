@@ -29,6 +29,7 @@ int main() {
       options.dataset = bench::Dataset::kTwitter;
       options.eps = 0.1;
       options.paper_min_pts = min_pts;
+      options.bench_name = "fig8_weak_total";
       const auto row = bench::run_config(config, options, scale);
       bench::print_row(row);
       if (first_points == 0) {

@@ -28,6 +28,7 @@ int main() {
       bench::RunOptions options;
       options.eps = 0.1;
       options.paper_min_pts = min_pts;
+      options.bench_name = "fig9_breakdown";
       s.rows.push_back(bench::run_config(config, options, scale));
     }
     series.push_back(std::move(s));

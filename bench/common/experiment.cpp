@@ -78,6 +78,39 @@ index::CellHistogram paper_scale_histogram(Dataset dataset,
   return data::sdss_histogram(config, eps, sample);
 }
 
+/// Write one bench cell's metrics snapshot. The replica run's registry
+/// (host wall seconds, fault counters, network stats) is extended with
+/// the paper-scale "bench.*" numbers and exported as flat JSON.
+void write_bench_metrics(const std::string& bench_name, const Row& row,
+                         obs::Recorder& recorder) {
+  const char* dir_env = std::getenv("MRSCAN_BENCH_METRICS_DIR");
+  const std::string dir = (dir_env && *dir_env) ? dir_env : ".";
+  if (dir == "off" || dir == "-") return;
+
+  obs::Registry& reg = recorder.metrics();
+  reg.add("bench.paper_points", row.paper_points);
+  reg.add("bench.replica_points", row.replica_points);
+  reg.add("bench.leaves", row.leaves);
+  reg.add("bench.min_pts", row.paper_min_pts);
+  reg.set("bench.total_s", row.total_s);
+  reg.set("bench.startup_s", row.startup_s);
+  reg.set("bench.partition_s", row.partition_s);
+  reg.set("bench.cluster_merge_s", row.cluster_merge_s);
+  reg.set("bench.sweep_s", row.sweep_s);
+  reg.set("bench.gpu_dbscan_s", row.gpu_dbscan_s);
+
+  const std::string path =
+      dir + "/BENCH_" + bench_name + "_" +
+      std::to_string(row.paper_points) + "pts_" +
+      std::to_string(row.leaves) + "L_m" +
+      std::to_string(row.paper_min_pts) + ".json";
+  try {
+    obs::write_text_file(path, obs::metrics_json(reg.snapshot()));
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "bench metrics export failed: %s\n", e.what());
+  }
+}
+
 }  // namespace
 
 Row run_config(const WeakConfig& config, const RunOptions& options,
@@ -115,6 +148,7 @@ Row run_config(const WeakConfig& config, const RunOptions& options,
   }
 
   // ---- Replica layer: real pipeline on the density-preserving replica. ----
+  std::shared_ptr<obs::Recorder> recorder;
   {
     core::MrScanConfig mr;
     mr.params = {row.replica_eps, options.paper_min_pts};
@@ -140,10 +174,14 @@ Row run_config(const WeakConfig& config, const RunOptions& options,
       row.dense_boxes += stats.dense_boxes;
       row.dense_points += stats.dense_points;
     }
+    recorder = result.obs;
   }
 
   row.total_s =
       row.startup_s + row.partition_s + row.cluster_merge_s + row.sweep_s;
+  if (!options.bench_name.empty() && recorder) {
+    write_bench_metrics(options.bench_name, row, *recorder);
+  }
   return row;
 }
 

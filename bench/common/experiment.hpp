@@ -114,6 +114,12 @@ struct RunOptions {
   /// beyond the data window, so the replica preserves the paper's
   /// per-leaf RATIO (points_per_leaf reduction) instead.
   std::optional<double> sigma_density;
+  /// When non-empty, every run_config call writes the replica run's
+  /// metrics snapshot (sim seconds at paper scale, host seconds, fault
+  /// counters) to BENCH_<name>_<points>pts_<leaves>L_m<minpts>.json
+  /// under MRSCAN_BENCH_METRICS_DIR (default "."; "off" or "-"
+  /// disables).
+  std::string bench_name;
 };
 
 /// Run one weak/strong-scaling cell: `leaves` leaves, paper-scale

@@ -19,6 +19,11 @@
 //                     for any value (DESIGN §8)
 //   --keep-noise      include noise points (cluster id -1) in the output
 //   --demo N          instead of --input, generate N synthetic tweets
+//   --trace-out PATH  write a Chrome trace-event JSON of the run
+//                     (load in chrome://tracing or ui.perfetto.dev)
+//   --metrics-out PATH  write the flat metrics snapshot JSON
+// Either flag enables observability; MRSCAN_TRACE_OUT / MRSCAN_METRICS_OUT
+// / MRSCAN_OBS environment overrides are honoured as well.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -36,7 +41,8 @@ namespace {
   std::fprintf(stderr,
                "usage: %s --input PATH [--output PATH] [--eps F] "
                "[--minpts N] [--leaves N] [--partition-nodes N] "
-               "[--host-threads N] [--keep-noise] | --demo N\n",
+               "[--host-threads N] [--keep-noise] [--trace-out PATH] "
+               "[--metrics-out PATH] | --demo N\n",
                argv0);
   std::exit(2);
 }
@@ -61,6 +67,7 @@ int main(int argc, char** argv) {
   std::size_t host_threads = 1;
   bool keep_noise = false;
   std::uint64_t demo_points = 0;
+  std::string trace_out, metrics_out;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -86,6 +93,10 @@ int main(int argc, char** argv) {
       keep_noise = true;
     } else if (arg == "--demo") {
       demo_points = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--trace-out") {
+      trace_out = next();
+    } else if (arg == "--metrics-out") {
+      metrics_out = next();
     } else {
       usage(argv[0]);
     }
@@ -118,6 +129,11 @@ int main(int argc, char** argv) {
   config.partition_nodes = partition_nodes;
   config.host_threads = host_threads;
   config.keep_noise = keep_noise;
+  if (!trace_out.empty() || !metrics_out.empty()) {
+    config.observability.enabled = true;
+    config.observability.trace_out = trace_out;
+    config.observability.metrics_out = metrics_out;
+  }
 
   const core::MrScan pipeline(config);
   const auto result = pipeline.run(points);
@@ -132,13 +148,15 @@ int main(int argc, char** argv) {
   std::printf("clusters: %zu\n", result.cluster_count);
   std::printf("output records: %zu -> %s\n", result.output.size(),
               output.c_str());
-  std::printf("wall: partition %.3fs cluster %.3fs merge %.3fs sweep "
-              "%.3fs\n",
-              result.wall.get("partition"), result.wall.get("cluster"),
-              result.wall.get("merge"), result.wall.get("sweep"));
+  // One-line phase breakdown straight from the run's metrics registry.
+  std::printf("wall: %s\n", result.obs->phase_summary().c_str());
   std::printf("simulated (Titan model): total %.2fs [startup %.2f, "
               "partition %.2f, cluster+merge %.2f, sweep %.2f]\n",
               result.sim.total(), result.sim.startup, result.sim.partition,
               result.sim.cluster_merge, result.sim.sweep);
+  if (!trace_out.empty()) std::printf("trace: %s\n", trace_out.c_str());
+  if (!metrics_out.empty()) {
+    std::printf("metrics: %s\n", metrics_out.c_str());
+  }
   return 0;
 }

@@ -4,11 +4,13 @@
 #
 #   1. mrscan_lint        repo-specific invariant lint over src/
 #   2. default preset     build + full test suite (tier-1 bar)
-#   3. asan-ubsan preset  full suite under ASan+UBSan with
+#   3. obs smoke          traced pipeline run; both JSON artifacts are
+#                         schema-validated by tools/obs/check_obs_json.py
+#   4. asan-ubsan preset  full suite under ASan+UBSan with
 #                         MRSCAN_CHECK_INVARIANTS=ON and MRSCAN_WERROR=ON
-#   4. tsan preset        full suite (incl. the `stress`-labeled tests)
+#   5. tsan preset        full suite (incl. the `stress`-labeled tests)
 #                         under TSan, same options
-#   5. tidy preset        clang-tidy over every TU (skipped with a notice
+#   6. tidy preset        clang-tidy over every TU (skipped with a notice
 #                         when clang-tidy is not installed)
 #
 # Usage: scripts/check.sh [--quick] [--no-stress] [--jobs N]
@@ -71,6 +73,17 @@ run_preset() {
 run_step "lint" python3 tools/lint/mrscan_lint.py src
 
 run_preset default
+
+# Observability smoke: a traced demo run must produce a Perfetto-loadable
+# Chrome trace and a valid metrics snapshot (and still cluster correctly).
+obs_smoke() {
+  ./build/examples/mrscan_cli --demo 5000 --eps 0.1 --minpts 40 \
+    --host-threads 4 --output build/obs_smoke.clusters \
+    --trace-out build/obs_trace.json --metrics-out build/obs_metrics.json \
+    && python3 tools/obs/check_obs_json.py build/obs_trace.json \
+         build/obs_metrics.json
+}
+run_step "obs-smoke" obs_smoke
 
 if [[ "$QUICK" -eq 0 ]]; then
   run_preset asan-ubsan

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
 #include <optional>
+#include <string>
 #include <unordered_map>
 #include <utility>
 
@@ -11,6 +13,7 @@
 #include "merge/merger.hpp"
 #include "merge/summary.hpp"
 #include "mrnet/topology.hpp"
+#include "obs/obs.hpp"
 #include "util/assert.hpp"
 #include "util/thread_pool.hpp"
 
@@ -42,6 +45,53 @@ MrScan::MrScan(MrScanConfig config) : config_(std::move(config)) {
 MrScanResult MrScan::run(std::span<const geom::Point> points) const {
   MrScanResult result;
 
+  // One recorder per run. Its registry is the single source of truth the
+  // JSON exporters, the phase summary, and MrScanResult's own bookkeeping
+  // all read; the span tracer inside it only records when observability
+  // is enabled (DESIGN §9's cost contract).
+  const obs::Options obs_opts =
+      obs::Options::from_env(config_.observability);
+  auto recorder = std::make_shared<obs::Recorder>(obs_opts.enabled);
+  result.obs = recorder;
+  obs::Registry& reg = recorder->metrics();
+  obs::Tracer& tracer = recorder->tracer();
+  const bool tracing = recorder->tracing();
+
+  // Mirror the final sim/fault numbers into the registry, populate the
+  // wall breakdown and FaultReport back *from* it, and write any
+  // configured artifacts. Runs on every exit path (incl. empty input).
+  const auto finalize = [&]() {
+    reg.set("sim.startup", result.sim.startup);
+    reg.set("sim.partition", result.sim.partition);
+    reg.set("sim.cluster_merge", result.sim.cluster_merge);
+    reg.set("sim.sweep", result.sim.sweep);
+    reg.set("sim.total", result.sim.total());
+    // Fault counters are mirrored unconditionally (an add of 0 still
+    // creates the counter) so every snapshot carries them.
+    reg.add("fault.leaves_recovered", result.merge_net.leaves_recovered);
+    reg.add("fault.packets_dropped", result.merge_net.packets_dropped);
+    reg.add("fault.retries", result.merge_net.retries);
+    reg.add("fault.timeouts", result.merge_net.timeouts);
+    reg.set("fault.recovery_seconds", result.merge_net.recovery_seconds);
+    result.fault.leaves_recovered =
+        reg.counter_value("fault.leaves_recovered");
+    result.fault.packets_dropped =
+        reg.counter_value("fault.packets_dropped");
+    result.fault.retries = reg.counter_value("fault.retries");
+    result.fault.timeouts = reg.counter_value("fault.timeouts");
+    result.fault.recovery_seconds =
+        reg.gauge_value("fault.recovery_seconds");
+    // Host-seconds breakdown, in the order the phases ran. Phases that
+    // never ran (empty input) have no gauge and are skipped.
+    const obs::MetricsSnapshot snap = reg.snapshot();
+    for (const char* phase : {"partition", "cluster", "merge", "sweep"}) {
+      const obs::MetricSample* sample =
+          snap.find(std::string("wall.") + phase);
+      if (sample != nullptr) result.wall.add(phase, sample->value);
+    }
+    recorder->export_artifacts(obs_opts);
+  };
+
   // ---- Partition phase (its own flat tree, §3.1.3). ----
   partition::DistributedPartitionerConfig part_config;
   part_config.eps = config_.params.eps;
@@ -54,9 +104,10 @@ MrScanResult MrScan::run(std::span<const geom::Point> points) const {
       config_.shadow_rep_threshold;
   part_config.transport = config_.transport;
   part_config.host_threads = config_.host_threads;
+  part_config.recorder = recorder.get();
 
   {
-    util::PhaseTimer::Scope scope(result.wall, "partition");
+    obs::PhaseScope scope(*recorder, "partition");
     result.partition_phase = partition::run_distributed_partitioner(
         points, part_config, config_.titan);
   }
@@ -66,6 +117,7 @@ MrScanResult MrScan::run(std::span<const geom::Point> points) const {
   const auto& plan = result.partition_phase.plan;
   result.leaves_used = segments.size();
   if (segments.empty()) {
+    finalize();
     return result;  // empty input
   }
 
@@ -140,9 +192,18 @@ MrScanResult MrScan::run(std::span<const geom::Point> points) const {
   // (so recovery re-runs are included too) — which is what keeps the
   // output bit-identical for any worker count.
   util::ThreadPool pool(config_.host_threads);
+  // Per-task pool instrumentation is hot-path cost, so the observer is
+  // attached only when tracing (DESIGN §9).
+  obs::PoolMetrics pool_metrics(reg);
+  if (tracing) pool.set_observer(&pool_metrics);
   {
-    util::PhaseTimer::Scope scope(result.wall, "cluster");
+    obs::PhaseScope scope(*recorder, "cluster");
     pool.parallel_for(0, segments.size(), [&](std::size_t leaf) {
+      std::optional<obs::Tracer::WallScope> span;
+      if (tracing) {
+        span.emplace(tracer, "cluster leaf " + std::to_string(leaf),
+                     "leaf");
+      }
       if (injector && injector->leaf_killed_before_cluster(
                           static_cast<std::uint32_t>(leaf))) {
         // The leaf process died before any clustering work; its partition
@@ -172,12 +233,28 @@ MrScanResult MrScan::run(std::span<const geom::Point> points) const {
                       "cluster phase swallowed a worker exception");
   }
 
+  // The virtual clock so far: partition then startup, then the clustering
+  // tree's reduction begins (leaf sim spans and the merge network's spans
+  // are offset onto this global timeline).
+  const double cluster_base = result.sim.partition + result.sim.startup;
+  if (tracing) {
+    // sequential-ok: tracing-only span emission, not phase compute
+    for (std::size_t leaf = 0; leaf < segments.size(); ++leaf) {
+      if (leaf_ready[leaf] <= 0.0) continue;  // killed leaves recover below
+      tracer.sim_span("cluster leaf " + std::to_string(leaf), "leaf",
+                      topology.leaves()[leaf], cluster_base,
+                      cluster_base + leaf_ready[leaf]);
+    }
+  }
+
   // ---- Merge phase: summaries reduce up the tree (§3.3). ----
   mrnet::Network net(topology, config_.titan.net, config_.titan.cpu_op_rate);
+  net.set_observer(recorder.get(), cluster_base, "merge");
   if (injector) {
     net.set_fault_injector(&*injector);
     net.set_recovery_handler(
-        [&](std::uint32_t rank, double& recovery_cost_s) {
+        [&](std::uint32_t rank, double detected_at_s,
+            double& recovery_cost_s) {
           // The adopting sibling re-reads the dead leaf's materialized
           // partition from the PFS and re-clusters it from scratch.
           // Runs on the event-loop thread after the cluster-phase barrier,
@@ -187,6 +264,15 @@ MrScanResult MrScan::run(std::span<const geom::Point> points) const {
               segments[rank], config_.titan.lustre);
           auto summary = cluster_leaf(rank);
           recovery_cost_s = reread + summary.second;
+          if (tracing) {
+            const std::uint32_t track = topology.leaves()[rank];
+            tracer.sim_span(
+                "reread leaf " + std::to_string(rank) + " partition",
+                "fault", track, detected_at_s, detected_at_s + reread);
+            tracer.sim_span("recluster leaf " + std::to_string(rank),
+                            "fault", track, detected_at_s + reread,
+                            detected_at_s + recovery_cost_s);
+          }
           return std::move(summary.first);
         });
   }
@@ -194,7 +280,7 @@ MrScanResult MrScan::run(std::span<const geom::Point> points) const {
 
   mrnet::Packet root_packet;
   {
-    util::PhaseTimer::Scope scope(result.wall, "merge");
+    obs::PhaseScope scope(*recorder, "merge");
     root_packet = net.reduce(
         std::move(leaf_packets),
         [&](std::uint32_t node, std::vector<mrnet::Packet> children,
@@ -217,28 +303,36 @@ MrScanResult MrScan::run(std::span<const geom::Point> points) const {
   }
   // Cross-node accumulators are reduced here, after the event loop, not
   // inside the filter: the filter must stay free of shared mutable state
-  // so nothing races if filters ever run concurrently.
+  // so nothing races if filters ever run concurrently. They land in the
+  // registry first and MrScanResult reads them back — one source of truth.
+  reg.add("merge.merges_detected", 0);
   for (const auto& [node, merged] : node_results) {
-    result.merges_detected += merged.merges_detected;
+    reg.add("merge.merges_detected", merged.merges_detected);
   }
+  result.merges_detected =
+      static_cast<std::size_t>(reg.counter_value("merge.merges_detected"));
   // The reported GPGPU time is the slowest leaf's device time. Reduced
   // after the merge phase so a leaf re-clustered by the recovery handler
   // — which refills its leaf_stats slot during the reduction — contributes
   // its device_seconds too (a killed-before-cluster leaf has no stats at
   // all until recovery runs).
   for (const auto& stats : result.leaf_stats) {
-    result.gpu_dbscan_seconds =
-        std::max(result.gpu_dbscan_seconds, stats.device_seconds);
+    reg.add("gpu.dense_boxes", stats.dense_boxes);
+    reg.add("gpu.dense_points", stats.dense_points);
+    reg.add("gpu.chains", stats.chains);
+    reg.add("gpu.collisions", stats.collisions);
+    reg.add("gpu.distance_ops", stats.distance_ops);
+    reg.add("gpu.kernel_launches", stats.kernel_launches);
+    reg.add("gpu.h2d_transfers", stats.h2d_transfers);
+    reg.add("gpu.d2h_transfers", stats.d2h_transfers);
+    reg.set_max("gpu.device_seconds_max", stats.device_seconds);
   }
+  result.gpu_dbscan_seconds = reg.gauge_value("gpu.device_seconds_max");
   result.merge_net = net.stats();
+  mrnet::record_network_stats(*recorder, "merge", result.merge_net);
   // Cluster + merge pipeline: completion of the reduction, which started
   // from per-leaf ready times.
   result.sim.cluster_merge = result.merge_net.last_op_seconds;
-  result.fault.leaves_recovered = result.merge_net.leaves_recovered;
-  result.fault.packets_dropped = result.merge_net.packets_dropped;
-  result.fault.retries = result.merge_net.retries;
-  result.fault.timeouts = result.merge_net.timeouts;
-  result.fault.recovery_seconds = result.merge_net.recovery_seconds;
 
   // ---- Sweep phase: global ids travel back down (§3.4). ----
   const merge::MergeSummary root_summary =
@@ -252,9 +346,11 @@ MrScanResult MrScan::run(std::span<const geom::Point> points) const {
     root_ids[i] = static_cast<std::int64_t>(i);
   }
 
+  const double sweep_base = cluster_base + result.sim.cluster_merge;
+  net.set_observer(recorder.get(), sweep_base, "sweep");
   double scatter_seconds = 0.0;
   {
-    util::PhaseTimer::Scope scope(result.wall, "sweep");
+    obs::PhaseScope scope(*recorder, "sweep");
     scatter_seconds = net.scatter(
         pack_id_map(root_ids),
         [&](std::uint32_t node, const mrnet::Packet& incoming,
@@ -290,6 +386,28 @@ MrScanResult MrScan::run(std::span<const geom::Point> points) const {
         });
   }
   result.sweep_net = net.stats();
+  // The Network accumulates stats across reduce + scatter on the same
+  // object, so the sweep's own contribution is the delta from the
+  // merge-phase snapshot — mirroring the cumulative block under
+  // "net.sweep.*" would double-count the merge traffic.
+  {
+    mrnet::NetworkStats sweep_delta = result.sweep_net;
+    sweep_delta.packets_up -= result.merge_net.packets_up;
+    sweep_delta.packets_down -= result.merge_net.packets_down;
+    sweep_delta.bytes_up -= result.merge_net.bytes_up;
+    sweep_delta.bytes_down -= result.merge_net.bytes_down;
+    sweep_delta.acks -= result.merge_net.acks;
+    sweep_delta.packets_dropped -= result.merge_net.packets_dropped;
+    sweep_delta.retries -= result.merge_net.retries;
+    sweep_delta.timeouts -= result.merge_net.timeouts;
+    sweep_delta.reorders_injected -= result.merge_net.reorders_injected;
+    sweep_delta.duplicates_discarded -=
+        result.merge_net.duplicates_discarded;
+    sweep_delta.leaves_recovered -= result.merge_net.leaves_recovered;
+    sweep_delta.recovery_seconds -= result.merge_net.recovery_seconds;
+    sweep_delta.total_seconds -= result.merge_net.total_seconds;
+    mrnet::record_network_stats(*recorder, "sweep", sweep_delta);
+  }
 
   // Leaves write the labelled output in parallel: contiguous runs at
   // per-cluster offsets (§3.4) — large ops, unlike the partition phase.
@@ -298,6 +416,19 @@ MrScanResult MrScan::run(std::span<const geom::Point> points) const {
       segments.size(), 1ULL << 20);
   result.sim.sweep = scatter_seconds + output_write;
 
+  // The four phases as top-level sim-clock spans on the root track, so a
+  // trace opens with the Figure-9 breakdown before any per-node detail.
+  if (tracing) {
+    const double p = result.sim.partition;
+    tracer.sim_span("sim:partition", "phase", 0, 0.0, p);
+    tracer.sim_span("sim:startup", "phase", 0, p, cluster_base);
+    tracer.sim_span("sim:cluster+merge", "phase", 0, cluster_base,
+                    sweep_base);
+    tracer.sim_span("sim:sweep", "phase", 0, sweep_base,
+                    sweep_base + result.sim.sweep);
+  }
+
+  finalize();
   return result;
 }
 

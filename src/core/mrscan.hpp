@@ -16,6 +16,7 @@
 // plot. Wall-clock host time is reported separately in `wall`.
 #pragma once
 
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -24,6 +25,7 @@
 #include "geometry/point.hpp"
 #include "gpu/mrscan_gpu.hpp"
 #include "mrnet/network.hpp"
+#include "obs/obs.hpp"
 #include "partition/distributed.hpp"
 #include "sim/titan.hpp"
 #include "sweep/sweep.hpp"
@@ -77,6 +79,12 @@ struct MrScanConfig {
   /// leaves_used). Drop/slow/reorder faults address nodes of
   /// mrnet::Topology::balanced(leaves_used, fanout), or fault::kAllNodes.
   fault::FaultPlan fault_plan;
+  /// Observability (span tracing + JSON export). run() overlays the
+  /// MRSCAN_OBS / MRSCAN_TRACE_OUT / MRSCAN_METRICS_OUT environment
+  /// overrides on top of these options. Off by default; enabling it
+  /// never changes the clustering output or any simulated time
+  /// (DESIGN §9).
+  obs::Options observability;
 };
 
 /// Simulated per-phase seconds at machine scale.
@@ -135,6 +143,12 @@ struct MrScanResult {
   /// Fault-handling summary (all zero on a fault-free run); per-recovery
   /// detail lives in merge_net.recoveries.
   FaultReport fault;
+
+  /// The run's observability recorder: the metrics registry every stat
+  /// above was populated from, plus the span tracer (empty unless
+  /// tracing was enabled). Always set by run(); shared so callers can
+  /// snapshot, summarise, or export after the run returns.
+  std::shared_ptr<obs::Recorder> obs;
 
   /// Labels aligned with an input order (convenience for quality checks).
   std::vector<dbscan::ClusterId> labels_for(

@@ -9,6 +9,28 @@
 
 namespace mrscan::mrnet {
 
+void record_network_stats(obs::Recorder& recorder, const std::string& domain,
+                          const NetworkStats& stats) {
+  obs::Registry& reg = recorder.metrics();
+  const std::string p = "net." + domain + ".";
+  reg.add(p + "packets_up", stats.packets_up);
+  reg.add(p + "packets_down", stats.packets_down);
+  reg.add(p + "bytes_up", stats.bytes_up);
+  reg.add(p + "bytes_down", stats.bytes_down);
+  reg.add(p + "acks", stats.acks);
+  reg.add(p + "packets_dropped", stats.packets_dropped);
+  reg.add(p + "retries", stats.retries);
+  reg.add(p + "timeouts", stats.timeouts);
+  reg.add(p + "reorders_injected", stats.reorders_injected);
+  reg.add(p + "duplicates_discarded", stats.duplicates_discarded);
+  reg.add(p + "leaves_recovered", stats.leaves_recovered);
+  reg.set_max(p + "max_packet_bytes",
+              static_cast<double>(stats.max_packet_bytes));
+  reg.set(p + "last_op_seconds", stats.last_op_seconds);
+  reg.set(p + "total_seconds", stats.total_seconds);
+  reg.set(p + "recovery_seconds", stats.recovery_seconds);
+}
+
 Network::Network(Topology topology, sim::InterconnectParams params,
                  double cpu_op_rate)
     : topology_(std::move(topology)),
@@ -86,6 +108,11 @@ Packet Network::reduce(std::vector<Packet> leaf_packets, const Filter& filter,
     const auto pos = static_cast<std::size_t>(it - kids.begin());
     if (state.arrived[pos] != 0) {
       ++stats_.duplicates_discarded;
+      if (tracing()) {
+        obs_->tracer().sim_span(
+            "dedup node " + std::to_string(node), "fault", parent,
+            obs_sim_offset_ + queue.now(), obs_sim_offset_ + queue.now());
+      }
       return;
     }
     state.arrived[pos] = 1;
@@ -121,6 +148,11 @@ Packet Network::reduce(std::vector<Packet> leaf_packets, const Filter& filter,
       state.inbox.clear();
       double compute = static_cast<double>(ops) / cpu_op_rate_;
       if (injector_ != nullptr) compute *= injector_->slow_factor(parent);
+      if (tracing()) {
+        obs_->tracer().sim_span("filter node " + std::to_string(parent),
+                                "net", parent, obs_sim_offset_ + handled,
+                                obs_sim_offset_ + handled + compute);
+      }
       queue.schedule_at(handled + compute,
                         [&, parent, out = std::move(merged)]() mutable {
                           fire(parent, std::move(out));
@@ -152,6 +184,12 @@ Packet Network::reduce(std::vector<Packet> leaf_packets, const Filter& filter,
           rp.ack_timeout_s,
           [&, node, attempt, checksum, retry_packet = packet]() mutable {
             ++stats_.timeouts;
+            if (tracing()) {
+              obs_->tracer().sim_span(
+                  "ack timeout node " + std::to_string(node), "fault", node,
+                  obs_sim_offset_ + queue.now(),
+                  obs_sim_offset_ + queue.now());
+            }
             const sim::RetryPolicy& policy = injector_->retry();
             if (attempt + 1 >= policy.max_attempts) {
               const std::size_t level = topology_.depth(node);
@@ -164,6 +202,15 @@ Packet Network::reduce(std::vector<Packet> leaf_packets, const Filter& filter,
                   node, level);
             }
             ++stats_.retries;
+            if (tracing()) {
+              // The backoff window: silence until the retransmission.
+              obs_->tracer().sim_span(
+                  "retransmit node " + std::to_string(node) + " attempt " +
+                      std::to_string(attempt + 1),
+                  "fault", node, obs_sim_offset_ + queue.now(),
+                  obs_sim_offset_ + queue.now() +
+                      policy.backoff_seconds(attempt));
+            }
             queue.schedule_in(
                 policy.backoff_seconds(attempt),
                 [&, node, attempt, checksum,
@@ -189,7 +236,10 @@ Packet Network::reduce(std::vector<Packet> leaf_packets, const Filter& filter,
     queue.schedule_at(arrive, [&, parent, node, has_ack_timer, ack_timer,
                                checksum, pkt = std::move(packet)]() mutable {
       // Delivery doubles as the ack: disarm the sender's timer.
-      if (has_ack_timer) queue.cancel(ack_timer);
+      if (has_ack_timer) {
+        queue.cancel(ack_timer);
+        ++stats_.acks;
+      }
       deliver(parent, node, std::move(pkt), checksum);
     });
   };
@@ -224,7 +274,7 @@ Packet Network::reduce(std::vector<Packet> leaf_packets, const Filter& filter,
         ++stats_.timeouts;
         ++stats_.leaves_recovered;
         double cost = 0.0;
-        Packet pkt = recovery_(rank, cost);
+        Packet pkt = recovery_(rank, obs_sim_offset_ + queue.now(), cost);
         MRSCAN_ASSERT_MSG(cost >= 0.0, "negative recovery cost");
         RecoveryEvent event;
         event.leaf_rank = rank;
@@ -233,6 +283,13 @@ Packet Network::reduce(std::vector<Packet> leaf_packets, const Filter& filter,
         event.completed_at = queue.now() + cost;
         stats_.recovery_seconds += cost;
         stats_.recoveries.push_back(event);
+        if (tracing()) {
+          obs_->tracer().sim_span(
+              "recover leaf " + std::to_string(rank) + " (by leaf " +
+                  std::to_string(event.recovered_by) + ")",
+              "fault", leaf, obs_sim_offset_ + event.detected_at,
+              obs_sim_offset_ + event.completed_at);
+        }
         queue.schedule_in(cost, [&, leaf, pkt = std::move(pkt)]() mutable {
           fire(leaf, std::move(pkt));
         });

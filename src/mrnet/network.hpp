@@ -40,6 +40,7 @@
 #include "fault/injector.hpp"
 #include "mrnet/packet.hpp"
 #include "mrnet/topology.hpp"
+#include "obs/obs.hpp"
 #include "sim/titan.hpp"
 
 namespace mrscan::mrnet {
@@ -64,6 +65,11 @@ struct NetworkStats {
   double last_op_seconds = 0.0;
   /// Sum of virtual times across all collective ops so far.
   double total_seconds = 0.0;
+
+  /// Upstream deliveries that disarmed a pending ack timer (delivery
+  /// doubles as the ack in the retry protocol; zero without an injector
+  /// because no timers are armed then).
+  std::uint64_t acks = 0;
 
   // -- Fault handling (all zero on a fault-free run) --
   /// Upstream transmissions lost to injected drops.
@@ -101,6 +107,13 @@ class NetworkError : public std::runtime_error {
   std::size_t level_;
 };
 
+/// Mirror a NetworkStats block into the metrics registry under
+/// "net.<domain>.*" (counters for packet/byte/fault totals, gauges for
+/// the timing fields). The registry copy is what the exporters and
+/// MrScanResult read — NetworkStats stays the live accumulator.
+void record_network_stats(obs::Recorder& recorder, const std::string& domain,
+                          const NetworkStats& stats);
+
 class Network {
  public:
   /// An upstream filter: merges child packets at `node`; sets `ops` to its
@@ -118,9 +131,13 @@ class Network {
   /// Rebuilds a dead leaf's upstream packet by re-reading its partition
   /// on a sibling; sets `recovery_cost_s` to the virtual seconds the
   /// re-read + re-cluster took (charged to the clock before the packet
-  /// re-enters the tree).
-  using RecoveryHandler =
-      std::function<Packet(std::uint32_t leaf_rank, double& recovery_cost_s)>;
+  /// re-enters the tree). `detected_at_s` is the virtual time the
+  /// watchdog fired, offset by the network's observability sim offset —
+  /// handlers use it to place recovery sub-spans (partition re-read,
+  /// re-cluster) on the global virtual timeline.
+  using RecoveryHandler = std::function<Packet(
+      std::uint32_t leaf_rank, double detected_at_s,
+      double& recovery_cost_s)>;
 
   Network(Topology topology, sim::InterconnectParams params,
           double cpu_op_rate = 2.0e8);
@@ -138,6 +155,20 @@ class Network {
   /// attached plan kills leaves.
   void set_recovery_handler(RecoveryHandler handler) {
     recovery_ = std::move(handler);
+  }
+
+  /// Attach the per-run observability recorder (non-owning; nullptr
+  /// detaches). When tracing is enabled, collective ops emit sim-clock
+  /// spans — per-node filter compute, retransmits, timeouts, recoveries —
+  /// shifted by `sim_offset` so they land on the run's global virtual
+  /// timeline; `domain` names the tree ("partition", "merge", "sweep").
+  /// Pure accounting, never control flow: attaching a recorder cannot
+  /// change packets, ordering, or the clock.
+  void set_observer(obs::Recorder* recorder, double sim_offset = 0.0,
+                    std::string domain = "net") {
+    obs_ = recorder;
+    obs_sim_offset_ = sim_offset;
+    obs_domain_ = std::move(domain);
   }
 
   /// Upstream reduction: leaf i contributes leaf_packets[i] at virtual
@@ -169,12 +200,18 @@ class Network {
   /// sibling leaf under the same parent, else the dead rank itself.
   std::uint32_t recovery_sibling(std::uint32_t dead_leaf) const;
 
+  /// True when span tracing is live for this network.
+  bool tracing() const { return obs_ != nullptr && obs_->tracing(); }
+
   Topology topology_;
   sim::InterconnectParams params_;
   double cpu_op_rate_;
   NetworkStats stats_;
   const fault::FaultInjector* injector_ = nullptr;
   RecoveryHandler recovery_;
+  obs::Recorder* obs_ = nullptr;
+  double obs_sim_offset_ = 0.0;
+  std::string obs_domain_ = "net";
 };
 
 }  // namespace mrscan::mrnet

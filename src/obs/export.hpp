@@ -1,0 +1,33 @@
+// JSON exporters for the observability subsystem.
+//
+// Two artifacts per run:
+//   * Chrome trace-event JSON — load in chrome://tracing or Perfetto
+//     (ui.perfetto.dev). Wall-clock spans render under pid 0 ("host
+//     wall clock", one tid per OS thread); Titan virtual-clock spans
+//     render under pid 1 ("titan virtual clock", one tid per tree node).
+//     Timestamps are microseconds, as the format requires.
+//   * metrics snapshot JSON — the registry's merged, name-sorted state
+//     ("mrscan-metrics-v1"). Numbers are rendered with std::to_chars
+//     (shortest round-trip form), so identical values always produce
+//     byte-identical files — the property the differential tests pin.
+//
+// tools/obs/check_obs_json.py validates both shapes in scripts/check.sh.
+#pragma once
+
+#include <string>
+
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
+
+namespace mrscan::obs {
+
+/// Render the tracer's spans as Chrome trace-event JSON.
+std::string chrome_trace_json(const Tracer& tracer);
+
+/// Render a metrics snapshot as "mrscan-metrics-v1" JSON.
+std::string metrics_json(const MetricsSnapshot& snapshot);
+
+/// Write `content` to `path` (throws std::runtime_error on I/O failure).
+void write_text_file(const std::string& path, const std::string& content);
+
+}  // namespace mrscan::obs

@@ -1,6 +1,7 @@
 #include "partition/distributed.hpp"
 
 #include <algorithm>
+#include <optional>
 
 #include "geometry/bbox.hpp"
 #include "index/grid.hpp"
@@ -89,6 +90,27 @@ void fill_io_times(PartitionPhaseResult& result, std::uint64_t input_bytes,
       titan.lustre, output_bytes, writers, avg_op);
 }
 
+/// Mirror the phase's sub-costs, plan shape, and tree stats into the
+/// per-run registry (the exporters' single source of truth).
+void record_phase(obs::Recorder* recorder,
+                  const PartitionPhaseResult& result) {
+  if (recorder == nullptr) return;
+  obs::Registry& reg = recorder->metrics();
+  reg.set("partition.read_seconds", result.read_seconds);
+  reg.set("partition.histogram_reduce_seconds",
+          result.histogram_reduce_seconds);
+  reg.set("partition.plan_seconds", result.plan_seconds);
+  reg.set("partition.broadcast_seconds", result.broadcast_seconds);
+  reg.set("partition.write_seconds", result.write_seconds);
+  reg.set("partition.send_seconds", result.send_seconds);
+  reg.add("partition.rebalance_moves", result.plan.rebalance_moves);
+  reg.add("partition.parts", result.plan.part_count());
+  reg.add("partition.points_owned", result.plan.total_owned_points());
+  reg.add("partition.points_with_shadow",
+          result.plan.total_points_with_shadow());
+  mrnet::record_network_stats(*recorder, "partition", result.net_stats);
+}
+
 }  // namespace
 
 PartitionPhaseResult run_distributed_partitioner(
@@ -115,10 +137,20 @@ PartitionPhaseResult run_distributed_partitioner(
   // packets (and hence the plan) are bit-identical for any worker count.
   mrnet::Network net(mrnet::Topology::flat(workers), titan.net,
                      titan.cpu_op_rate);
+  // The partition phase opens the run's virtual timeline (offset 0);
+  // core places startup and the clustering tree after it.
+  net.set_observer(config.recorder, 0.0, "partition");
+  const bool tracing =
+      config.recorder != nullptr && config.recorder->tracing();
   std::vector<mrnet::Packet> leaf_packets(workers);
   const std::size_t chunk = (points.size() + workers - 1) / workers;
   util::ThreadPool pool(config.host_threads);
   pool.parallel_for(0, workers, [&](std::size_t w) {
+    std::optional<obs::Tracer::WallScope> span;
+    if (tracing) {
+      span.emplace(config.recorder->tracer(),
+                   "histogram node " + std::to_string(w), "leaf");
+    }
     const std::size_t lo = std::min(points.size(), w * chunk);
     const std::size_t hi = std::min(points.size(), lo + chunk);
     index::CellHistogram local(geometry, points.subspan(lo, hi - lo));
@@ -169,6 +201,7 @@ PartitionPhaseResult run_distributed_partitioner(
                        result.histogram_reduce_seconds + result.plan_seconds +
                        result.broadcast_seconds + result.write_seconds +
                        result.send_seconds;
+  record_phase(config.recorder, result);
   return result;
 }
 
@@ -184,6 +217,7 @@ PartitionPhaseResult run_distributed_partitioner_model(
   // Histogram reduce: model leaves holding equal shares of the cells.
   mrnet::Network net(mrnet::Topology::flat(workers), titan.net,
                      titan.cpu_op_rate);
+  net.set_observer(config.recorder, 0.0, "partition");
   std::vector<mrnet::Packet> leaf_packets(workers);
   {
     // Split the global histogram round-robin into per-leaf histograms so
@@ -233,6 +267,7 @@ PartitionPhaseResult run_distributed_partitioner_model(
                        result.histogram_reduce_seconds + result.plan_seconds +
                        result.broadcast_seconds + result.write_seconds +
                        result.send_seconds;
+  record_phase(config.recorder, result);
   return result;
 }
 

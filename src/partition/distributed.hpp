@@ -22,6 +22,7 @@
 #include "geometry/point.hpp"
 #include "io/segment_file.hpp"
 #include "mrnet/network.hpp"
+#include "obs/obs.hpp"
 #include "partition/materialize.hpp"
 #include "partition/partitioner.hpp"
 #include "sim/titan.hpp"
@@ -47,6 +48,12 @@ struct DistributedPartitionerConfig {
   /// partitioner leaves are independent). 0 = hardware concurrency,
   /// 1 = sequential; the plan is bit-identical for any value.
   std::size_t host_threads = 1;
+  /// Per-run observability recorder (non-owning, may be null). The phase
+  /// records its sub-phase gauges ("partition.*"), the rebalance-move
+  /// counter, and its tree's network stats ("net.partition.*") into the
+  /// registry; with tracing enabled it also emits per-node histogram
+  /// wall spans and network sim spans. Never alters the plan.
+  obs::Recorder* recorder = nullptr;
 };
 
 struct PartitionPhaseResult {

@@ -238,6 +238,7 @@ PartitionPlan plan_partitions(const index::CellHistogram& hist,
   // of the sequence toward the front, handing trimmed cells to the
   // previous partition. The first partition absorbs the residue. ----
   double used_threshold = 0.0;
+  std::uint64_t rebalance_moves = 0;
   if (config.rebalance && reb.part_count() >= 2) {
     const double final_target =
         static_cast<double>(reb.total_with_shadow()) /
@@ -253,11 +254,13 @@ PartitionPlan plan_partitions(const index::CellHistogram& hist,
           break;  // keep every partition at least MinPts points
         }
         reb.move_front_cell(pi);
+        ++rebalance_moves;
       }
     }
   }
 
   PartitionPlan plan = make_plan(geometry, reb.export_parts(), rings);
+  plan.rebalance_moves = rebalance_moves;
   if constexpr (util::kAuditEnabled) {
     audit_plan(plan, hist, config, used_threshold);
   }

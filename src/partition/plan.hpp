@@ -36,6 +36,10 @@ struct PartitionPlan {
   /// region still covers everything within Eps of the partition boundary.
   std::int32_t shadow_rings = 1;
   std::vector<PartitionPart> parts;
+  /// Cells handed to the previous partition during backward rebalancing
+  /// (Figure 2c/2d); deterministic, exported as metric
+  /// "partition.rebalance_moves".
+  std::uint64_t rebalance_moves = 0;
 
   std::size_t part_count() const { return parts.size(); }
   std::uint64_t total_owned_points() const;

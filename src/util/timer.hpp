@@ -7,6 +7,7 @@
 
 #include <chrono>
 #include <string>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -28,25 +29,25 @@ class Timer {
   Clock::time_point start_;
 };
 
-/// Accumulates elapsed seconds under named phases (insertion-ordered).
+/// Accumulates elapsed seconds under named phases. Reporting stays
+/// insertion-ordered; a name index keeps add() O(1) amortised so callers
+/// with many phases (per-leaf or per-node timings) don't go quadratic.
 class PhaseTimer {
  public:
   /// Add `seconds` to phase `name`, creating it if needed.
   void add(const std::string& name, double seconds) {
-    for (auto& [n, s] : phases_) {
-      if (n == name) {
-        s += seconds;
-        return;
-      }
+    const auto [it, inserted] = index_.try_emplace(name, phases_.size());
+    if (inserted) {
+      phases_.emplace_back(name, seconds);
+    } else {
+      phases_[it->second].second += seconds;
     }
-    phases_.emplace_back(name, seconds);
   }
 
   /// Accumulated seconds for `name` (0 if never recorded).
   double get(const std::string& name) const {
-    for (const auto& [n, s] : phases_)
-      if (n == name) return s;
-    return 0.0;
+    const auto it = index_.find(name);
+    return it == index_.end() ? 0.0 : phases_[it->second].second;
   }
 
   double total() const {
@@ -76,6 +77,7 @@ class PhaseTimer {
 
  private:
   std::vector<std::pair<std::string, double>> phases_;
+  std::unordered_map<std::string, std::size_t> index_;
 };
 
 }  // namespace mrscan::util

@@ -299,8 +299,10 @@ TEST(NetworkFault, KilledLeafIsRecoveredViaSibling) {
   const mf::FaultInjector injector(plan);
   const double kRecoveryCost = 0.25;
   const auto faulty = run_sum_reduce(
-      topo, &injector, [&](std::uint32_t rank, double& cost) {
+      topo, &injector,
+      [&](std::uint32_t rank, double detected_at, double& cost) {
         EXPECT_EQ(rank, 2u);
+        EXPECT_DOUBLE_EQ(detected_at, plan.retry.leaf_timeout_s);
         cost = kRecoveryCost;
         return u64_packet(rank + 1);  // replay exactly what rank 2 owed
       });
@@ -334,7 +336,7 @@ TEST(NetworkFault, KillRankOutsideTreeIsRejected) {
   const mf::FaultInjector injector(plan);
   EXPECT_THROW(
       run_sum_reduce(topo, &injector,
-                     [](std::uint32_t, double& cost) {
+                     [](std::uint32_t, double, double& cost) {
                        cost = 0.0;
                        return u64_packet(0);
                      }),

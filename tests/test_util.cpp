@@ -214,6 +214,25 @@ TEST(PhaseTimer, AccumulatesNamedPhases) {
   EXPECT_EQ(pt.phases()[0].first, "partition");
 }
 
+TEST(PhaseTimer, ManyPhasesKeepInsertionOrderAndAccumulate) {
+  // The indexed lookup must not disturb the reporting order: phases()
+  // lists names by first add(), no matter how often each is revisited.
+  mu::PhaseTimer pt;
+  const std::size_t kPhases = 200;
+  for (std::size_t round = 0; round < 3; ++round) {
+    for (std::size_t i = 0; i < kPhases; ++i) {
+      pt.add("phase-" + std::to_string(i), static_cast<double>(i));
+    }
+  }
+  ASSERT_EQ(pt.phases().size(), kPhases);
+  for (std::size_t i = 0; i < kPhases; ++i) {
+    EXPECT_EQ(pt.phases()[i].first, "phase-" + std::to_string(i));
+    EXPECT_DOUBLE_EQ(pt.phases()[i].second, 3.0 * static_cast<double>(i));
+    EXPECT_DOUBLE_EQ(pt.get("phase-" + std::to_string(i)),
+                     3.0 * static_cast<double>(i));
+  }
+}
+
 TEST(PhaseTimer, ScopeRecordsElapsed) {
   mu::PhaseTimer pt;
   {

@@ -29,6 +29,14 @@ repository's conventions rather than general C++ hygiene:
                        util::ThreadPool::parallel_for or annotate the loop
                        with `// sequential-ok: <reason>` (same line or the
                        line above).
+  no-raw-clock         raw std::chrono use is banned outside util/ and
+                       obs/: ad-hoc clock reads bypass the observability
+                       subsystem (util::Timer for wall time, the Titan
+                       virtual clock for simulated time), producing
+                       timings the trace/metrics exporters never see.
+                       Annotate deliberate uses with
+                       `// raw-clock-ok: <reason>` (same line or the line
+                       above).
 
 Suppressions (always give a reason at the end of the line):
   // mrscan-lint: allow(<rule>) <reason>        — this line only
@@ -67,6 +75,9 @@ RULES = {
     "pool-phase-loops": "per-segment for loops in phase code must use "
                         "ThreadPool::parallel_for or carry "
                         "// sequential-ok: <reason>",
+    "no-raw-clock": "std::chrono banned outside util/ and obs/; use "
+                    "util::Timer / the obs tracer, or carry "
+                    "// raw-clock-ok: <reason>",
 }
 
 RAW_RAND = re.compile(r"(?<![\w:])(?:std\s*::\s*)?s?rand\s*\(")
@@ -89,6 +100,12 @@ PHASE_DIRS = ("core", "partition", "merge", "sweep")
 SEQUENTIAL_SEGMENT_LOOP = re.compile(
     r"(?<![\w.])for\s*\([^)]*\bsegments\.size\s*\(\)")
 SEQUENTIAL_OK = re.compile(r"//\s*sequential-ok:\s*\S")
+
+# Timing outside these directories must route through util::Timer or the
+# obs tracer so every measurement reaches the exporters.
+CLOCK_EXEMPT_DIRS = ("util", "obs")
+RAW_CHRONO = re.compile(r"\bstd\s*::\s*chrono\b")
+RAW_CLOCK_OK = re.compile(r"//\s*raw-clock-ok:\s*\S")
 
 
 def strip_comments_and_strings(text: str) -> str:
@@ -186,6 +203,16 @@ def lint_file(path: Path, rel: str) -> list[Violation]:
                        "sequential per-segment loop in phase code; use "
                        "util::ThreadPool::parallel_for or annotate with "
                        "// sequential-ok: <reason>")
+        if (not any(f"/{d}/" in f"/{rel}" for d in CLOCK_EXEMPT_DIRS)
+                and RAW_CHRONO.search(line)):
+            raw_here = raw_lines[lineno - 1] if lineno <= len(raw_lines) else ""
+            raw_prev = raw_lines[lineno - 2] if lineno >= 2 else ""
+            if not (RAW_CLOCK_OK.search(raw_here)
+                    or RAW_CLOCK_OK.search(raw_prev)):
+                report(lineno, "no-raw-clock",
+                       "raw std::chrono in library code; use util::Timer / "
+                       "the obs tracer, or annotate with "
+                       "// raw-clock-ok: <reason>")
 
     if (path.suffix == ".cpp"
             and any(f"/{d}/" in f"/{rel}" for d in REQUIRE_DIRS)
