@@ -1,10 +1,25 @@
 // Micro-benchmarks: spatial index substrate (KD-tree, grid, histogram).
+//
+// The *Scratch / *Many variants measure the allocation-free query engine
+// (QueryScratch + SoA leaf mirror, DESIGN §10) against the legacy
+// out-vector overloads kept for comparison. After the run, every
+// benchmark's real time is exported as a "bench.micro_index.<name>.ns"
+// gauge to BENCH_micro_index.json under MRSCAN_BENCH_METRICS_DIR, so CI
+// can validate the numbers with tools/obs/check_obs_json.py --bench.
 #include <benchmark/benchmark.h>
 
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "common/experiment.hpp"
 #include "data/twitter.hpp"
 #include "index/cell_histogram.hpp"
 #include "index/grid.hpp"
 #include "index/kdtree.hpp"
+#include "index/query_scratch.hpp"
+#include "index/rtree.hpp"
+#include "obs/registry.hpp"
 #include "util/rng.hpp"
 
 namespace {
@@ -42,6 +57,39 @@ void BM_KDTreeRadiusQuery(benchmark::State& state) {
 }
 BENCHMARK(BM_KDTreeRadiusQuery);
 
+void BM_KDTreeRadiusQueryScratch(benchmark::State& state) {
+  const auto points = bench_points(100000);
+  index::KDTree tree(points, index::KDTreeConfig{64, 0.0});
+  index::QueryScratch scratch;
+  std::size_t cursor = 0;
+  for (auto _ : state) {
+    const auto neighbors =
+        tree.radius_query(points[cursor % points.size()], 0.1, scratch);
+    benchmark::DoNotOptimize(neighbors.data());
+    ++cursor;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_KDTreeRadiusQueryScratch);
+
+void BM_KDTreeRadiusQueryMany(benchmark::State& state) {
+  const auto points = bench_points(100000);
+  index::KDTree tree(points, index::KDTreeConfig{64, 0.0});
+  index::QueryScratch scratch;
+  std::vector<std::uint32_t> queries(static_cast<std::size_t>(state.range(0)));
+  std::iota(queries.begin(), queries.end(), std::uint32_t{0});
+  std::uint64_t checksum = 0;
+  for (auto _ : state) {
+    tree.radius_query_many(
+        queries, 0.1, scratch,
+        [&](std::size_t, std::span<const std::uint32_t> neighbors,
+            std::uint64_t ops) { checksum += neighbors.size() + ops; });
+  }
+  benchmark::DoNotOptimize(checksum);
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_KDTreeRadiusQueryMany)->Arg(1024);
+
 void BM_KDTreeCountEarlyExit(benchmark::State& state) {
   const auto points = bench_points(100000);
   index::KDTree tree(points, index::KDTreeConfig{64, 0.0});
@@ -54,6 +102,35 @@ void BM_KDTreeCountEarlyExit(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_KDTreeCountEarlyExit)->Arg(4)->Arg(40)->Arg(400);
+
+void BM_KDTreeCountEarlyExitScratch(benchmark::State& state) {
+  const auto points = bench_points(100000);
+  index::KDTree tree(points, index::KDTreeConfig{64, 0.0});
+  index::QueryScratch scratch;
+  std::size_t cursor = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        tree.count_in_radius(points[cursor % points.size()], 0.1, scratch,
+                             state.range(0)));
+    ++cursor;
+  }
+}
+BENCHMARK(BM_KDTreeCountEarlyExitScratch)->Arg(4)->Arg(40)->Arg(400);
+
+void BM_RTreeRadiusQueryScratch(benchmark::State& state) {
+  const auto points = bench_points(100000);
+  index::RTree tree(points);
+  index::QueryScratch scratch;
+  std::size_t cursor = 0;
+  for (auto _ : state) {
+    const auto neighbors =
+        tree.radius_query(points[cursor % points.size()], 0.1, scratch);
+    benchmark::DoNotOptimize(neighbors.data());
+    ++cursor;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RTreeRadiusQueryScratch);
 
 void BM_GridBuild(benchmark::State& state) {
   const auto points = bench_points(state.range(0));
@@ -79,6 +156,21 @@ void BM_GridRadiusQuery(benchmark::State& state) {
 }
 BENCHMARK(BM_GridRadiusQuery);
 
+void BM_GridRadiusQueryScratch(benchmark::State& state) {
+  const auto points = bench_points(100000);
+  index::Grid grid(geom::GridGeometry{-125.0, 24.0, 0.1}, points);
+  index::QueryScratch scratch;
+  std::size_t cursor = 0;
+  for (auto _ : state) {
+    const auto neighbors =
+        grid.radius_query(points[cursor % points.size()], 0.1, scratch);
+    benchmark::DoNotOptimize(neighbors.data());
+    ++cursor;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_GridRadiusQueryScratch);
+
 void BM_HistogramMerge(benchmark::State& state) {
   const geom::GridGeometry geometry{-125.0, 24.0, 0.1};
   const index::CellHistogram a(geometry, bench_points(50000));
@@ -91,6 +183,37 @@ void BM_HistogramMerge(benchmark::State& state) {
 }
 BENCHMARK(BM_HistogramMerge);
 
+/// Reporter that mirrors each benchmark's real time into an obs registry,
+/// exported as BENCH_micro_index.json for the CI bench-smoke validator.
+class MetricsReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.error_occurred) continue;
+      std::string name = run.benchmark_name();
+      for (char& ch : name) {
+        if (ch == '/' || ch == ':') ch = '_';
+      }
+      registry_.set("bench.micro_index." + name + ".ns",
+                    run.GetAdjustedRealTime());
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+  const mrscan::obs::Registry& registry() const { return registry_; }
+
+ private:
+  mrscan::obs::Registry registry_;
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  MetricsReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  mrscan::bench::write_bench_snapshot("micro_index", reporter.registry());
+  return 0;
+}

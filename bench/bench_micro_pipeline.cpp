@@ -3,6 +3,10 @@
 // the host-threaded cluster phase (wall-clock speedup vs host_threads=1).
 #include <benchmark/benchmark.h>
 
+#include <memory>
+#include <string>
+
+#include "common/experiment.hpp"
 #include "core/mrscan.hpp"
 #include "data/twitter.hpp"
 #include "dbscan/sequential.hpp"
@@ -131,7 +135,10 @@ BENCHMARK(BM_SummaryPacketRoundTrip);
 // PhaseTimer), so the Arg(1) / Arg(4) ratio is the host-parallel speedup
 // the ISSUE-3 acceptance bar asks for (>= 2x at 4 workers).
 void BM_ClusterPhaseHostThreads(benchmark::State& state) {
-  const auto points = bench_points(60000);
+  // Fixture size is tunable so CI's bench-smoke can run a small config
+  // while local perf runs keep the 60k default.
+  const auto points =
+      bench_points(bench::env_u64("MRSCAN_BENCH_MICRO_POINTS", 60000));
   core::MrScanConfig config;
   config.params = {0.1, 40};
   config.leaves = 8;
@@ -140,15 +147,30 @@ void BM_ClusterPhaseHostThreads(benchmark::State& state) {
   config.host_threads = static_cast<std::size_t>(state.range(0));
   const core::MrScan pipeline(config);
   std::size_t clusters = 0;
+  double cluster_phase_s = 0.0;
+  std::shared_ptr<obs::Recorder> recorder;
   for (auto _ : state) {
     const auto result = pipeline.run(points);
-    state.SetIterationTime(result.wall.get("cluster"));
+    cluster_phase_s = result.wall.get("cluster");
+    state.SetIterationTime(cluster_phase_s);
     clusters = result.cluster_count;
+    recorder = result.obs;
     benchmark::DoNotOptimize(clusters);
   }
   state.SetLabel("8 leaves, " + std::to_string(state.range(0)) +
                  " host thread(s), " + std::to_string(clusters) +
                  " clusters");
+  // Export the last run's full pipeline metrics plus the bench.* gauges
+  // for the CI bench-smoke validator.
+  if (recorder) {
+    obs::Registry& reg = recorder->metrics();
+    reg.set("bench.cluster_phase_s", cluster_phase_s);
+    reg.add("bench.host_threads",
+            static_cast<std::uint64_t>(state.range(0)));
+    reg.add("bench.points", points.size());
+    bench::write_bench_snapshot(
+        "micro_pipeline_" + std::to_string(state.range(0)) + "t", reg);
+  }
 }
 BENCHMARK(BM_ClusterPhaseHostThreads)
     ->Arg(1)

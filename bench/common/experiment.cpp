@@ -83,10 +83,6 @@ index::CellHistogram paper_scale_histogram(Dataset dataset,
 /// the paper-scale "bench.*" numbers and exported as flat JSON.
 void write_bench_metrics(const std::string& bench_name, const Row& row,
                          obs::Recorder& recorder) {
-  const char* dir_env = std::getenv("MRSCAN_BENCH_METRICS_DIR");
-  const std::string dir = (dir_env && *dir_env) ? dir_env : ".";
-  if (dir == "off" || dir == "-") return;
-
   obs::Registry& reg = recorder.metrics();
   reg.add("bench.paper_points", row.paper_points);
   reg.add("bench.replica_points", row.replica_points);
@@ -99,19 +95,28 @@ void write_bench_metrics(const std::string& bench_name, const Row& row,
   reg.set("bench.sweep_s", row.sweep_s);
   reg.set("bench.gpu_dbscan_s", row.gpu_dbscan_s);
 
-  const std::string path =
-      dir + "/BENCH_" + bench_name + "_" +
-      std::to_string(row.paper_points) + "pts_" +
-      std::to_string(row.leaves) + "L_m" +
-      std::to_string(row.paper_min_pts) + ".json";
+  const std::string tag = bench_name + "_" +
+                          std::to_string(row.paper_points) + "pts_" +
+                          std::to_string(row.leaves) + "L_m" +
+                          std::to_string(row.paper_min_pts);
+  write_bench_snapshot(tag, reg);
+}
+
+}  // namespace
+
+bool write_bench_snapshot(const std::string& tag, const obs::Registry& reg) {
+  const char* dir_env = std::getenv("MRSCAN_BENCH_METRICS_DIR");
+  const std::string dir = (dir_env && *dir_env) ? dir_env : ".";
+  if (dir == "off" || dir == "-") return false;
+
+  const std::string path = dir + "/BENCH_" + tag + ".json";
   try {
     obs::write_text_file(path, obs::metrics_json(reg.snapshot()));
   } catch (const std::exception& e) {
     std::fprintf(stderr, "bench metrics export failed: %s\n", e.what());
   }
+  return true;
 }
-
-}  // namespace
 
 Row run_config(const WeakConfig& config, const RunOptions& options,
                const BenchScale& scale,

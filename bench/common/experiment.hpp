@@ -32,6 +32,7 @@
 #include "core/mrscan.hpp"
 #include "data/sdss.hpp"
 #include "data/twitter.hpp"
+#include "obs/registry.hpp"
 #include "sim/titan.hpp"
 
 namespace mrscan::bench {
@@ -136,5 +137,12 @@ void print_row(const Row& row);
 
 /// Parse a "--flag value"-free environment override helper.
 std::uint64_t env_u64(const char* name, std::uint64_t fallback);
+
+/// Export a metrics registry snapshot as BENCH_<tag>.json under
+/// MRSCAN_BENCH_METRICS_DIR (default "."; "off" or "-" disables). Returns
+/// false when export is disabled; I/O failures are logged, not thrown.
+/// The figure/table benches route through this via RunOptions::bench_name;
+/// the micro benches call it directly with their own "bench.*" gauges.
+bool write_bench_snapshot(const std::string& tag, const obs::Registry& reg);
 
 }  // namespace mrscan::bench

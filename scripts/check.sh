@@ -6,11 +6,15 @@
 #   2. default preset     build + full test suite (tier-1 bar)
 #   3. obs smoke          traced pipeline run; both JSON artifacts are
 #                         schema-validated by tools/obs/check_obs_json.py
-#   4. asan-ubsan preset  full suite under ASan+UBSan with
+#   4. bench smoke        short bench_micro_index + bench_micro_pipeline
+#                         runs with MRSCAN_BENCH_METRICS_DIR set; every
+#                         emitted BENCH_*.json is schema-validated by
+#                         tools/obs/check_obs_json.py --bench
+#   5. asan-ubsan preset  full suite under ASan+UBSan with
 #                         MRSCAN_CHECK_INVARIANTS=ON and MRSCAN_WERROR=ON
-#   5. tsan preset        full suite (incl. the `stress`-labeled tests)
+#   6. tsan preset        full suite (incl. the `stress`-labeled tests)
 #                         under TSan, same options
-#   6. tidy preset        clang-tidy over every TU (skipped with a notice
+#   7. tidy preset        clang-tidy over every TU (skipped with a notice
 #                         when clang-tidy is not installed)
 #
 # Usage: scripts/check.sh [--quick] [--no-stress] [--jobs N]
@@ -84,6 +88,24 @@ obs_smoke() {
          build/obs_metrics.json
 }
 run_step "obs-smoke" obs_smoke
+
+# Bench smoke: the micro benches must run, export BENCH_*.json metric
+# files, and those files must validate. Tiny min_time / fixture sizes —
+# this checks the machinery, not the numbers. (--benchmark_min_time takes
+# a plain double with this google-benchmark version, not "0.05s".)
+bench_smoke() {
+  local dir=build/bench_metrics
+  rm -rf "$dir" && mkdir -p "$dir" \
+    && env MRSCAN_BENCH_METRICS_DIR="$dir" \
+         ./build/bench/bench_micro_index \
+         --benchmark_filter='BM_KDTree' --benchmark_min_time=0.05 \
+    && env MRSCAN_BENCH_METRICS_DIR="$dir" MRSCAN_BENCH_MICRO_POINTS=20000 \
+         ./build/bench/bench_micro_pipeline \
+         --benchmark_filter='BM_ClusterPhaseHostThreads/1' \
+         --benchmark_min_time=0.05 \
+    && python3 tools/obs/check_obs_json.py --bench "$dir"/BENCH_*.json
+}
+run_step "bench-smoke" bench_smoke
 
 if [[ "$QUICK" -eq 0 ]]; then
   run_preset asan-ubsan

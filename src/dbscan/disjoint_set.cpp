@@ -1,6 +1,9 @@
 #include "dbscan/disjoint_set.hpp"
 
+#include <numeric>
+
 #include "index/kdtree.hpp"
+#include "index/query_scratch.hpp"
 #include "util/assert.hpp"
 #include "util/union_find.hpp"
 
@@ -23,30 +26,41 @@ Labeling dbscan_disjoint_set(std::span<const geom::Point> points,
   }
 
   index::KDTree tree(points, index::KDTreeConfig{64, 0.0});
+  index::QueryScratch scratch;
 
-  // Phase 1: classify core points.
-  for (std::uint32_t i = 0; i < n; ++i) {
-    ++local_stats.neighbor_queries;
-    if (tree.count_in_radius(points[i], params.eps, params.min_pts) >=
-        params.min_pts) {
-      result.core[i] = 1;
-    }
+  // Phase 1: classify core points, one batched sweep over every point.
+  {
+    std::vector<std::uint32_t> all(n);
+    std::iota(all.begin(), all.end(), std::uint32_t{0});
+    tree.count_in_radius_many(
+        all, params.eps, params.min_pts, scratch,
+        [&](std::size_t q, std::size_t found, std::uint64_t) {
+          ++local_stats.neighbor_queries;
+          if (found >= params.min_pts) result.core[q] = 1;
+        });
   }
 
   // Phase 2: union every pair of Eps-adjacent core points.
   util::UnionFind uf(n);
-  std::vector<std::uint32_t> neighbors;
-  for (std::uint32_t i = 0; i < n; ++i) {
-    if (!result.core[i]) continue;
-    ++local_stats.neighbor_queries;
-    tree.radius_query(points[i], params.eps, neighbors);
-    for (const std::uint32_t nb : neighbors) {
-      if (nb <= i || !result.core[nb]) continue;
-      if (!uf.same(i, nb)) {
-        uf.unite(i, nb);
-        ++local_stats.union_ops;
-      }
+  {
+    std::vector<std::uint32_t> cores;
+    for (std::uint32_t i = 0; i < n; ++i) {
+      if (result.core[i]) cores.push_back(i);
     }
+    tree.radius_query_many(
+        cores, params.eps, scratch,
+        [&](std::size_t k, std::span<const std::uint32_t> neighbors,
+            std::uint64_t) {
+          ++local_stats.neighbor_queries;
+          const std::uint32_t i = cores[k];
+          for (const std::uint32_t nb : neighbors) {
+            if (nb <= i || !result.core[nb]) continue;
+            if (!uf.same(i, nb)) {
+              uf.unite(i, nb);
+              ++local_stats.union_ops;
+            }
+          }
+        });
   }
 
   // Phase 3: label core components, then attach borders to the first core
@@ -61,14 +75,22 @@ Labeling dbscan_disjoint_set(std::span<const geom::Point> points,
     }
     result.cluster[i] = root_cluster[root];
   }
-  for (std::uint32_t i = 0; i < n; ++i) {
-    if (result.core[i]) continue;
-    ++local_stats.neighbor_queries;
-    std::uint32_t best = n;
-    tree.for_each_in_radius(points[i], params.eps, [&](std::uint32_t nb) {
-      if (result.core[nb] && nb < best) best = nb;
-    });
-    if (best < n) result.cluster[i] = result.cluster[best];
+  {
+    std::vector<std::uint32_t> borders;
+    for (std::uint32_t i = 0; i < n; ++i) {
+      if (!result.core[i]) borders.push_back(i);
+    }
+    tree.radius_query_many(
+        borders, params.eps, scratch,
+        [&](std::size_t k, std::span<const std::uint32_t> neighbors,
+            std::uint64_t) {
+          ++local_stats.neighbor_queries;
+          std::uint32_t best = static_cast<std::uint32_t>(n);
+          for (const std::uint32_t nb : neighbors) {
+            if (result.core[nb] && nb < best) best = nb;
+          }
+          if (best < n) result.cluster[borders[k]] = result.cluster[best];
+        });
   }
 
   if (stats) *stats = local_stats;

@@ -1,7 +1,8 @@
 #include "dbscan/rtree_dbscan.hpp"
 
-#include <deque>
+#include <vector>
 
+#include "index/query_scratch.hpp"
 #include "index/rtree.hpp"
 #include "util/assert.hpp"
 
@@ -20,14 +21,16 @@ Labeling dbscan_rtree(std::span<const geom::Point> points,
 
   index::RTree tree(points);
 
-  std::vector<std::uint32_t> neighbors;
+  index::QueryScratch scratch;
   std::vector<std::uint32_t> frontier;
+  std::vector<std::uint32_t> next_frontier;
   ClusterId next_cluster = 0;
 
   for (std::uint32_t seed = 0; seed < n; ++seed) {
     if (result.cluster[seed] != kUnclassified) continue;
-    tree.radius_query(points[seed], params.eps, neighbors);
-    if (neighbors.size() < params.min_pts) {
+    const auto seed_neighbors =
+        tree.radius_query(points[seed], params.eps, scratch);
+    if (seed_neighbors.size() < params.min_pts) {
       result.cluster[seed] = kNoise;
       continue;
     }
@@ -35,30 +38,35 @@ Labeling dbscan_rtree(std::span<const geom::Point> points,
     result.core[seed] = 1;
     result.cluster[seed] = cid;
 
-    std::deque<std::uint32_t> queue;
-    for (const std::uint32_t nb : neighbors) {
+    frontier.clear();
+    for (const std::uint32_t nb : seed_neighbors) {
       if (nb == seed) continue;
       if (result.cluster[nb] == kUnclassified) {
         result.cluster[nb] = cid;
-        queue.push_back(nb);
+        frontier.push_back(nb);
       } else if (result.cluster[nb] == kNoise) {
         result.cluster[nb] = cid;
       }
     }
-    while (!queue.empty()) {
-      const std::uint32_t p = queue.front();
-      queue.pop_front();
-      tree.radius_query(points[p], params.eps, frontier);
-      if (frontier.size() < params.min_pts) continue;
-      result.core[p] = 1;
-      for (const std::uint32_t nb : frontier) {
-        if (result.cluster[nb] == kUnclassified) {
-          result.cluster[nb] = cid;
-          queue.push_back(nb);
-        } else if (result.cluster[nb] == kNoise) {
-          result.cluster[nb] = cid;
-        }
-      }
+    // Level-synchronous expansion, one batched sweep per frontier; visit
+    // order matches the FIFO queue this replaces (see dbscan_sequential).
+    while (!frontier.empty()) {
+      next_frontier.clear();
+      tree.radius_query_many(
+          frontier, params.eps, scratch,
+          [&](std::size_t k, std::span<const std::uint32_t> neighbors) {
+            if (neighbors.size() < params.min_pts) return;
+            result.core[frontier[k]] = 1;
+            for (const std::uint32_t nb : neighbors) {
+              if (result.cluster[nb] == kUnclassified) {
+                result.cluster[nb] = cid;
+                next_frontier.push_back(nb);
+              } else if (result.cluster[nb] == kNoise) {
+                result.cluster[nb] = cid;
+              }
+            }
+          });
+      frontier.swap(next_frontier);
     }
   }
   return result;

@@ -1,8 +1,9 @@
 #include "dbscan/sequential.hpp"
 
-#include <deque>
+#include <vector>
 
 #include "index/kdtree.hpp"
+#include "index/query_scratch.hpp"
 #include "util/assert.hpp"
 
 namespace mrscan::dbscan {
@@ -20,15 +21,17 @@ Labeling dbscan_sequential(std::span<const geom::Point> points,
 
   index::KDTree tree(points, index::KDTreeConfig{64, 0.0});
 
-  std::vector<std::uint32_t> neighbors;
-  std::vector<std::uint32_t> frontier_neighbors;
+  index::QueryScratch scratch;
+  std::vector<std::uint32_t> frontier;
+  std::vector<std::uint32_t> next_frontier;
   ClusterId next_cluster = 0;
 
   for (std::uint32_t seed = 0; seed < n; ++seed) {
     if (result.cluster[seed] != kUnclassified) continue;
 
-    tree.radius_query(points[seed], params.eps, neighbors);
-    if (neighbors.size() < params.min_pts) {
+    const auto seed_neighbors =
+        tree.radius_query(points[seed], params.eps, scratch);
+    if (seed_neighbors.size() < params.min_pts) {
       result.cluster[seed] = kNoise;  // may be relabelled as border later
       continue;
     }
@@ -38,8 +41,8 @@ Labeling dbscan_sequential(std::span<const geom::Point> points,
     result.core[seed] = 1;
     result.cluster[seed] = cid;
 
-    std::deque<std::uint32_t> queue;
-    for (const std::uint32_t nb : neighbors) {
+    frontier.clear();
+    for (const std::uint32_t nb : seed_neighbors) {
       if (nb == seed) continue;
       if (result.cluster[nb] == kUnclassified ||
           result.cluster[nb] == kNoise) {
@@ -47,24 +50,32 @@ Labeling dbscan_sequential(std::span<const geom::Point> points,
         result.cluster[nb] = cid;
         // Previously-noise points are borders: density-reachable but
         // already known non-core, so they are not expanded.
-        if (was_unclassified) queue.push_back(nb);
+        if (was_unclassified) frontier.push_back(nb);
       }
     }
 
-    while (!queue.empty()) {
-      const std::uint32_t p = queue.front();
-      queue.pop_front();
-      tree.radius_query(points[p], params.eps, frontier_neighbors);
-      if (frontier_neighbors.size() < params.min_pts) continue;
-      result.core[p] = 1;
-      for (const std::uint32_t nb : frontier_neighbors) {
-        if (result.cluster[nb] == kUnclassified) {
-          result.cluster[nb] = cid;
-          queue.push_back(nb);
-        } else if (result.cluster[nb] == kNoise) {
-          result.cluster[nb] = cid;  // border point, not expanded
-        }
-      }
+    // Level-synchronous expansion: each frontier is one batched query
+    // sweep. Callbacks fire in frontier order and every newly claimed
+    // point lands in the next level, so the visit order is exactly the
+    // FIFO order of the queue-per-point loop this replaces.
+    while (!frontier.empty()) {
+      next_frontier.clear();
+      tree.radius_query_many(
+          frontier, params.eps, scratch,
+          [&](std::size_t k, std::span<const std::uint32_t> neighbors,
+              std::uint64_t) {
+            if (neighbors.size() < params.min_pts) return;
+            result.core[frontier[k]] = 1;
+            for (const std::uint32_t nb : neighbors) {
+              if (result.cluster[nb] == kUnclassified) {
+                result.cluster[nb] = cid;
+                next_frontier.push_back(nb);
+              } else if (result.cluster[nb] == kNoise) {
+                result.cluster[nb] = cid;  // border point, not expanded
+              }
+            }
+          });
+      frontier.swap(next_frontier);
     }
   }
   return result;

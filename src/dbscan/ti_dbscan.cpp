@@ -2,11 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
-#include <deque>
 #include <numeric>
+#include <span>
 
 #include "geometry/bbox.hpp"
 
+#include "index/query_scratch.hpp"
 #include "util/assert.hpp"
 
 namespace mrscan::dbscan {
@@ -67,6 +68,25 @@ class TiIndex {
     }
   }
 
+  /// Scratch-based variant of neighbors(): results land in
+  /// scratch.results, valid until the next query through `scratch`.
+  std::span<const std::uint32_t> neighbors(std::uint32_t idx,
+                                           index::QueryScratch& scratch) const {
+    neighbors(idx, scratch.results);
+    return scratch.results;
+  }
+
+  /// Batched collection: fn(q, neighbors) per query, in order. Same
+  /// engine contract as the index:: classes — the span borrows
+  /// scratch.results, so consume it before the next query runs.
+  template <typename Fn>
+  void neighbors_many(std::span<const std::uint32_t> queries,
+                      index::QueryScratch& scratch, Fn&& fn) const {
+    for (std::size_t q = 0; q < queries.size(); ++q) {
+      fn(q, neighbors(queries[q], scratch));
+    }
+  }
+
  private:
   std::span<const geom::Point> points_;
   double eps_;
@@ -93,14 +113,15 @@ Labeling dbscan_ti(std::span<const geom::Point> points,
 
   // Classic DBSCAN expansion over the TI neighbourhood function; same
   // structure as dbscan_sequential so border ties resolve identically.
-  std::vector<std::uint32_t> neighbors;
+  index::QueryScratch scratch;
   std::vector<std::uint32_t> frontier;
+  std::vector<std::uint32_t> next_frontier;
   ClusterId next_cluster = 0;
 
   for (std::uint32_t seed = 0; seed < n; ++seed) {
     if (result.cluster[seed] != kUnclassified) continue;
-    index.neighbors(seed, neighbors);
-    if (neighbors.size() < params.min_pts) {
+    const auto seed_neighbors = index.neighbors(seed, scratch);
+    if (seed_neighbors.size() < params.min_pts) {
       result.cluster[seed] = kNoise;
       continue;
     }
@@ -108,30 +129,35 @@ Labeling dbscan_ti(std::span<const geom::Point> points,
     result.core[seed] = 1;
     result.cluster[seed] = cid;
 
-    std::deque<std::uint32_t> queue;
-    for (const std::uint32_t nb : neighbors) {
+    frontier.clear();
+    for (const std::uint32_t nb : seed_neighbors) {
       if (nb == seed) continue;
       if (result.cluster[nb] == kUnclassified) {
         result.cluster[nb] = cid;
-        queue.push_back(nb);
+        frontier.push_back(nb);
       } else if (result.cluster[nb] == kNoise) {
         result.cluster[nb] = cid;
       }
     }
-    while (!queue.empty()) {
-      const std::uint32_t p = queue.front();
-      queue.pop_front();
-      index.neighbors(p, frontier);
-      if (frontier.size() < params.min_pts) continue;
-      result.core[p] = 1;
-      for (const std::uint32_t nb : frontier) {
-        if (result.cluster[nb] == kUnclassified) {
-          result.cluster[nb] = cid;
-          queue.push_back(nb);
-        } else if (result.cluster[nb] == kNoise) {
-          result.cluster[nb] = cid;
-        }
-      }
+    // Level-synchronous expansion, one batched sweep per frontier; visit
+    // order matches the FIFO queue this replaces (see dbscan_sequential).
+    while (!frontier.empty()) {
+      next_frontier.clear();
+      index.neighbors_many(
+          frontier, scratch,
+          [&](std::size_t k, std::span<const std::uint32_t> neighbors) {
+            if (neighbors.size() < params.min_pts) return;
+            result.core[frontier[k]] = 1;
+            for (const std::uint32_t nb : neighbors) {
+              if (result.cluster[nb] == kUnclassified) {
+                result.cluster[nb] = cid;
+                next_frontier.push_back(nb);
+              } else if (result.cluster[nb] == kNoise) {
+                result.cluster[nb] = cid;
+              }
+            }
+          });
+      frontier.swap(next_frontier);
     }
   }
   return result;

@@ -3,7 +3,9 @@
 #include <deque>
 #include <vector>
 
+#include "gpu/device_layout.hpp"
 #include "index/kdtree.hpp"
+#include "index/query_scratch.hpp"
 #include "util/assert.hpp"
 #include "util/union_find.hpp"
 
@@ -21,10 +23,9 @@ enum class State : std::uint8_t {
 
 constexpr std::uint32_t kNoChain = 0xffffffffu;
 
-/// Device-side bytes per point: coordinates + label word.
-constexpr std::uint64_t kPointBytes = 24;
 /// Per-block state exchanged with the host every iteration (queue head,
-/// collision row, seed slot).
+/// collision row, seed slot). Purely protocol state with no host struct to
+/// mirror, unlike the record layouts in device_layout.hpp.
 constexpr std::uint64_t kBlockStateBytes = 64;
 
 }  // namespace
@@ -49,7 +50,7 @@ GpuDbscanResult cuda_dclust(std::span<const geom::Point> points,
   index::KDTree tree(points, index::KDTreeConfig{config.max_leaf_points, 0.0});
 
   // Raw input copied to the device once (points + the KD-tree nodes).
-  device.copy_to_device(n * kPointBytes + tree.node_count() * 40);
+  device.copy_to_device(n * kPointBytes + tree.node_count() * kTreeNodeBytes);
 
   std::vector<State> state(n, State::kUnvisited);
   std::vector<std::uint8_t> was_seed(n, 0);
@@ -59,8 +60,10 @@ GpuDbscanResult cuda_dclust(std::span<const geom::Point> points,
   std::uint32_t next_seed = 0;
   std::size_t collisions = 0;
 
-  std::vector<std::uint32_t> neighbors;
+  index::QueryScratch scratch;
   std::vector<std::uint64_t> block_ops(config.block_count);
+  std::vector<std::uint32_t> wave_points;  // one queue front per block
+  std::vector<std::uint32_t> wave_blocks;  // its owning block
 
   for (;;) {
     // CPU side: re-seed blocks whose queue drained with the next unvisited
@@ -86,51 +89,63 @@ GpuDbscanResult cuda_dclust(std::span<const geom::Point> points,
     // Host -> device: new seeds and block control state.
     device.copy_to_device(config.block_count * kBlockStateBytes);
 
-    // Kernel iteration: every block expands exactly one queued point.
+    // Kernel iteration: every block expands exactly one queued point, the
+    // whole wave issued as one batch. A block only pushes to its own queue
+    // and the callback for block b completes before b+1's runs, so the
+    // state-machine transitions happen in the exact order of the old
+    // per-block loop.
+    block_ops.assign(config.block_count, 0);
+    wave_points.clear();
+    wave_blocks.clear();
     for (std::uint32_t b = 0; b < config.block_count; ++b) {
-      block_ops[b] = 0;
       if (queues[b].empty()) continue;
-      const std::uint32_t p = queues[b].front();
+      wave_points.push_back(queues[b].front());
       queues[b].pop_front();
-      const std::uint32_t c = chain[p];
-
-      tree.radius_query(points[p], config.params.eps, neighbors,
-                        &block_ops[b]);
-      if (neighbors.size() < config.params.min_pts) {
-        // Non-core: a point queued by a core expansion is a border point of
-        // that chain; a fresh seed has no core backing it and is noise
-        // (unless a later core expansion reclaims it).
-        state[p] = was_seed[p] ? State::kNoise : State::kBorder;
-        continue;
-      }
-
-      state[p] = State::kCoreMember;
-      result.labels.core[p] = 1;
-      for (const std::uint32_t q : neighbors) {
-        if (q == p) continue;
-        switch (state[q]) {
-          case State::kUnvisited:
-            state[q] = State::kQueued;
-            chain[q] = c;
-            queues[b].push_back(q);
-            break;
-          case State::kQueued:
-          case State::kCoreMember:
-            // Collision between concurrently running blocks (Figure 4).
-            if (!chains.same(c, chain[q])) {
-              chains.unite(c, chain[q]);
-              ++collisions;
-            }
-            break;
-          case State::kBorder:
-            break;  // border points do not transmit cluster identity
-          case State::kNoise:
-            state[q] = State::kBorder;
-            chain[q] = c;
-            break;
-        }
-      }
+      wave_blocks.push_back(b);
     }
+    tree.radius_query_many(
+        wave_points, config.params.eps, scratch,
+        [&](std::size_t k, std::span<const std::uint32_t> neighbors,
+            std::uint64_t ops) {
+          const std::uint32_t b = wave_blocks[k];
+          block_ops[b] += ops;
+          const std::uint32_t p = wave_points[k];
+          const std::uint32_t c = chain[p];
+          if (neighbors.size() < config.params.min_pts) {
+            // Non-core: a point queued by a core expansion is a border
+            // point of that chain; a fresh seed has no core backing it and
+            // is noise (unless a later core expansion reclaims it).
+            state[p] = was_seed[p] ? State::kNoise : State::kBorder;
+            return;
+          }
+
+          state[p] = State::kCoreMember;
+          result.labels.core[p] = 1;
+          for (const std::uint32_t q : neighbors) {
+            if (q == p) continue;
+            switch (state[q]) {
+              case State::kUnvisited:
+                state[q] = State::kQueued;
+                chain[q] = c;
+                queues[b].push_back(q);
+                break;
+              case State::kQueued:
+              case State::kCoreMember:
+                // Collision between concurrently running blocks (Figure 4).
+                if (!chains.same(c, chain[q])) {
+                  chains.unite(c, chain[q]);
+                  ++collisions;
+                }
+                break;
+              case State::kBorder:
+                break;  // border points do not transmit cluster identity
+              case State::kNoise:
+                state[q] = State::kBorder;
+                chain[q] = c;
+                break;
+            }
+          }
+        });
     device.account_launch(block_ops);
 
     // Device -> host: block states for collision checks and re-seeding.
@@ -138,7 +153,7 @@ GpuDbscanResult cuda_dclust(std::span<const geom::Point> points,
   }
 
   // Retrieve the clustered result.
-  device.copy_to_host(n * 8);
+  device.copy_to_host(n * kLabelBytes);
 
   // Chains with at least one core member are clusters; resolve every point
   // through the collision union-find.

@@ -5,7 +5,9 @@
 #include <vector>
 
 #include "gpu/dense_box.hpp"
+#include "gpu/device_layout.hpp"
 #include "index/kdtree.hpp"
+#include "index/query_scratch.hpp"
 #include "util/assert.hpp"
 #include "util/union_find.hpp"
 
@@ -14,16 +16,19 @@ namespace mrscan::gpu {
 namespace {
 
 constexpr std::uint32_t kNoChain = 0xffffffffu;
-constexpr std::uint64_t kPointBytes = 24;
 
 /// Connect dense boxes that are mutually Eps-reachable. Two dense boxes
 /// whose point sets contain an Eps-close pair belong to one cluster; since
 /// dense points are never expanded, this link must be established
 /// explicitly. Candidate pairs are found through a coarse hash grid over
 /// box centres (boxes are at most (sqrt(2)/2) Eps wide, so Eps-reachable
-/// boxes have centres within 2 Eps).
+/// boxes have centres within 2 Eps). Like the expansion passes, the kernel
+/// spreads its distance computations across `block_count` blocks (one box
+/// per block, round-robin) — charging everything to a single block made
+/// dense-box-heavy runs misreport the simulated kernel time, which is the
+/// max over blocks, not the sum.
 void connect_dense_boxes(const index::KDTree& tree, const DenseBoxes& dense,
-                         double eps,
+                         double eps, std::uint32_t block_count,
                          const std::vector<std::uint32_t>& box_chain,
                          util::UnionFind& chains, std::size_t& collisions,
                          VirtualDevice& device) {
@@ -48,11 +53,18 @@ void connect_dense_boxes(const index::KDTree& tree, const DenseBoxes& dense,
   }
 
   const double eps2 = eps * eps;
-  std::vector<std::uint64_t> block_ops{0};
-  std::uint64_t& ops = block_ops[0];
+  std::vector<std::uint64_t> block_ops(block_count, 0);
 
   for (std::uint32_t a = 0; a < dense.count(); ++a) {
     const auto& leaf_a = leaves[dense.leaf_ids[a]];
+    std::uint64_t& ops = block_ops[a % block_count];
+    // Box min-distance prefilter bound, hoisted: inflate box a once per a,
+    // not once per candidate pair.
+    geom::BBox inflated = leaf_a.box;
+    inflated.min_x -= eps;
+    inflated.min_y -= eps;
+    inflated.max_x += eps;
+    inflated.max_y += eps;
     const auto base_ix =
         static_cast<std::int32_t>(std::floor(centers[a].first / cell));
     const auto base_iy =
@@ -70,12 +82,6 @@ void connect_dense_boxes(const index::KDTree& tree, const DenseBoxes& dense,
           if (b <= a) continue;
           if (chains.same(box_chain[a], box_chain[b])) continue;
           const auto& leaf_b = leaves[dense.leaf_ids[b]];
-          // Box min-distance prefilter.
-          geom::BBox inflated = leaf_a.box;
-          inflated.min_x -= eps;
-          inflated.min_y -= eps;
-          inflated.max_x += eps;
-          inflated.max_y += eps;
           if (!inflated.intersects(leaf_b.box)) continue;
           // Cross check with early exit on the first Eps-close pair.
           bool linked = false;
@@ -128,7 +134,12 @@ GpuDbscanResult mrscan_gpu_dbscan(std::span<const geom::Point> points,
                           config.dense_box
                               ? dense_box_side(config.params.eps)
                               : 0.0});
-  device.copy_to_device(n * kPointBytes + tree.node_count() * 40);
+  device.copy_to_device(n * kPointBytes + tree.node_count() * kTreeNodeBytes);
+
+  // One scratch for the whole clustering: this function runs single-
+  // threaded within its leaf task, so every pass below reuses the same
+  // traversal stack and result buffer — zero allocations once warm.
+  index::QueryScratch scratch;
 
   // Dense box detection: one O(leaves) kernel.
   DenseBoxes dense;
@@ -158,6 +169,8 @@ GpuDbscanResult mrscan_gpu_dbscan(std::span<const geom::Point> points,
     }
   }
 
+  std::vector<std::uint64_t> block_ops;
+
   // ---- Pass 1: core classification, kernels issued in bulk. ----
   // Each launch covers block_count x points_per_block points; the seed for
   // each block is a function of the kernel call parameters, so no memory
@@ -168,20 +181,27 @@ GpuDbscanResult mrscan_gpu_dbscan(std::span<const geom::Point> points,
     for (std::uint32_t i = 0; i < n; ++i) {
       if (!dense.is_dense(i)) work.push_back(i);
     }
+    const std::size_t wave_size =
+        static_cast<std::size_t>(config.block_count) *
+        config.points_per_block;
     std::size_t cursor = 0;
     while (cursor < work.size()) {
-      std::vector<std::uint64_t> block_ops(config.block_count, 0);
-      for (std::uint32_t b = 0; b < config.block_count; ++b) {
-        for (std::uint32_t k = 0;
-             k < config.points_per_block && cursor < work.size(); ++k) {
-          const std::uint32_t idx = work[cursor++];
-          const std::size_t found = tree.count_in_radius(
-              points[idx], config.params.eps, config.params.min_pts,
-              &block_ops[b]);
-          if (found >= config.params.min_pts) result.labels.core[idx] = 1;
-        }
-      }
+      const std::size_t batch = std::min(wave_size, work.size() - cursor);
+      const auto wave = std::span<const std::uint32_t>(work)
+                            .subspan(cursor, batch);
+      block_ops.assign(config.block_count, 0);
+      tree.count_in_radius_many(
+          wave, config.params.eps, config.params.min_pts, scratch,
+          [&](std::size_t q, std::size_t found, std::uint64_t ops) {
+            // Same work distribution as the per-block loop this replaces:
+            // the first points_per_block queries belong to block 0, etc.
+            block_ops[q / config.points_per_block] += ops;
+            if (found >= config.params.min_pts) {
+              result.labels.core[wave[q]] = 1;
+            }
+          });
       device.account_launch(block_ops);
+      cursor += batch;
     }
   }
 
@@ -189,7 +209,8 @@ GpuDbscanResult mrscan_gpu_dbscan(std::span<const geom::Point> points,
   {
     std::vector<std::deque<std::uint32_t>> queues(config.block_count);
     std::uint32_t next_seed = 0;
-    std::vector<std::uint32_t> neighbors;
+    std::vector<std::uint32_t> wave_points;  // one queue front per block
+    std::vector<std::uint32_t> wave_blocks;  // its owning block
 
     auto seed_idle_blocks = [&]() {
       bool any = false;
@@ -214,26 +235,37 @@ GpuDbscanResult mrscan_gpu_dbscan(std::span<const geom::Point> points,
     while (seed_idle_blocks()) {
       // One bulk-issued kernel wave: each block expands one core point.
       // No host copies between waves — that is the point of the redesign.
-      std::vector<std::uint64_t> block_ops(config.block_count, 0);
+      // Queue fronts are popped before the batch runs; a block's expansion
+      // only ever pushes to its own queue, so the wave composition and the
+      // per-block processing order are identical to the per-block loop.
+      block_ops.assign(config.block_count, 0);
+      wave_points.clear();
+      wave_blocks.clear();
       for (std::uint32_t b = 0; b < config.block_count; ++b) {
         if (queues[b].empty()) continue;
-        const std::uint32_t p = queues[b].front();
+        wave_points.push_back(queues[b].front());
         queues[b].pop_front();
-        const std::uint32_t c = chain[p];
-
-        tree.radius_query(points[p], config.params.eps, neighbors,
-                          &block_ops[b]);
-        for (const std::uint32_t q : neighbors) {
-          if (q == p || !result.labels.core[q]) continue;
-          if (chain[q] == kNoChain) {
-            chain[q] = c;
-            queues[b].push_back(q);
-          } else if (!chains.same(c, chain[q])) {
-            chains.unite(c, chain[q]);
-            ++result.stats.collisions;
-          }
-        }
+        wave_blocks.push_back(b);
       }
+      tree.radius_query_many(
+          wave_points, config.params.eps, scratch,
+          [&](std::size_t k, std::span<const std::uint32_t> neighbors,
+              std::uint64_t ops) {
+            const std::uint32_t b = wave_blocks[k];
+            block_ops[b] += ops;
+            const std::uint32_t p = wave_points[k];
+            const std::uint32_t c = chain[p];
+            for (const std::uint32_t q : neighbors) {
+              if (q == p || !result.labels.core[q]) continue;
+              if (chain[q] == kNoChain) {
+                chain[q] = c;
+                queues[b].push_back(q);
+              } else if (!chains.same(c, chain[q])) {
+                chains.unite(c, chain[q]);
+                ++result.stats.collisions;
+              }
+            }
+          });
       device.account_launch(block_ops);
     }
   }
@@ -241,32 +273,35 @@ GpuDbscanResult mrscan_gpu_dbscan(std::span<const geom::Point> points,
   // Dense boxes adjacent to each other merge even though none of their
   // points ran an expansion.
   if (dense.count() >= 2) {
-    connect_dense_boxes(tree, dense, config.params.eps, box_chain, chains,
-                        result.stats.collisions, device);
+    connect_dense_boxes(tree, dense, config.params.eps, config.block_count,
+                        box_chain, chains, result.stats.collisions, device);
   }
 
   // ---- Border pass: attach non-core points to a neighbouring core's
   // cluster (lowest core index wins — a deterministic DBSCAN tie-break).
   {
-    std::vector<std::uint64_t> block_ops(config.block_count, 0);
-    std::vector<std::uint32_t> neighbors;
-    std::uint32_t rr = 0;
+    std::vector<std::uint32_t> border;
     for (std::uint32_t i = 0; i < n; ++i) {
-      if (result.labels.core[i]) continue;
-      tree.radius_query(points[i], config.params.eps, neighbors,
-                        &block_ops[rr]);
-      rr = (rr + 1) % config.block_count;
-      std::uint32_t best = kNoChain;
-      for (const std::uint32_t q : neighbors) {
-        if (result.labels.core[q] && q < best) best = q;
-      }
-      if (best != kNoChain) chain[i] = chain[best];
+      if (!result.labels.core[i]) border.push_back(i);
     }
+    block_ops.assign(config.block_count, 0);
+    tree.radius_query_many(
+        border, config.params.eps, scratch,
+        [&](std::size_t k, std::span<const std::uint32_t> neighbors,
+            std::uint64_t ops) {
+          // Round-robin block assignment, as the rr counter did.
+          block_ops[k % config.block_count] += ops;
+          std::uint32_t best = kNoChain;
+          for (const std::uint32_t q : neighbors) {
+            if (result.labels.core[q] && q < best) best = q;
+          }
+          if (best != kNoChain) chain[border[k]] = chain[best];
+        });
     device.account_launch(block_ops);
   }
 
   // One D2H copy: the clustered result.
-  device.copy_to_host(n * 8);
+  device.copy_to_host(n * kLabelBytes);
 
   for (std::uint32_t i = 0; i < n; ++i) {
     if (chain[i] == kNoChain) {

@@ -15,6 +15,7 @@
 
 #include "geometry/cell.hpp"
 #include "geometry/point.hpp"
+#include "index/query_scratch.hpp"
 
 namespace mrscan::index {
 
@@ -64,6 +65,33 @@ class Grid {
   /// when it is a member of the indexed set, matching classic DBSCAN.
   std::size_t count_in_radius(const geom::Point& p, double radius,
                               std::size_t at_least = 0) const;
+
+  /// Collect neighbour indices into `scratch.results` (cleared first) and
+  /// return them as a span, valid until the next query through `scratch`.
+  /// Grid traversal needs no stack; the scratch supplies the reusable
+  /// result buffer so the query path stays allocation-free once warm, the
+  /// same engine contract as KDTree / RTree. Requires radius <= cell_size.
+  std::span<const std::uint32_t> radius_query(const geom::Point& p,
+                                              double radius,
+                                              QueryScratch& scratch) const {
+    auto& out = scratch.results;
+    out.clear();
+    for_each_in_radius(p, radius,
+                       [&](std::uint32_t idx) { out.push_back(idx); });
+    return out;
+  }
+
+  /// Batched collection over point indices into the indexed span:
+  /// fn(q, neighbors) per query, in order; neighbors borrows
+  /// scratch.results.
+  template <typename Fn>
+  void radius_query_many(std::span<const std::uint32_t> queries,
+                         double radius, QueryScratch& scratch,
+                         Fn&& fn) const {
+    for (std::size_t q = 0; q < queries.size(); ++q) {
+      fn(q, radius_query(points_[queries[q]], radius, scratch));
+    }
+  }
 
  private:
   std::size_t cell_slot(geom::CellKey key) const;  // npos when absent

@@ -17,6 +17,15 @@ KDTree::KDTree(std::span<const geom::Point> points, KDTreeConfig config)
     nodes_.reserve(points.size() / config.max_leaf_points * 2 + 2);
     build(0, static_cast<std::uint32_t>(points.size()), 0);
   }
+  // SoA mirror: copy coordinates into leaf order once, after the build has
+  // settled order_. Leaf scans then read consecutive doubles instead of
+  // gathering 32-byte Point records through order_[i].
+  leaf_x_.resize(points.size());
+  leaf_y_.resize(points.size());
+  for (std::size_t i = 0; i < order_.size(); ++i) {
+    leaf_x_[i] = points_[order_[i]].x;
+    leaf_y_[i] = points_[order_[i]].y;
+  }
 }
 
 std::uint32_t KDTree::build(std::uint32_t begin, std::uint32_t end,
@@ -68,15 +77,20 @@ std::uint32_t KDTree::build(std::uint32_t begin, std::uint32_t end,
 }
 
 std::size_t KDTree::count_in_radius(const geom::Point& p, double radius,
+                                    QueryScratch& scratch,
                                     std::size_t at_least,
                                     std::uint64_t* ops) const {
   std::size_t count = 0;
   if (nodes_.empty()) return 0;
   const double r2 = radius * radius;
   std::uint64_t work = 0;
+  const double* xs = leaf_x_.data();
+  const double* ys = leaf_y_.data();
 
-  // Iterative traversal with early exit.
-  std::vector<std::uint32_t> stack{0};
+  // Iterative traversal with early exit, on the caller-owned stack.
+  auto& stack = scratch.stack;
+  stack.clear();
+  stack.push_back(0);
   while (!stack.empty()) {
     const Node& node = nodes_[stack.back()];
     stack.pop_back();
@@ -85,7 +99,9 @@ std::size_t KDTree::count_in_radius(const geom::Point& p, double radius,
       const Leaf& leaf = leaves_[node.leaf_id];
       for (std::uint32_t i = leaf.begin; i < leaf.end; ++i) {
         ++work;
-        if (geom::dist2(p, points_[order_[i]]) <= r2) {
+        const double dx = p.x - xs[i];
+        const double dy = p.y - ys[i];
+        if (dx * dx + dy * dy <= r2) {
           ++count;
           if (at_least != 0 && count >= at_least) {
             if (ops) *ops += work;
@@ -102,14 +118,20 @@ std::size_t KDTree::count_in_radius(const geom::Point& p, double radius,
   return count;
 }
 
-void KDTree::radius_query(const geom::Point& p, double radius,
-                          std::vector<std::uint32_t>& out,
-                          std::uint64_t* ops) const {
+std::span<const std::uint32_t> KDTree::radius_query(
+    const geom::Point& p, double radius, QueryScratch& scratch,
+    std::uint64_t* ops) const {
+  auto& out = scratch.results;
   out.clear();
-  if (nodes_.empty()) return;
+  if (nodes_.empty()) return out;
   const double r2 = radius * radius;
   std::uint64_t work = 0;
-  std::vector<std::uint32_t> stack{0};
+  const double* xs = leaf_x_.data();
+  const double* ys = leaf_y_.data();
+
+  auto& stack = scratch.stack;
+  stack.clear();
+  stack.push_back(0);
   while (!stack.empty()) {
     const Node& node = nodes_[stack.back()];
     stack.pop_back();
@@ -118,8 +140,9 @@ void KDTree::radius_query(const geom::Point& p, double radius,
       const Leaf& leaf = leaves_[node.leaf_id];
       for (std::uint32_t i = leaf.begin; i < leaf.end; ++i) {
         ++work;
-        const std::uint32_t idx = order_[i];
-        if (geom::dist2(p, points_[idx]) <= r2) out.push_back(idx);
+        const double dx = p.x - xs[i];
+        const double dy = p.y - ys[i];
+        if (dx * dx + dy * dy <= r2) out.push_back(order_[i]);
       }
     } else {
       stack.push_back(node.left);
@@ -127,6 +150,23 @@ void KDTree::radius_query(const geom::Point& p, double radius,
     }
   }
   if (ops) *ops += work;
+  return out;
+}
+
+std::size_t KDTree::count_in_radius(const geom::Point& p, double radius,
+                                    std::size_t at_least,
+                                    std::uint64_t* ops) const {
+  QueryScratch scratch;
+  return count_in_radius(p, radius, scratch, at_least, ops);
+}
+
+void KDTree::radius_query(const geom::Point& p, double radius,
+                          std::vector<std::uint32_t>& out,
+                          std::uint64_t* ops) const {
+  QueryScratch scratch;
+  scratch.results.swap(out);  // reuse the caller's capacity
+  radius_query(p, radius, scratch, ops);
+  scratch.results.swap(out);
 }
 
 }  // namespace mrscan::index

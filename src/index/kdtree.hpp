@@ -14,6 +14,12 @@
 // enough (<= max_leaf_points) or its extent is already below
 // min_leaf_extent — in dense areas the tree therefore bottoms out exactly
 // at dense-box-sized regions with large point counts.
+//
+// Query engine: the hot path is allocation-free. Callers thread a
+// QueryScratch (traversal stack + result buffer) through every query, and
+// leaf scans read an SoA coordinate mirror (separate x/y arrays in leaf
+// order) so they stream cache-line-sequential doubles instead of striding
+// through geom::Point records via the order_[i] indirection.
 #pragma once
 
 #include <cstdint>
@@ -22,6 +28,7 @@
 
 #include "geometry/bbox.hpp"
 #include "geometry/point.hpp"
+#include "index/query_scratch.hpp"
 
 namespace mrscan::index {
 
@@ -40,6 +47,17 @@ class KDTree {
     std::uint32_t begin = 0; // range into order()
     std::uint32_t end = 0;
     std::uint32_t size() const { return end - begin; }
+  };
+
+  struct Node {
+    geom::BBox box;
+    // Internal node: left = first child index, right = second. Leaf:
+    // leaf_id indexes leaves_. axis < 0 marks a leaf.
+    std::int8_t axis = -1;
+    std::uint32_t left = 0;
+    std::uint32_t right = 0;
+    std::uint32_t leaf_id = 0;
+    bool is_leaf() const { return axis < 0; }
   };
 
   KDTree() = default;
@@ -75,12 +93,56 @@ class KDTree {
   /// Count the Eps-neighbourhood of p, stopping once `at_least` neighbours
   /// have been found (0 = exact count). If `ops` is non-null it is
   /// incremented by the number of point distance computations performed —
-  /// the work unit the virtual GPU's cost model charges for.
+  /// the work unit the virtual GPU's cost model charges for. Allocation-free
+  /// once `scratch` is warm.
+  std::size_t count_in_radius(const geom::Point& p, double radius,
+                              QueryScratch& scratch, std::size_t at_least = 0,
+                              std::uint64_t* ops = nullptr) const;
+
+  /// Collect neighbour indices into `scratch.results` (cleared first) and
+  /// return them as a span, valid until the next query through `scratch`.
+  /// Neighbor order is part of the determinism contract and matches the
+  /// legacy out-vector overload exactly. `ops` as above.
+  std::span<const std::uint32_t> radius_query(
+      const geom::Point& p, double radius, QueryScratch& scratch,
+      std::uint64_t* ops = nullptr) const;
+
+  /// Batched neighbourhood collection: for each q in [0, queries.size()),
+  /// query the point at original index queries[q] and invoke
+  /// fn(q, neighbors, ops) with that query's neighbor span (borrowing
+  /// scratch.results — consume it before the next query runs) and its
+  /// distance-computation count. Queries run in order, so per-query
+  /// results and any stateful fn are deterministic.
+  template <typename Fn>
+  void radius_query_many(std::span<const std::uint32_t> queries,
+                         double radius, QueryScratch& scratch,
+                         Fn&& fn) const {
+    for (std::size_t q = 0; q < queries.size(); ++q) {
+      std::uint64_t ops = 0;
+      const auto neighbors =
+          radius_query(points_[queries[q]], radius, scratch, &ops);
+      fn(q, neighbors, ops);
+    }
+  }
+
+  /// Batched counting with early exit: fn(q, count, ops) per query.
+  template <typename Fn>
+  void count_in_radius_many(std::span<const std::uint32_t> queries,
+                            double radius, std::size_t at_least,
+                            QueryScratch& scratch, Fn&& fn) const {
+    for (std::size_t q = 0; q < queries.size(); ++q) {
+      std::uint64_t ops = 0;
+      const std::size_t count = count_in_radius(points_[queries[q]], radius,
+                                                scratch, at_least, &ops);
+      fn(q, count, ops);
+    }
+  }
+
+  /// Convenience overloads that allocate a fresh traversal stack per call.
+  /// Tests and one-off callers only — hot paths thread a QueryScratch.
   std::size_t count_in_radius(const geom::Point& p, double radius,
                               std::size_t at_least = 0,
                               std::uint64_t* ops = nullptr) const;
-
-  /// Collect neighbour indices into `out` (cleared first). `ops` as above.
   void radius_query(const geom::Point& p, double radius,
                     std::vector<std::uint32_t>& out,
                     std::uint64_t* ops = nullptr) const;
@@ -89,17 +151,6 @@ class KDTree {
   std::size_t node_count() const { return nodes_.size(); }
 
  private:
-  struct Node {
-    geom::BBox box;
-    // Internal node: left = first child index, right = second. Leaf:
-    // leaf_id indexes leaves_. axis < 0 marks a leaf.
-    std::int8_t axis = -1;
-    std::uint32_t left = 0;
-    std::uint32_t right = 0;
-    std::uint32_t leaf_id = 0;
-    bool is_leaf() const { return axis < 0; }
-  };
-
   std::uint32_t build(std::uint32_t begin, std::uint32_t end, int depth);
 
   template <typename Fn>
@@ -125,6 +176,10 @@ class KDTree {
   std::vector<Leaf> leaves_;
   std::vector<std::uint32_t> order_;
   std::vector<std::uint32_t> point_leaf_;  // per original index
+  // SoA coordinate mirror in leaf order: leaf_x_[i] / leaf_y_[i] are the
+  // coordinates of points_[order_[i]], so leaf scans stream sequentially.
+  std::vector<double> leaf_x_;
+  std::vector<double> leaf_y_;
 };
 
 }  // namespace mrscan::index

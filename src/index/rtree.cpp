@@ -301,18 +301,44 @@ std::size_t RTree::height() const {
   return h;
 }
 
-void RTree::radius_query(const geom::Point& p, double radius,
-                         std::vector<std::uint32_t>& out) const {
+std::span<const std::uint32_t> RTree::radius_query(
+    const geom::Point& p, double radius, QueryScratch& scratch) const {
+  auto& out = scratch.results;
   out.clear();
-  for_each_in_radius(p, radius, [&](std::uint32_t idx) { out.push_back(idx); });
+  if (root_ == kNone) return out;
+  const double r2 = radius * radius;
+  auto& stack = scratch.stack;
+  stack.clear();
+  stack.push_back(root_);
+  while (!stack.empty()) {
+    const Node& node = nodes_[stack.back()];
+    stack.pop_back();
+    if (node.box.dist2_to(p) > r2) continue;
+    if (node.leaf) {
+      for (const std::uint32_t idx : node.entries) {
+        if (geom::dist2(p, points_[idx]) <= r2) out.push_back(idx);
+      }
+    } else {
+      // Push children reversed so pops come in entry order — the same
+      // preorder DFS the recursive visit() produces (determinism contract:
+      // neighbor order must not change).
+      for (auto it = node.entries.rbegin(); it != node.entries.rend(); ++it) {
+        stack.push_back(*it);
+      }
+    }
+  }
+  return out;
 }
 
 std::size_t RTree::count_in_radius(const geom::Point& p, double radius,
+                                   QueryScratch& scratch,
                                    std::size_t at_least) const {
   if (root_ == kNone) return 0;
   const double r2 = radius * radius;
   std::size_t count = 0;
-  std::vector<std::uint32_t> stack{root_};
+  auto& stack = scratch.stack;
+  stack.clear();
+  stack.push_back(root_);
   while (!stack.empty()) {
     const Node& node = nodes_[stack.back()];
     stack.pop_back();
@@ -329,6 +355,18 @@ std::size_t RTree::count_in_radius(const geom::Point& p, double radius,
     }
   }
   return count;
+}
+
+void RTree::radius_query(const geom::Point& p, double radius,
+                         std::vector<std::uint32_t>& out) const {
+  out.clear();
+  for_each_in_radius(p, radius, [&](std::uint32_t idx) { out.push_back(idx); });
+}
+
+std::size_t RTree::count_in_radius(const geom::Point& p, double radius,
+                                   std::size_t at_least) const {
+  QueryScratch scratch;
+  return count_in_radius(p, radius, scratch, at_least);
 }
 
 void RTree::check_invariants() const {

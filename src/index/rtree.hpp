@@ -17,6 +17,7 @@
 
 #include "geometry/bbox.hpp"
 #include "geometry/point.hpp"
+#include "index/query_scratch.hpp"
 
 namespace mrscan::index {
 
@@ -53,6 +54,32 @@ class RTree {
     visit(root_, p, r2, fn);
   }
 
+  /// Collect neighbour indices into `scratch.results` (cleared first) and
+  /// return them as a span, valid until the next query through `scratch`.
+  /// Same preorder DFS neighbor order as the recursive for_each_in_radius,
+  /// and allocation-free once `scratch` is warm.
+  std::span<const std::uint32_t> radius_query(const geom::Point& p,
+                                              double radius,
+                                              QueryScratch& scratch) const;
+
+  std::size_t count_in_radius(const geom::Point& p, double radius,
+                              QueryScratch& scratch,
+                              std::size_t at_least = 0) const;
+
+  /// Batched neighbourhood collection over point indices (indices into the
+  /// attached span): fn(q, neighbors) per query, in order. The neighbor
+  /// span borrows scratch.results — consume it before the next query runs.
+  template <typename Fn>
+  void radius_query_many(std::span<const std::uint32_t> queries,
+                         double radius, QueryScratch& scratch,
+                         Fn&& fn) const {
+    for (std::size_t q = 0; q < queries.size(); ++q) {
+      fn(q, radius_query(points_[queries[q]], radius, scratch));
+    }
+  }
+
+  /// Convenience overloads that allocate per call; hot paths thread a
+  /// QueryScratch instead.
   void radius_query(const geom::Point& p, double radius,
                     std::vector<std::uint32_t>& out) const;
 

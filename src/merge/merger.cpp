@@ -37,21 +37,23 @@ MergeResult merge_summaries(const std::vector<MergeSummary>& children,
   MergeResult result;
   result.child_cluster_map.resize(children.size());
 
-  // Flatten (child, cluster) into pair ids for the union-find.
+  // Flatten (child, cluster) into pair ids for the union-find. The offset
+  // table makes pair_id O(1); recomputing the prefix sum per call made cell
+  // indexing quadratic in the child count on wide merge trees.
   std::vector<std::pair<std::uint32_t, std::uint32_t>> pairs;
+  std::vector<std::uint32_t> pair_offset(children.size() + 1, 0);
   for (std::uint32_t c = 0; c < children.size(); ++c) {
     result.child_cluster_map[c].resize(children[c].clusters.size());
+    pair_offset[c + 1] =
+        pair_offset[c] +
+        static_cast<std::uint32_t>(children[c].clusters.size());
     for (std::uint32_t k = 0; k < children[c].clusters.size(); ++k) {
       pairs.emplace_back(c, k);
     }
   }
   util::UnionFind uf(pairs.size());
   auto pair_id = [&](std::uint32_t child, std::uint32_t cluster) {
-    std::uint32_t id = 0;
-    for (std::uint32_t c = 0; c < child; ++c) {
-      id += static_cast<std::uint32_t>(children[c].clusters.size());
-    }
-    return id + cluster;
+    return pair_offset[child] + cluster;
   };
 
   // Index every summary cell by its grid cell code.

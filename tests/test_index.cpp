@@ -3,12 +3,15 @@
 #include <algorithm>
 #include <cmath>
 #include <set>
+#include <span>
+#include <vector>
 
 #include "data/synthetic.hpp"
 #include "geometry/point.hpp"
 #include "index/cell_histogram.hpp"
 #include "index/grid.hpp"
 #include "index/kdtree.hpp"
+#include "index/query_scratch.hpp"
 #include "util/rng.hpp"
 
 namespace mg = mrscan::geom;
@@ -173,6 +176,141 @@ TEST(KDTree, EmptyAndSingleton) {
   EXPECT_EQ(t1.leaves().size(), 1u);
   EXPECT_EQ(t1.count_in_radius(mg::Point{0, 1.2, 1.0, 1.0f}, 0.3), 1u);
   EXPECT_EQ(t1.count_in_radius(mg::Point{0, 2.0, 1.0, 1.0f}, 0.3), 0u);
+}
+
+TEST(KDTreeAdversarial, DuplicatePointsMatchBruteForce) {
+  // Every point appears 4 times; duplicate-heavy medians stress the split
+  // logic, and result sets must still match the oracle exactly.
+  mg::PointSet pts;
+  mrscan::util::Rng rng(30);
+  for (std::uint32_t i = 0; i < 300; ++i) {
+    const double x = rng.uniform(0.0, 4.0);
+    const double y = rng.uniform(0.0, 4.0);
+    for (int copy = 0; copy < 4; ++copy) {
+      pts.push_back(mg::Point{pts.size(), x, y, 1.0f});
+    }
+  }
+  mi::KDTree tree(pts, mi::KDTreeConfig{8, 0.0});
+  mi::QueryScratch scratch;
+  for (int trial = 0; trial < 40; ++trial) {
+    const mg::Point q{0, rng.uniform(0.0, 4.0), rng.uniform(0.0, 4.0), 1.0f};
+    const double r = rng.uniform(0.1, 1.5);
+    const auto got = tree.radius_query(q, r, scratch);
+    EXPECT_EQ(std::set<std::uint32_t>(got.begin(), got.end()),
+              brute_radius(pts, q, r));
+    EXPECT_EQ(tree.count_in_radius(q, r, scratch), got.size());
+  }
+}
+
+TEST(KDTreeAdversarial, AllIdenticalCoordinatesHitDepthCap) {
+  // Identical coordinates defeat median splitting entirely; the build must
+  // bottom out at the depth cap instead of recursing forever, and queries
+  // must still see every point.
+  constexpr std::size_t kN = 4096;
+  mg::PointSet pts;
+  for (std::size_t i = 0; i < kN; ++i) {
+    pts.push_back(mg::Point{i, 2.5, 2.5, 1.0f});
+  }
+  mi::KDTree tree(pts, mi::KDTreeConfig{2, 0.0});
+  mi::QueryScratch scratch;
+  EXPECT_EQ(tree.radius_query(pts[0], 0.1, scratch).size(), kN);
+  EXPECT_EQ(tree.count_in_radius(pts[0], 0.1, scratch), kN);
+  EXPECT_EQ(tree.count_in_radius(mg::Point{0, 5.0, 5.0, 1.0f}, 0.1, scratch),
+            0u);
+}
+
+TEST(KDTreeAdversarial, PointsExactlyAtEpsAreInclusive) {
+  // Unit-grid points: every axis neighbour sits at exactly Eps = 1.0
+  // (representable), every diagonal at sqrt(2) > Eps. The boundary must be
+  // inclusive, matching classic DBSCAN's d <= Eps.
+  mg::PointSet pts;
+  for (std::int32_t x = 0; x < 8; ++x) {
+    for (std::int32_t y = 0; y < 8; ++y) {
+      pts.push_back(
+          mg::Point{pts.size(), static_cast<double>(x),
+                    static_cast<double>(y), 1.0f});
+    }
+  }
+  mi::KDTree tree(pts, mi::KDTreeConfig{4, 0.0});
+  mi::QueryScratch scratch;
+  for (std::uint32_t i = 0; i < pts.size(); ++i) {
+    const auto got = tree.radius_query(pts[i], 1.0, scratch);
+    EXPECT_EQ(std::set<std::uint32_t>(got.begin(), got.end()),
+              brute_radius(pts, pts[i], 1.0));
+    // Interior points: self + 4 axis neighbours, nothing else.
+    const bool interior = pts[i].x > 0 && pts[i].x < 7 && pts[i].y > 0 &&
+                          pts[i].y < 7;
+    if (interior) {
+      EXPECT_EQ(got.size(), 5u);
+    }
+  }
+}
+
+TEST(KDTreeAdversarial, OpsMonotoneInAtLeastAndConsistentAcrossApis) {
+  const auto pts = random_points(1200, 31);
+  mi::KDTree tree(pts, mi::KDTreeConfig{16, 0.0});
+  mi::QueryScratch scratch;
+  mrscan::util::Rng rng(32);
+  std::vector<std::uint32_t> legacy_out;
+  for (int trial = 0; trial < 40; ++trial) {
+    const mg::Point q{0, rng.uniform(-1.0, 11.0), rng.uniform(-1.0, 11.0),
+                      1.0f};
+    const double r = rng.uniform(0.2, 2.0);
+
+    // Early exit can only get cheaper as the target drops: the ops charged
+    // for at_least = 1 <= at_least = 4 <= the exact count (at_least = 0).
+    std::uint64_t ops1 = 0, ops4 = 0, ops_exact = 0;
+    tree.count_in_radius(q, r, scratch, 1, &ops1);
+    tree.count_in_radius(q, r, scratch, 4, &ops4);
+    const std::size_t exact = tree.count_in_radius(q, r, scratch, 0,
+                                                   &ops_exact);
+    EXPECT_LE(ops1, ops4);
+    EXPECT_LE(ops4, ops_exact);
+
+    // A full radius_query examines exactly the points the exact count did,
+    // through either API, and both report identical neighbours in
+    // identical order (the determinism contract).
+    std::uint64_t ops_query = 0, ops_legacy = 0;
+    const auto span_out = tree.radius_query(q, r, scratch, &ops_query);
+    EXPECT_EQ(ops_query, ops_exact);
+    EXPECT_EQ(span_out.size(), exact);
+    tree.radius_query(q, r, legacy_out, &ops_legacy);
+    EXPECT_EQ(ops_legacy, ops_query);
+    EXPECT_TRUE(std::equal(span_out.begin(), span_out.end(),
+                           legacy_out.begin(), legacy_out.end()));
+  }
+}
+
+TEST(KDTreeAdversarial, BatchedApisMatchSingleQueries) {
+  const auto pts = random_points(600, 33);
+  mi::KDTree tree(pts, mi::KDTreeConfig{12, 0.0});
+  mi::QueryScratch batch_scratch;
+  mi::QueryScratch single_scratch;
+  std::vector<std::uint32_t> queries(pts.size());
+  for (std::uint32_t i = 0; i < queries.size(); ++i) queries[i] = i;
+  const double r = 0.6;
+
+  tree.radius_query_many(
+      queries, r, batch_scratch,
+      [&](std::size_t q, std::span<const std::uint32_t> neighbors,
+          std::uint64_t ops) {
+        std::uint64_t single_ops = 0;
+        std::vector<std::uint32_t> expect(neighbors.begin(), neighbors.end());
+        const auto single =
+            tree.radius_query(pts[queries[q]], r, single_scratch, &single_ops);
+        EXPECT_TRUE(std::equal(expect.begin(), expect.end(), single.begin(),
+                               single.end()));
+        EXPECT_EQ(ops, single_ops);
+      });
+
+  tree.count_in_radius_many(
+      queries, r, 4, batch_scratch,
+      [&](std::size_t q, std::size_t count, std::uint64_t ops) {
+        std::uint64_t single_ops = 0;
+        EXPECT_EQ(count, tree.count_in_radius(pts[queries[q]], r,
+                                              single_scratch, 4, &single_ops));
+        EXPECT_EQ(ops, single_ops);
+      });
 }
 
 TEST(CellHistogram, CountsMatchGrid) {

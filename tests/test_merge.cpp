@@ -185,6 +185,88 @@ TEST(Merger, EmptyChildren) {
   EXPECT_TRUE(result2.merged.clusters.empty());
 }
 
+TEST(Merger, WideTreeSharedCellOpsStayLinear) {
+  // Many children reporting the same core point in one shared cell. Each
+  // new child merges into the group with exactly one rep comparison, and
+  // every later pair short-circuits on uf.same — so ops must stay linear
+  // in the child count, not quadratic in the pairs examined.
+  constexpr std::uint32_t kChildren = 200;
+  const std::uint64_t cell = mg::cell_code(mg::CellKey{0, 0});
+  std::vector<mm::MergeSummary> children;
+  children.reserve(kChildren);
+  for (std::uint32_t c = 0; c < kChildren; ++c) {
+    children.push_back(one_cluster(cell, c > 0, {sp(9, 0.5, 0.5)}));
+  }
+  const auto result = mm::merge_summaries(children, kGeom, kEps);
+  ASSERT_EQ(result.merged.clusters.size(), 1u);
+  EXPECT_EQ(result.merges_detected, kChildren - 1);
+  EXPECT_EQ(result.ops, kChildren - 1);
+  for (std::uint32_t c = 0; c < kChildren; ++c) {
+    EXPECT_EQ(result.child_cluster_map[c][0], 0u);
+  }
+}
+
+TEST(Merger, WideTreeDisjointChildrenKeepDistinctClusters) {
+  // Many children in pairwise-disjoint cells: nothing merges, no distance
+  // computations run, and every (child, cluster) pair maps to its own
+  // output cluster — a regression check on the flattened pair indexing.
+  constexpr std::uint32_t kChildren = 300;
+  std::vector<mm::MergeSummary> children;
+  children.reserve(kChildren);
+  for (std::uint32_t c = 0; c < kChildren; ++c) {
+    const auto ix = static_cast<std::int32_t>(c);
+    children.push_back(one_cluster(mg::cell_code(mg::CellKey{ix, 0}), false,
+                                   {sp(c, ix + 0.5, 0.5)}));
+  }
+  const auto result = mm::merge_summaries(children, kGeom, kEps);
+  EXPECT_EQ(result.merged.clusters.size(), kChildren);
+  EXPECT_EQ(result.merges_detected, 0u);
+  EXPECT_EQ(result.ops, 0u);
+  std::vector<std::uint32_t> seen;
+  for (std::uint32_t c = 0; c < kChildren; ++c) {
+    seen.push_back(result.child_cluster_map[c][0]);
+  }
+  std::sort(seen.begin(), seen.end());
+  EXPECT_EQ(std::unique(seen.begin(), seen.end()), seen.end());
+}
+
+TEST(Merger, RaggedChildrenPairIndexingStaysAligned) {
+  // Children with different cluster counts: the (child, cluster) -> pair
+  // id flattening must keep offsets straight so the right clusters merge.
+  const std::uint64_t shared = mg::cell_code(mg::CellKey{7, 7});
+  auto cluster_in = [&](std::uint64_t code, mg::PointId id, double x,
+                        double y) {
+    mm::CellSummary cell;
+    cell.cell_code = code;
+    cell.reps = {sp(id, x, y)};
+    mm::ClusterSummary cluster;
+    cluster.owned_points = 1;
+    cluster.cells.push_back(std::move(cell));
+    return cluster;
+  };
+  // Child 0: three clusters, only the last sits in the shared cell.
+  mm::MergeSummary a;
+  a.clusters.push_back(cluster_in(mg::cell_code(mg::CellKey{0, 0}), 1, 0.5, 0.5));
+  a.clusters.push_back(cluster_in(mg::cell_code(mg::CellKey{1, 0}), 2, 1.5, 0.5));
+  a.clusters.push_back(cluster_in(shared, 3, 7.5, 7.5));
+  // Child 1: one far-away cluster.
+  mm::MergeSummary b;
+  b.clusters.push_back(cluster_in(mg::cell_code(mg::CellKey{20, 20}), 4, 20.5, 20.5));
+  // Child 2: two clusters, the second shares the cell (and the core rep).
+  mm::MergeSummary c;
+  c.clusters.push_back(cluster_in(mg::cell_code(mg::CellKey{30, 30}), 5, 30.5, 30.5));
+  auto shared_cluster = cluster_in(shared, 3, 7.5, 7.5);
+  shared_cluster.cells[0].from_shadow = true;
+  c.clusters.push_back(std::move(shared_cluster));
+
+  const auto result = mm::merge_summaries({a, b, c}, kGeom, kEps);
+  EXPECT_EQ(result.merged.clusters.size(), 5u);
+  EXPECT_EQ(result.merges_detected, 1u);
+  EXPECT_EQ(result.child_cluster_map[0][2], result.child_cluster_map[2][1]);
+  EXPECT_NE(result.child_cluster_map[0][0], result.child_cluster_map[2][1]);
+  EXPECT_NE(result.child_cluster_map[1][0], result.child_cluster_map[2][1]);
+}
+
 TEST(LeafSummary, BuildsRepsAndRespectsBoundaryCells) {
   // Points along a horizontal strip; leaf owns cells x<2, shadow x=2.
   mg::PointSet pts;

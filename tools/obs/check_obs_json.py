@@ -13,10 +13,17 @@ Validates the two JSON artifacts a traced pipeline run produces:
     gauge / histogram, including the sim.* phase gauges, the wall.*
     phase gauges, and the always-present fault.* counters.
 
+A third mode validates bench metric exports (the BENCH_*.json files the
+benches write under MRSCAN_BENCH_METRICS_DIR): the same metrics schema,
+but instead of the pipeline's sim.*/fault.* sets each file must carry at
+least one "bench.*" metric (micro benches export registries with no
+pipeline run behind them).
+
 Usage:
   check_obs_json.py TRACE_JSON METRICS_JSON
+  check_obs_json.py --bench BENCH_JSON [BENCH_JSON ...]
 
-Exit status is 0 when both files validate, 1 otherwise.
+Exit status is 0 when every file validates, 1 otherwise.
 """
 
 from __future__ import annotations
@@ -88,7 +95,7 @@ def check_trace(path: str) -> None:
                 f"must cover all four phases")
 
 
-def check_metrics(path: str) -> None:
+def check_metrics(path: str, bench: bool = False) -> None:
     with open(path, encoding="utf-8") as f:
         doc = json.load(f)
     if not isinstance(doc, dict) or doc.get("schema") != "mrscan-metrics-v1":
@@ -132,6 +139,10 @@ def check_metrics(path: str) -> None:
         err(f"{path}: metrics are not sorted by name")
     if len(names) != len(set(names)):
         err(f"{path}: duplicate metric names")
+    if bench:
+        if not any(name.startswith("bench.") for name in names):
+            err(f"{path}: bench export carries no 'bench.*' metric")
+        return
     for name in REQUIRED_GAUGES:
         if kinds.get(name) != "gauge":
             err(f"{path}: required gauge {name!r} missing or wrong kind")
@@ -140,13 +151,26 @@ def check_metrics(path: str) -> None:
             err(f"{path}: required counter {name!r} missing or wrong kind")
 
 
+def usage() -> int:
+    print(__doc__.strip().splitlines()[0], file=sys.stderr)
+    print("usage: check_obs_json.py TRACE_JSON METRICS_JSON\n"
+          "       check_obs_json.py --bench BENCH_JSON [BENCH_JSON ...]",
+          file=sys.stderr)
+    return 2
+
+
 def main(argv: list[str]) -> int:
-    if len(argv) != 2:
-        print(__doc__.strip().splitlines()[0], file=sys.stderr)
-        print("usage: check_obs_json.py TRACE_JSON METRICS_JSON",
-              file=sys.stderr)
-        return 2
-    for path, check in zip(argv, (check_trace, check_metrics)):
+    if argv and argv[0] == "--bench":
+        paths = argv[1:]
+        if not paths:
+            return usage()
+        checks = [(path, lambda p: check_metrics(p, bench=True))
+                  for path in paths]
+    elif len(argv) == 2:
+        checks = list(zip(argv, (check_trace, check_metrics)))
+    else:
+        return usage()
+    for path, check in checks:
         try:
             check(path)
         except (OSError, json.JSONDecodeError) as e:
