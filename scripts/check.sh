@@ -2,7 +2,10 @@
 # scripts/check.sh — run the full correctness-tooling matrix and fail on
 # any report:
 #
-#   1. mrscan_lint        repo-specific invariant lint over src/
+#   1. mrscan_analyze     semantic contract checker (determinism,
+#                         concurrency, accounting, layering) over
+#                         src/ bench/ examples/ tests/; findings JSON
+#                         is written to build/analyze_findings.json
 #   2. default preset     build + full test suite (tier-1 bar)
 #   3. obs smoke          traced pipeline run; both JSON artifacts are
 #                         schema-validated by tools/obs/check_obs_json.py
@@ -18,7 +21,7 @@
 #                         when clang-tidy is not installed)
 #
 # Usage: scripts/check.sh [--quick] [--no-stress] [--jobs N]
-#   --quick      lint + default preset only (the fast pre-commit loop)
+#   --quick      analyze + default preset only (the fast pre-commit loop)
 #   --no-stress  skip the `stress`-labeled tests in every preset (the
 #                push/PR CI path; a scheduled job runs them)
 #   --jobs N     parallelism for builds and ctest (default: nproc)
@@ -74,7 +77,12 @@ run_preset() {
   fi
 }
 
-run_step "lint" python3 tools/lint/mrscan_lint.py src
+# The analyzer consumes build/compile_commands.json when a configure has
+# already exported one; on a fresh checkout it falls back to scanning
+# src/, so running it before the configure step is fine.
+mkdir -p build
+run_step "analyze" python3 tools/analyze/mrscan_analyze.py \
+  --json build/analyze_findings.json
 
 run_preset default
 

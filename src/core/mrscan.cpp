@@ -306,6 +306,7 @@ MrScanResult MrScan::run(std::span<const geom::Point> points) const {
   // so nothing races if filters ever run concurrently. They land in the
   // registry first and MrScanResult reads them back — one source of truth.
   reg.add("merge.merges_detected", 0);
+  // det-unordered-iter-ok: counter addition is commutative; order cannot leak
   for (const auto& [node, merged] : node_results) {
     reg.add("merge.merges_detected", merged.merges_detected);
   }

@@ -79,7 +79,17 @@ MergeResult merge_summaries(const std::vector<MergeSummary>& children,
   };
 
   // ---- Pairwise overlap handling per grid cell. ----
-  for (const auto& [code, refs] : by_cell) {
+  // Visit cells in sorted code order: the uf.same early-exits below
+  // make result.ops depend on which merges happened first, and ops
+  // feeds the simulated network cost — hash order would make the
+  // reported seconds vary across platforms and runs.
+  std::vector<std::uint64_t> cell_codes;
+  cell_codes.reserve(by_cell.size());
+  // det-unordered-iter-ok: keys are sorted immediately below
+  for (const auto& [code, refs] : by_cell) cell_codes.push_back(code);
+  std::sort(cell_codes.begin(), cell_codes.end());
+  for (const std::uint64_t code : cell_codes) {
+    const std::vector<CellRef>& refs = by_cell.at(code);
     if (refs.size() < 2) continue;
     for (std::size_t a = 0; a < refs.size(); ++a) {
       for (std::size_t b = a + 1; b < refs.size(); ++b) {
@@ -203,6 +213,7 @@ MergeResult merge_summaries(const std::vector<MergeSummary>& children,
     cluster.cells.clear();
     std::vector<std::uint64_t> codes;
     codes.reserve(combined.size());
+    // det-unordered-iter-ok: keys are sorted immediately below
     for (const auto& [code, cell] : combined) codes.push_back(code);
     std::sort(codes.begin(), codes.end());
     for (const std::uint64_t code : codes) {

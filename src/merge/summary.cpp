@@ -111,6 +111,7 @@ MergeSummary build_leaf_summary(const LeafSummaryInput& input) {
     // Deterministic cell order.
     std::vector<std::uint64_t> codes;
     codes.reserve(buckets[ci].size());
+    // det-unordered-iter-ok: keys are sorted immediately below
     for (const auto& [code, bucket] : buckets[ci]) codes.push_back(code);
     std::sort(codes.begin(), codes.end());
 

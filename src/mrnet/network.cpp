@@ -4,6 +4,7 @@
 #include <optional>
 #include <utility>
 
+#include "obs/names.hpp"
 #include "sim/event_queue.hpp"
 #include "util/assert.hpp"
 
@@ -11,24 +12,26 @@ namespace mrscan::mrnet {
 
 void record_network_stats(obs::Recorder& recorder, const std::string& domain,
                           const NetworkStats& stats) {
+  namespace names = obs::names;
   obs::Registry& reg = recorder.metrics();
-  const std::string p = "net." + domain + ".";
-  reg.add(p + "packets_up", stats.packets_up);
-  reg.add(p + "packets_down", stats.packets_down);
-  reg.add(p + "bytes_up", stats.bytes_up);
-  reg.add(p + "bytes_down", stats.bytes_down);
-  reg.add(p + "acks", stats.acks);
-  reg.add(p + "packets_dropped", stats.packets_dropped);
-  reg.add(p + "retries", stats.retries);
-  reg.add(p + "timeouts", stats.timeouts);
-  reg.add(p + "reorders_injected", stats.reorders_injected);
-  reg.add(p + "duplicates_discarded", stats.duplicates_discarded);
-  reg.add(p + "leaves_recovered", stats.leaves_recovered);
-  reg.set_max(p + "max_packet_bytes",
+  const std::string p = names::kNetPrefix + domain + ".";
+  reg.add(p + names::kNetSuffixPacketsUp, stats.packets_up);
+  reg.add(p + names::kNetSuffixPacketsDown, stats.packets_down);
+  reg.add(p + names::kNetSuffixBytesUp, stats.bytes_up);
+  reg.add(p + names::kNetSuffixBytesDown, stats.bytes_down);
+  reg.add(p + names::kNetSuffixAcks, stats.acks);
+  reg.add(p + names::kNetSuffixPacketsDropped, stats.packets_dropped);
+  reg.add(p + names::kNetSuffixRetries, stats.retries);
+  reg.add(p + names::kNetSuffixTimeouts, stats.timeouts);
+  reg.add(p + names::kNetSuffixReordersInjected, stats.reorders_injected);
+  reg.add(p + names::kNetSuffixDuplicatesDiscarded,
+          stats.duplicates_discarded);
+  reg.add(p + names::kNetSuffixLeavesRecovered, stats.leaves_recovered);
+  reg.set_max(p + names::kNetSuffixMaxPacketBytes,
               static_cast<double>(stats.max_packet_bytes));
-  reg.set(p + "last_op_seconds", stats.last_op_seconds);
-  reg.set(p + "total_seconds", stats.total_seconds);
-  reg.set(p + "recovery_seconds", stats.recovery_seconds);
+  reg.set(p + names::kNetSuffixLastOpSeconds, stats.last_op_seconds);
+  reg.set(p + names::kNetSuffixTotalSeconds, stats.total_seconds);
+  reg.set(p + names::kNetSuffixRecoverySeconds, stats.recovery_seconds);
 }
 
 Network::Network(Topology topology, sim::InterconnectParams params,

@@ -60,6 +60,7 @@ void PartitionPlan::rebuild_shadow(std::size_t part_idx,
           shadow.insert(ncode);
         });
   }
+  // det-unordered-iter-ok: the cell list is sorted immediately below
   part.shadow_cells.assign(shadow.begin(), shadow.end());
   std::sort(part.shadow_cells.begin(), part.shadow_cells.end());
   part.shadow_points = 0;

@@ -36,6 +36,9 @@ std::vector<ClusterStats> cluster_statistics(
 
   std::vector<ClusterStats> out;
   out.reserve(acc.size());
+  // Per-cluster stats are independent and `out` is sorted below with a
+  // total (count, cluster-id) order.
+  // det-unordered-iter-ok: order-independent; output re-sorted below
   for (auto& [id, a] : acc) {
     ClusterStats s = a.stats;
     s.centroid_x = a.sum_x / static_cast<double>(s.count);

@@ -1,0 +1,126 @@
+#!/usr/bin/env python3
+"""mrscan_analyze — semantic contract checker for the Mr. Scan repo.
+
+Usage:
+    tools/analyze/mrscan_analyze.py [paths...] [options]
+
+Paths default to src bench examples tests (relative to --repo-root).
+Per-rule scope still applies: a rule only fires in the roots it is
+registered for, so passing extra paths never widens a rule's reach.
+
+Options:
+    --repo-root DIR          repo root (default: two levels up from here)
+    --baseline FILE          baseline findings file
+                             (default: tools/analyze/baseline.json)
+    --no-baseline            ignore the baseline; report everything
+    --json OUT               write schema-validated findings JSON
+    --compile-commands FILE  seed the include graph from this
+                             compile_commands.json (default: use
+                             build/compile_commands.json when present)
+    --list-rules             print the rule registry and exit
+
+Exit status: 0 when every finding is baselined (or none), 1 otherwise,
+2 on configuration problems (bad baseline, invalid JSON export).
+"""
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from mrscan_analyze import (FINDINGS_SCHEMA_NAME, RULES, analyze,  # noqa: E402
+                            findings_to_json, validate_findings_json)
+
+DEFAULT_ROOTS = ("src", "bench", "examples", "tests")
+
+
+def main(argv: list[str]) -> int:
+    here = Path(__file__).resolve().parent
+    parser = argparse.ArgumentParser(
+        prog="mrscan_analyze",
+        description="semantic contract checker (determinism, concurrency, "
+                    "accounting, layering)")
+    parser.add_argument("paths", nargs="*", default=[])
+    parser.add_argument("--repo-root", type=Path,
+                        default=here.parent.parent)
+    parser.add_argument("--baseline", type=Path, default=None)
+    parser.add_argument("--no-baseline", action="store_true")
+    parser.add_argument("--json", dest="json_out", type=Path, default=None)
+    parser.add_argument("--compile-commands", type=Path, default=None)
+    parser.add_argument("--list-rules", action="store_true")
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule, (family, description, roots) in sorted(RULES.items()):
+            print(f"{rule:22s} [{family}] roots={','.join(roots)}")
+            print(f"{'':22s} {description}")
+        return 0
+
+    repo_root = args.repo_root.resolve()
+    raw_paths = args.paths or [r for r in DEFAULT_ROOTS
+                               if (repo_root / r).exists()]
+    roots = []
+    for p in raw_paths:
+        path = Path(p)
+        if not path.is_absolute():
+            path = repo_root / path
+        if not path.exists():
+            print(f"mrscan_analyze: path not found: {p}", file=sys.stderr)
+            return 2
+        roots.append(path)
+
+    baseline = None
+    if not args.no_baseline:
+        baseline = args.baseline or (here / "baseline.json")
+        if not baseline.is_file():
+            baseline = None
+
+    compile_commands = args.compile_commands
+    if compile_commands is None:
+        candidate = repo_root / "build" / "compile_commands.json"
+        if candidate.is_file():
+            compile_commands = candidate
+
+    result = analyze(repo_root, roots, compile_commands=compile_commands,
+                     baseline_path=baseline)
+
+    for problem in result.problems:
+        print(f"mrscan_analyze: config problem: {problem}", file=sys.stderr)
+    for stale in result.stale_baseline:
+        print(f"mrscan_analyze: stale baseline entry (no longer matches "
+              f"anything — remove it): {stale}", file=sys.stderr)
+
+    active = result.active()
+    baselined = [f for f in result.findings if f.baselined]
+    for f in active:
+        print(f)
+        if f.snippet:
+            print(f"    {f.snippet}")
+
+    if args.json_out is not None:
+        text = findings_to_json(result.findings,
+                                checked_files=result.checked_files,
+                                rules=sorted(RULES))
+        problems = validate_findings_json(json.loads(text))
+        if problems:
+            for p in problems:
+                print(f"mrscan_analyze: findings JSON failed "
+                      f"{FINDINGS_SCHEMA_NAME} validation: {p}",
+                      file=sys.stderr)
+            return 2
+        args.json_out.parent.mkdir(parents=True, exist_ok=True)
+        args.json_out.write_text(text, encoding="utf-8")
+
+    label = "OK" if not active else "FAIL"
+    print(f"mrscan_analyze: {label} — {result.checked_files} files, "
+          f"{len(active)} finding(s), {len(baselined)} baselined",
+          file=sys.stderr)
+    if result.problems:
+        return 2
+    return 1 if active else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -1,0 +1,21 @@
+"""mrscan_analyze: semantic contract checker for the Mr. Scan repo.
+
+Families (see rules/__init__.py for the full registry):
+  determinism — unordered-container iteration, raw RNG, raw clocks,
+                sequential phase loops
+  concurrency — by-ref capture writes in pool tasks, QueryScratch scope
+  accounting  — central metric name table, sim-cost/ops pairing
+  layering    — module DAG + include cycles
+  hygiene     — ported from the legacy mrscan_lint
+"""
+
+from .engine import AnalysisResult, analyze, gather_files
+from .findings import (FINDINGS_SCHEMA_NAME, Finding, findings_to_json,
+                       validate_findings_json)
+from .rules import RULES, rule_families
+
+__all__ = [
+    "AnalysisResult", "analyze", "gather_files",
+    "Finding", "findings_to_json", "validate_findings_json",
+    "FINDINGS_SCHEMA_NAME", "RULES", "rule_families",
+]

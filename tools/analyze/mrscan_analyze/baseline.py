@@ -1,0 +1,103 @@
+"""Baseline handling: grandfathered findings, each with a justification.
+
+The baseline file is JSON:
+
+    {
+      "schema": "mrscan-analyze-baseline-v1",
+      "entries": [
+        {
+          "rule": "det-unordered-iter",
+          "file": "src/foo/bar.cpp",
+          "contains": "for (const auto& [k, v] : table)",
+          "justification": "one line on why this finding is acceptable"
+        }
+      ]
+    }
+
+Matching is content-based, not line-number-based, so unrelated edits
+above a grandfathered site do not invalidate the baseline: an entry
+matches a finding when the rule and file agree and `contains` is a
+substring of the flagged line's source text (or of the message, for
+findings without a snippet, e.g. whole-file rules). Every entry must
+carry a non-empty justification — a baseline without a reason is a
+finding in its own right.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from .findings import Finding
+
+BASELINE_SCHEMA_NAME = "mrscan-analyze-baseline-v1"
+
+
+@dataclass
+class BaselineEntry:
+    rule: str
+    file: str
+    contains: str
+    justification: str
+    used: bool = False
+
+    def matches(self, finding: Finding) -> bool:
+        if self.rule != finding.rule or self.file != finding.file:
+            return False
+        return self.contains in finding.snippet or \
+            self.contains in finding.message
+
+
+@dataclass
+class Baseline:
+    entries: list[BaselineEntry] = field(default_factory=list)
+    problems: list[str] = field(default_factory=list)
+
+    @staticmethod
+    def load(path: Path) -> "Baseline":
+        baseline = Baseline()
+        try:
+            doc = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError) as err:
+            baseline.problems.append(f"{path}: unreadable baseline: {err}")
+            return baseline
+        if not isinstance(doc, dict) or doc.get("schema") != \
+                BASELINE_SCHEMA_NAME:
+            baseline.problems.append(
+                f"{path}: baseline schema must be {BASELINE_SCHEMA_NAME!r}")
+            return baseline
+        for idx, raw in enumerate(doc.get("entries", [])):
+            where = f"{path}: entries[{idx}]"
+            if not isinstance(raw, dict):
+                baseline.problems.append(f"{where}: must be an object")
+                continue
+            entry = BaselineEntry(
+                rule=str(raw.get("rule", "")),
+                file=str(raw.get("file", "")),
+                contains=str(raw.get("contains", "")),
+                justification=str(raw.get("justification", "")).strip(),
+            )
+            if not entry.rule or not entry.file or not entry.contains:
+                baseline.problems.append(
+                    f"{where}: rule, file and contains are all required")
+                continue
+            if not entry.justification:
+                baseline.problems.append(
+                    f"{where}: every baseline entry must carry a one-line "
+                    f"justification")
+                continue
+            baseline.entries.append(entry)
+        return baseline
+
+    def apply(self, findings: list[Finding]) -> None:
+        """Mark findings matched by an entry as baselined."""
+        for finding in findings:
+            for entry in self.entries:
+                if entry.matches(finding):
+                    finding.baselined = True
+                    entry.used = True
+                    break
+
+    def stale_entries(self) -> list[BaselineEntry]:
+        return [e for e in self.entries if not e.used]

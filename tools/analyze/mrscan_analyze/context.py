@@ -1,0 +1,75 @@
+"""Per-file analysis context shared by all rules.
+
+One lex per file; rules see the token stream, lazily-computed lambdas
+and declarations, and a `stripped` per-line view (comments removed,
+string literals blanked to "") that the pattern-level rules match on —
+so a banned identifier inside a string or comment never fires.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import cached_property
+from pathlib import Path
+
+from .findings import Finding
+from .lexer import (COMMENT, PP, STRING, Token, code_tokens, tokenize)
+from .scopes import Declaration, Lambda, find_lambdas, \
+    find_typed_declarations
+
+
+@dataclass
+class FileContext:
+    path: Path
+    rel: str            # repo-relative posix path
+    root_kind: str      # first path component: src / tests / bench / ...
+    raw_text: str
+    raw_lines: list[str]
+    findings: list[Finding] = field(default_factory=list)
+
+    @cached_property
+    def tokens(self) -> list[Token]:
+        return tokenize(self.raw_text)
+
+    @cached_property
+    def code(self) -> list[Token]:
+        return code_tokens(self.tokens)
+
+    @cached_property
+    def lambdas(self) -> list[Lambda]:
+        return find_lambdas(self.code)
+
+    def declarations(self, predicate) -> list[Declaration]:
+        return find_typed_declarations(self.code, predicate)
+
+    @cached_property
+    def stripped(self) -> list[str]:
+        """Source lines with comments removed and string/char literal
+        contents blanked (quotes kept), preserving line numbers."""
+        lines = [""] * (self.raw_text.count("\n") + 2)
+        for t in self.tokens:
+            if t.kind == COMMENT:
+                continue
+            text = t.text
+            if t.kind == STRING:
+                text = '""'
+            elif t.kind == PP:
+                text = text.split("\n", 1)[0]
+            first = text.split("\n", 1)[0]
+            line = lines[t.line]
+            pad = t.col - 1 - len(line)
+            lines[t.line] = line + " " * max(0, pad) + first
+        return lines
+
+    def stripped_line(self, line: int) -> str:
+        return self.stripped[line] if 0 < line < len(self.stripped) else ""
+
+    def snippet(self, line: int) -> str:
+        if 0 < line <= len(self.raw_lines):
+            return self.raw_lines[line - 1].strip()
+        return ""
+
+    def report(self, line: int, rule: str, message: str) -> None:
+        self.findings.append(Finding(
+            rule=rule, file=self.rel, line=line, message=message,
+            snippet=self.snippet(line)))

@@ -1,0 +1,185 @@
+"""Analysis driver: file gathering, rule dispatch, suppressions,
+baseline application.
+
+Suppression grammar (always give a reason):
+
+    // <rule>-ok: <reason>         this line, or the line below it
+    // <rule>-ok-file: <reason>    whole file
+
+Legacy spellings stay accepted so existing annotations keep working:
+`// sequential-ok:` (pool-phase-loops), `// raw-clock-ok:`
+(no-raw-clock), and `// mrscan-lint: allow(<rule>) <reason>` /
+`allow-file(<rule>) <reason>`.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from .baseline import Baseline
+from .context import FileContext
+from .findings import Finding
+from .includes import build_include_graph
+from .rules import LEGACY_SUPPRESSION_ALIASES, RULES
+from .rules.accounting import (MetricNameTable, check_metric_names,
+                               check_sim_ops_charge)
+from .rules.concurrency import check_par_ref_capture, check_scratch_scope
+from .rules.determinism import check_unordered_iteration
+from .rules.hygiene import check_hygiene, check_raw_rand
+from .rules.layering import check_layering
+
+_SOURCE_SUFFIXES = (".cpp", ".hpp", ".h", ".cc", ".cu", ".cuh")
+_SKIP_DIR_PARTS = frozenset(("build", "build-asan", "build-ubsan",
+                             "build-asan-ubsan", "build-tsan", "build-tidy",
+                             ".git"))
+
+_LEGACY_LINE = re.compile(r"//\s*mrscan-lint:\s*allow\(([\w,\s-]+)\)")
+_LEGACY_FILE = re.compile(r"//\s*mrscan-lint:\s*allow-file\(([\w,\s-]+)\)")
+
+
+@dataclass
+class AnalysisResult:
+    findings: list[Finding] = field(default_factory=list)
+    checked_files: int = 0
+    problems: list[str] = field(default_factory=list)  # config/baseline
+    stale_baseline: list[str] = field(default_factory=list)
+
+    def active(self) -> list[Finding]:
+        return [f for f in self.findings if not f.baselined]
+
+
+def gather_files(roots: list[Path]) -> list[Path]:
+    files: list[Path] = []
+    for root in roots:
+        if root.is_file():
+            files.append(root)
+            continue
+        for p in sorted(root.rglob("*")):
+            if p.suffix not in _SOURCE_SUFFIXES:
+                continue
+            if any(part in _SKIP_DIR_PARTS for part in p.parts):
+                continue
+            files.append(p)
+    return files
+
+
+def _root_kind(rel: str) -> str:
+    return rel.split("/", 1)[0]
+
+
+def _suppressions(raw_lines: list[str]) -> tuple[dict[int, set[str]],
+                                                 set[str]]:
+    """(per-line rule sets keyed by line number, file-level rule set).
+    A same-line or line-above comment suppresses; scanning is textual
+    over raw lines because the annotations live in comments."""
+    per_line: dict[int, set[str]] = {}
+    per_file: set[str] = set()
+    token_map = {f"{rule}-ok": rule for rule in RULES}
+    token_map.update(LEGACY_SUPPRESSION_ALIASES)
+    file_map = {f"{rule}-ok-file": rule for rule in RULES}
+    for lineno, line in enumerate(raw_lines, 1):
+        if "//" not in line:
+            continue
+        comment = line[line.index("//"):]
+        for token, rule in file_map.items():
+            if re.search(rf"\b{re.escape(token)}:\s*\S", comment):
+                per_file.add(rule)
+        for token, rule in token_map.items():
+            if re.search(rf"\b{re.escape(token)}:\s*\S", comment):
+                # Applies to this line and the one below (annotation
+                # above the construct).
+                per_line.setdefault(lineno, set()).add(rule)
+                per_line.setdefault(lineno + 1, set()).add(rule)
+        m = _LEGACY_LINE.search(comment)
+        if m:
+            rules = {r.strip() for r in m.group(1).split(",")}
+            per_line.setdefault(lineno, set()).update(rules)
+            per_line.setdefault(lineno + 1, set()).update(rules)
+        m = _LEGACY_FILE.search(comment)
+        if m:
+            per_file.update(r.strip() for r in m.group(1).split(","))
+    return per_line, per_file
+
+
+def _apply_suppressions(ctx: FileContext) -> list[Finding]:
+    per_line, per_file = _suppressions(ctx.raw_lines)
+    kept: list[Finding] = []
+    for f in ctx.findings:
+        if f.rule in per_file:
+            continue
+        if f.rule in per_line.get(f.line, set()):
+            continue
+        kept.append(f)
+    return kept
+
+
+def analyze(repo_root: Path, roots: list[Path], *,
+            compile_commands: Path | None = None,
+            baseline_path: Path | None = None) -> AnalysisResult:
+    result = AnalysisResult()
+    repo_root = repo_root.resolve()
+    contexts: dict[str, FileContext] = {}
+
+    for path in gather_files(roots):
+        try:
+            rel = path.resolve().relative_to(repo_root).as_posix()
+        except ValueError:
+            rel = path.as_posix()
+        try:
+            raw = path.read_text(encoding="utf-8", errors="replace")
+        except OSError as err:
+            result.problems.append(f"{path}: unreadable: {err}")
+            continue
+        ctx = FileContext(path=path, rel=rel, root_kind=_root_kind(rel),
+                          raw_text=raw, raw_lines=raw.splitlines())
+        contexts[rel] = ctx
+        result.checked_files += 1
+
+    names_table = MetricNameTable.load(repo_root / "src" / "obs" /
+                                       "names.hpp")
+
+    def in_scope(rule: str, ctx: FileContext) -> bool:
+        return ctx.root_kind in RULES[rule][2]
+
+    for ctx in contexts.values():
+        if ctx.root_kind == "src":
+            check_hygiene(ctx)
+        if in_scope("no-raw-rand", ctx):
+            check_raw_rand(ctx)
+        if in_scope("det-unordered-iter", ctx):
+            check_unordered_iteration(ctx)
+        if in_scope("par-ref-capture", ctx):
+            check_par_ref_capture(ctx)
+        if in_scope("scratch-scope", ctx):
+            check_scratch_scope(ctx)
+        if in_scope("metric-name-table", ctx) and names_table is not None:
+            check_metric_names(ctx, names_table)
+        if in_scope("sim-ops-charge", ctx):
+            check_sim_ops_charge(ctx)
+        result.findings.extend(_apply_suppressions(ctx))
+
+    if (repo_root / "src").is_dir():
+        graph = build_include_graph(repo_root, compile_commands)
+        for finding in check_layering(graph):
+            ctx = contexts.get(finding.file)
+            if ctx is not None:
+                per_line, per_file = _suppressions(ctx.raw_lines)
+                if finding.rule in per_file or \
+                        finding.rule in per_line.get(finding.line, set()):
+                    continue
+                if not finding.snippet:
+                    finding.snippet = ctx.snippet(finding.line)
+            result.findings.append(finding)
+
+    if baseline_path is not None:
+        baseline = Baseline.load(baseline_path)
+        result.problems.extend(baseline.problems)
+        baseline.apply(result.findings)
+        result.stale_baseline = [
+            f"{e.rule} @ {e.file} (contains: {e.contains!r})"
+            for e in baseline.stale_entries()]
+
+    result.findings.sort(key=Finding.sort_key)
+    return result

@@ -1,0 +1,97 @@
+"""Finding model, JSON export, and schema validation.
+
+The findings JSON is schema-validated the same way the obs snapshots
+are (tools/obs/check_obs_json.py): a hand-rolled structural check, no
+third-party schema library. `validate_findings_json` is used by the
+analyzer's own `--json` path and by the self-tests, so a malformed
+export fails loudly in CI rather than producing an artifact nothing
+can consume.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+
+FINDINGS_SCHEMA_NAME = "mrscan-analyze-findings-v1"
+
+
+@dataclass
+class Finding:
+    rule: str
+    file: str  # repo-relative posix path
+    line: int
+    message: str
+    snippet: str = ""  # stripped source text of the flagged line
+    baselined: bool = False
+
+    def sort_key(self):
+        return (self.file, self.line, self.rule, self.message)
+
+    def __str__(self) -> str:
+        tag = " [baselined]" if self.baselined else ""
+        return f"{self.file}:{self.line}: [{self.rule}]{tag} {self.message}"
+
+
+def findings_to_json(findings: list[Finding], *, checked_files: int,
+                     rules: list[str]) -> str:
+    doc = {
+        "schema": FINDINGS_SCHEMA_NAME,
+        "checked_files": checked_files,
+        "rules": sorted(rules),
+        "findings": [
+            {
+                "rule": f.rule,
+                "file": f.file,
+                "line": f.line,
+                "message": f.message,
+                "snippet": f.snippet,
+                "baselined": f.baselined,
+            }
+            for f in sorted(findings, key=Finding.sort_key)
+        ],
+    }
+    return json.dumps(doc, indent=2, sort_keys=True) + "\n"
+
+
+def validate_findings_json(doc) -> list[str]:
+    """Structural validation; returns a list of problems (empty = valid)."""
+    problems: list[str] = []
+
+    def expect(cond: bool, what: str) -> bool:
+        if not cond:
+            problems.append(what)
+        return cond
+
+    if not expect(isinstance(doc, dict), "top level must be an object"):
+        return problems
+    expect(doc.get("schema") == FINDINGS_SCHEMA_NAME,
+           f"schema must be {FINDINGS_SCHEMA_NAME!r}")
+    expect(isinstance(doc.get("checked_files"), int)
+           and doc.get("checked_files", -1) >= 0,
+           "checked_files must be a non-negative integer")
+    rules = doc.get("rules")
+    if expect(isinstance(rules, list), "rules must be a list"):
+        for r in rules:
+            expect(isinstance(r, str) and r, "rules entries must be strings")
+    findings = doc.get("findings")
+    if not expect(isinstance(findings, list), "findings must be a list"):
+        return problems
+    for idx, f in enumerate(findings):
+        where = f"findings[{idx}]"
+        if not expect(isinstance(f, dict), f"{where} must be an object"):
+            continue
+        for key, typ in (("rule", str), ("file", str), ("line", int),
+                         ("message", str), ("snippet", str),
+                         ("baselined", bool)):
+            expect(isinstance(f.get(key), typ),
+                   f"{where}.{key} must be {typ.__name__}")
+        if isinstance(f.get("line"), int):
+            expect(f["line"] >= 1, f"{where}.line must be >= 1")
+        if isinstance(f.get("rule"), str) and isinstance(rules, list):
+            expect(f["rule"] in rules,
+                   f"{where}.rule {f.get('rule')!r} not in rules list")
+        extra = set(f) - {"rule", "file", "line", "message", "snippet",
+                          "baselined"}
+        expect(not extra, f"{where} has unknown keys {sorted(extra)}")
+    return problems

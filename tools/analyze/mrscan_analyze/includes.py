@@ -1,0 +1,200 @@
+"""Include-graph construction for the layering rules.
+
+Builds a file-level graph of project-local `#include "..."` edges under
+src/ (system includes are ignored). When a compile_commands.json is
+supplied — the base preset exports one — its entries choose the TU
+set and confirm the include roots; without it the graph falls back to
+scanning every header and source under src/.
+
+Project includes resolve against the include roots (src/ plus any -I
+path inside the repo from compile_commands) and, failing that, the
+including file's own directory.
+"""
+
+from __future__ import annotations
+
+import json
+import shlex
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from .lexer import PP, tokenize
+
+
+@dataclass
+class IncludeEdge:
+    source: str       # repo-relative posix path of the including file
+    target: str       # repo-relative posix path of the included file
+    line: int
+    spelling: str     # the quoted path as written
+
+
+@dataclass
+class IncludeGraph:
+    edges: list[IncludeEdge] = field(default_factory=list)
+    files: set[str] = field(default_factory=set)
+    used_compile_commands: bool = False
+
+    def edges_from(self, source: str) -> list[IncludeEdge]:
+        return [e for e in self.edges if e.source == source]
+
+    def adjacency(self) -> dict[str, list[IncludeEdge]]:
+        adj: dict[str, list[IncludeEdge]] = {}
+        for e in self.edges:
+            adj.setdefault(e.source, []).append(e)
+        return adj
+
+    def find_cycles(self) -> list[list[str]]:
+        """Every elementary include cycle reachable in the graph, found by
+        iterative DFS; each cycle is reported once, rotated to start at
+        its lexicographically smallest file."""
+        adj = self.adjacency()
+        cycles: set[tuple[str, ...]] = set()
+        WHITE, GREY, BLACK = 0, 1, 2
+        color: dict[str, int] = {}
+        stack_pos: dict[str, int] = {}
+
+        def dfs(root: str) -> None:
+            path: list[str] = []
+            # stack holds (node, iterator-position) pairs.
+            work: list[tuple[str, int]] = [(root, 0)]
+            while work:
+                node, edge_idx = work.pop()
+                if edge_idx == 0:
+                    color[node] = GREY
+                    stack_pos[node] = len(path)
+                    path.append(node)
+                out = adj.get(node, [])
+                advanced = False
+                for k in range(edge_idx, len(out)):
+                    nxt = out[k].target
+                    state = color.get(nxt, WHITE)
+                    if state == GREY:
+                        cyc = tuple(path[stack_pos[nxt]:])
+                        lo = cyc.index(min(cyc))
+                        cycles.add(cyc[lo:] + cyc[:lo])
+                        continue
+                    if state == WHITE:
+                        work.append((node, k + 1))
+                        work.append((nxt, 0))
+                        advanced = True
+                        break
+                if not advanced:
+                    color[node] = BLACK
+                    path.pop()
+                    stack_pos.pop(node, None)
+
+        for f in sorted(self.files):
+            if color.get(f, WHITE) == WHITE:
+                dfs(f)
+        return [list(c) for c in sorted(cycles)]
+
+
+def _project_includes(path: Path) -> list[tuple[int, str]]:
+    """(line, quoted-path) for each `#include "..."` in `path`, comment-
+    and string-aware via the lexer."""
+    try:
+        text = path.read_text(encoding="utf-8", errors="replace")
+    except OSError:
+        return []
+    out: list[tuple[int, str]] = []
+    for tok in tokenize(text):
+        if tok.kind != PP:
+            continue
+        directive = tok.text.lstrip("#").strip()
+        if not directive.startswith("include"):
+            continue
+        rest = directive[len("include"):].strip()
+        if rest.startswith('"') and rest.endswith('"') and len(rest) >= 2:
+            out.append((tok.line, rest[1:-1]))
+    return out
+
+
+def _tu_list_from_compile_commands(cc_path: Path,
+                                   repo_root: Path) -> list[Path]:
+    try:
+        doc = json.loads(cc_path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError):
+        return []
+    tus: list[Path] = []
+    if not isinstance(doc, list):
+        return []
+    for entry in doc:
+        if not isinstance(entry, dict):
+            continue
+        file_field = entry.get("file")
+        directory = entry.get("directory", "")
+        if not isinstance(file_field, str):
+            continue
+        p = Path(file_field)
+        if not p.is_absolute() and isinstance(directory, str) and directory:
+            p = Path(directory) / p
+        try:
+            rel = p.resolve().relative_to(repo_root.resolve())
+        except (ValueError, OSError):
+            continue
+        tus.append(repo_root / rel)
+    # shlex is imported for -I extraction should a future preset add
+    # include roots; today src/ is the only project include root.
+    _ = shlex
+    return tus
+
+
+def build_include_graph(repo_root: Path,
+                        compile_commands: Path | None) -> IncludeGraph:
+    """Graph over src/ files. Seeds from compile_commands.json when given
+    and readable (TUs outside src/ are kept as sources so their edges
+    into src/ are still checked), else from scanning src/."""
+    graph = IncludeGraph()
+    src_root = repo_root / "src"
+    seeds: list[Path] = []
+    if compile_commands is not None and compile_commands.is_file():
+        seeds = _tu_list_from_compile_commands(compile_commands, repo_root)
+        graph.used_compile_commands = bool(seeds)
+    if not seeds:
+        seeds = [p for p in sorted(src_root.rglob("*"))
+                 if p.suffix in (".cpp", ".hpp", ".h", ".cc", ".cu", ".cuh")]
+
+    # Headers reachable by include are analysed too (BFS closure).
+    pending = list(seeds)
+    visited: set[Path] = set()
+    while pending:
+        path = pending.pop()
+        try:
+            resolved = path.resolve()
+        except OSError:
+            continue
+        if resolved in visited or not path.is_file():
+            continue
+        visited.add(resolved)
+        try:
+            rel = resolved.relative_to(repo_root.resolve()).as_posix()
+        except ValueError:
+            continue
+        graph.files.add(rel)
+        for line, spelling in _project_includes(path):
+            target = src_root / spelling
+            if not target.is_file():
+                sibling = path.parent / spelling
+                if sibling.is_file():
+                    target = sibling
+                else:
+                    continue  # generated or external; not ours to check
+            try:
+                target_rel = target.resolve().relative_to(
+                    repo_root.resolve()).as_posix()
+            except (ValueError, OSError):
+                continue
+            graph.edges.append(IncludeEdge(
+                source=rel, target=target_rel, line=line,
+                spelling=spelling))
+            pending.append(target)
+    return graph
+
+
+def module_of(repo_relative: str) -> str | None:
+    """src/<module>/... -> module; None for files outside src/."""
+    parts = repo_relative.split("/")
+    if len(parts) >= 3 and parts[0] == "src":
+        return parts[1]
+    return None

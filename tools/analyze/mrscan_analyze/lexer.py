@@ -1,0 +1,288 @@
+"""C++ lexer for mrscan_analyze.
+
+A real tokenizer — not a line regex — so the rules can reason about
+code with comments, string literals (including raw strings), character
+literals, and preprocessor lines handled correctly. The token stream
+preserves line/column positions; comments are emitted as tokens (rules
+never match inside them, but the suppression scanner reads them).
+
+This is deliberately not a full C++ grammar: the rules only need
+identifiers, punctuation, literals, and balanced-bracket navigation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+# Token kinds.
+IDENT = "ident"
+NUMBER = "number"
+STRING = "string"  # includes raw strings; text keeps the quotes
+CHAR = "char"
+PUNCT = "punct"
+COMMENT = "comment"  # // ... or /* ... */, text includes the markers
+PP = "pp"  # a whole preprocessor directive (one logical line)
+
+_PUNCT_3 = ("<<=", ">>=", "...", "->*")
+_PUNCT_2 = ("::", "->", "++", "--", "<<", ">>", "<=", ">=", "==", "!=",
+            "&&", "||", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=")
+
+_IDENT_START = frozenset(
+    "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ_$")
+_IDENT_CONT = _IDENT_START | frozenset("0123456789")
+_DIGITS = frozenset("0123456789")
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str
+    text: str
+    line: int  # 1-based
+    col: int   # 1-based
+
+    def __repr__(self) -> str:  # compact for test diffs
+        return f"{self.kind}:{self.text}@{self.line}"
+
+
+def _scan_raw_string(text: str, i: int) -> int:
+    """`i` points at the opening quote of R"delim( ... )delim". Returns the
+    index one past the closing quote."""
+    j = text.find("(", i + 1)
+    if j < 0:
+        return len(text)
+    delim = text[i + 1:j]
+    end = text.find(")" + delim + '"', j + 1)
+    if end < 0:
+        return len(text)
+    return end + len(delim) + 2
+
+
+def _scan_quoted(text: str, i: int, quote: str) -> int:
+    """`i` points at the opening quote. Returns index one past the close."""
+    j = i + 1
+    n = len(text)
+    while j < n:
+        c = text[j]
+        if c == "\\":
+            j += 2
+            continue
+        if c == quote or c == "\n":  # unterminated: stop at newline
+            return j + 1 if c == quote else j
+        j += 1
+    return n
+
+
+def tokenize(text: str) -> list[Token]:
+    tokens: list[Token] = []
+    i = 0
+    n = len(text)
+    line = 1
+    line_start = 0  # index of the first char of the current line
+    at_line_start = True  # only whitespace seen since the newline
+
+    def col(idx: int) -> int:
+        return idx - line_start + 1
+
+    def advance_lines(start: int, end: int) -> None:
+        nonlocal line, line_start
+        seg = text[start:end]
+        newlines = seg.count("\n")
+        if newlines:
+            line += newlines
+            line_start = start + seg.rindex("\n") + 1
+
+    while i < n:
+        c = text[i]
+        if c == "\n":
+            line += 1
+            i += 1
+            line_start = i
+            at_line_start = True
+            continue
+        if c in " \t\r\f\v":
+            i += 1
+            continue
+        if c == "\\" and i + 1 < n and text[i + 1] == "\n":
+            # Line continuation: the logical line continues.
+            line += 1
+            i += 2
+            line_start = i
+            continue
+
+        start = i
+        start_line, start_col = line, col(i)
+
+        if c == "/" and i + 1 < n and text[i + 1] == "/":
+            j = text.find("\n", i)
+            j = n if j < 0 else j
+            tokens.append(Token(COMMENT, text[i:j], start_line, start_col))
+            i = j
+            continue
+        if c == "/" and i + 1 < n and text[i + 1] == "*":
+            j = text.find("*/", i + 2)
+            j = n if j < 0 else j + 2
+            tokens.append(Token(COMMENT, text[i:j], start_line, start_col))
+            advance_lines(start, j)
+            i = j
+            at_line_start = False
+            continue
+
+        if c == "#" and at_line_start:
+            # Preprocessor directive: consume the logical line (honouring
+            # backslash continuations), but stop before a trailing comment
+            # so suppression comments on #include lines stay visible.
+            j = i
+            while j < n:
+                if text[j] == "\n":
+                    break
+                if text[j] == "\\" and j + 1 < n and text[j + 1] == "\n":
+                    j += 2
+                    continue
+                if text[j] == "/" and j + 1 < n and text[j + 1] in "/*":
+                    break
+                j += 1
+            tokens.append(
+                Token(PP, text[i:j].strip(), start_line, start_col))
+            advance_lines(start, j)
+            i = j
+            at_line_start = False
+            continue
+
+        at_line_start = False
+
+        if c == '"' or (c == "R" and i + 1 < n and text[i + 1] == '"'):
+            if c == "R":
+                j = _scan_raw_string(text, i + 1)
+            else:
+                j = _scan_quoted(text, i, '"')
+            tokens.append(Token(STRING, text[i:j], start_line, start_col))
+            advance_lines(start, j)
+            i = j
+            continue
+        # Encoding-prefixed strings: u8"", u"", U"", L"" (and raw variants).
+        if c in "uUL" and i + 1 < n:
+            k = i + 1
+            if text[i:i + 2] == "u8":
+                k = i + 2
+            if k < n and text[k] == '"':
+                j = _scan_quoted(text, k, '"')
+                tokens.append(Token(STRING, text[i:j], start_line, start_col))
+                i = j
+                continue
+            if k + 1 < n and text[k] == "R" and text[k + 1] == '"':
+                j = _scan_raw_string(text, k + 1)
+                tokens.append(Token(STRING, text[i:j], start_line, start_col))
+                advance_lines(start, j)
+                i = j
+                continue
+
+        if c == "'":
+            j = _scan_quoted(text, i, "'")
+            tokens.append(Token(CHAR, text[i:j], start_line, start_col))
+            i = j
+            continue
+
+        if c in _IDENT_START:
+            j = i + 1
+            while j < n and text[j] in _IDENT_CONT:
+                j += 1
+            tokens.append(Token(IDENT, text[i:j], start_line, start_col))
+            i = j
+            continue
+
+        if c in _DIGITS or (c == "." and i + 1 < n and text[i + 1] in _DIGITS):
+            j = i + 1
+            while j < n and (text[j] in _IDENT_CONT or text[j] == "."
+                             or (text[j] in "+-" and text[j - 1] in "eEpP")):
+                j += 1
+            tokens.append(Token(NUMBER, text[i:j], start_line, start_col))
+            i = j
+            continue
+
+        three = text[i:i + 3]
+        if three in _PUNCT_3:
+            tokens.append(Token(PUNCT, three, start_line, start_col))
+            i += 3
+            continue
+        two = text[i:i + 2]
+        if two in _PUNCT_2:
+            tokens.append(Token(PUNCT, two, start_line, start_col))
+            i += 2
+            continue
+        tokens.append(Token(PUNCT, c, start_line, start_col))
+        i += 1
+
+    return tokens
+
+
+def code_tokens(tokens: list[Token]) -> list[Token]:
+    """The token stream with comments removed (rules match on this)."""
+    return [t for t in tokens if t.kind != COMMENT]
+
+
+def iter_lines(tokens: list[Token]) -> Iterator[tuple[int, list[Token]]]:
+    """Group code tokens by source line (comments excluded)."""
+    current: list[Token] = []
+    current_line = 0
+    for t in tokens:
+        if t.kind == COMMENT:
+            continue
+        if t.line != current_line:
+            if current:
+                yield current_line, current
+            current = []
+            current_line = t.line
+        current.append(t)
+    if current:
+        yield current_line, current
+
+
+def match_paren(tokens: list[Token], open_index: int,
+                open_char: str = "(", close_char: str = ")") -> int:
+    """Index of the matching close bracket for tokens[open_index], or
+    len(tokens) if unbalanced."""
+    depth = 0
+    for k in range(open_index, len(tokens)):
+        t = tokens[k]
+        if t.kind != PUNCT:
+            continue
+        if t.text == open_char:
+            depth += 1
+        elif t.text == close_char:
+            depth -= 1
+            if depth == 0:
+                return k
+    return len(tokens)
+
+
+def match_angle(tokens: list[Token], open_index: int) -> int:
+    """Match a template argument list's closing '>' starting from a '<'.
+    Balances (), [], {} and nested <>; bails out (returns open_index) if
+    the '<' turns out to be a comparison (hits ';' at depth 1)."""
+    depth = 0
+    other = 0
+    for k in range(open_index, len(tokens)):
+        t = tokens[k]
+        if t.kind != PUNCT:
+            continue
+        if t.text in "([{":
+            other += 1
+        elif t.text in ")]}":
+            if other == 0:
+                return open_index
+            other -= 1
+        elif other == 0:
+            if t.text == "<":
+                depth += 1
+            elif t.text == ">":
+                depth -= 1
+                if depth == 0:
+                    return k
+            elif t.text == ">>":
+                depth -= 2
+                if depth <= 0:
+                    return k
+            elif t.text == ";":
+                return open_index
+    return open_index

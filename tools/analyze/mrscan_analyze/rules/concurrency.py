@@ -1,0 +1,191 @@
+"""Concurrency family: the thread-pool task contracts.
+
+par-ref-capture — DESIGN §8's "write only your own index slot": a
+lambda handed to ThreadPool::submit/parallel_for may freely *read*
+by-reference captures, but a write to one is a data race unless it is
+(a) a subscripted write indexed by the task's own parameter,
+(b) an atomic operation, or (c) performed under a lock guard declared
+in the lambda body.
+
+scratch-scope — DESIGN §10's ownership rule: an index::QueryScratch is
+not thread-safe; one declared outside a pool task but used inside it
+is shared across workers.
+"""
+
+from __future__ import annotations
+
+from ..context import FileContext
+from ..lexer import IDENT, PUNCT, Token, match_paren
+from ..scopes import Lambda, find_typed_declarations
+
+_POOL_METHODS = ("submit", "parallel_for")
+
+_ASSIGN_OPS = frozenset(("=", "+=", "-=", "*=", "/=", "%=", "&=", "|=",
+                         "^=", "<<=", ">>="))
+_MUTATORS = frozenset((
+    "push_back", "emplace_back", "pop_back", "push_front", "pop_front",
+    "insert", "emplace", "emplace_hint", "erase", "clear", "resize",
+    "reserve", "assign", "append", "swap", "merge", "extract",
+    "push", "pop",
+))
+_ATOMIC_OK = frozenset((
+    "fetch_add", "fetch_sub", "fetch_and", "fetch_or", "fetch_xor",
+    "store", "exchange", "compare_exchange_weak", "compare_exchange_strong",
+    "notify_one", "notify_all", "wait", "count_down", "arrive_and_wait",
+    "release", "acquire", "try_acquire", "unite",
+))
+_LOCK_TYPES = ("lock_guard", "scoped_lock", "unique_lock", "shared_lock")
+
+
+def _pool_call_lambdas(ctx: FileContext) -> list[tuple[str, Lambda]]:
+    """(method, lambda) for every lambda lexically passed to a
+    ThreadPool submit/parallel_for call."""
+    code = ctx.code
+    n = len(code)
+    out: list[tuple[str, Lambda]] = []
+    for i, t in enumerate(code):
+        if t.kind != IDENT or t.text not in _POOL_METHODS:
+            continue
+        if i + 1 >= n or code[i + 1].kind != PUNCT \
+                or code[i + 1].text != "(":
+            continue
+        # Require a member-ish call (`pool.submit`, `pool_->parallel_for`)
+        # or a free-standing parallel_for; bare `submit(` alone is too
+        # generic to claim.
+        if i >= 1 and code[i - 1].kind == PUNCT \
+                and code[i - 1].text in (".", "->", "::"):
+            pass
+        elif t.text == "submit":
+            continue
+        close = match_paren(code, i + 1)
+        arg_range = range(i + 2, close)
+        for lam in ctx.lambdas:
+            if lam.intro_index in arg_range and lam.body_start < close:
+                out.append((t.text, lam))
+    return out
+
+
+def _body_local_names(code: list[Token], lam: Lambda) -> set[str]:
+    body = code[lam.body_start:lam.body_end + 1]
+    locals_: set[str] = set(lam.params)
+    for d in find_typed_declarations(body, lambda _t: True):
+        locals_.add(d.name)
+    return locals_
+
+
+def _has_lock_guard(code: list[Token], lam: Lambda) -> bool:
+    return any(
+        code[k].kind == IDENT and code[k].text in _LOCK_TYPES
+        for k in lam.body_range())
+
+
+def _subscript_contains(code: list[Token], open_bracket: int,
+                        names: set[str]) -> bool:
+    close = match_paren(code, open_bracket, "[", "]")
+    return any(code[k].kind == IDENT and code[k].text in names
+               for k in range(open_bracket + 1, close))
+
+
+def check_par_ref_capture(ctx: FileContext) -> None:
+    code = ctx.code
+    n = len(code)
+    for method, lam in _pool_call_lambdas(ctx):
+        by_ref_all = lam.capture_default == "&"
+        explicit_refs = set(lam.ref_captures)
+        if not by_ref_all and not explicit_refs:
+            continue
+        locals_ = _body_local_names(code, lam)
+        own_indices = set(lam.params) | locals_
+        lock_guarded = _has_lock_guard(code, lam)
+
+        for k in lam.body_range():
+            t = code[k]
+            if t.kind != IDENT:
+                continue
+            name = t.text
+            if name in locals_:
+                continue
+            if not by_ref_all and name not in explicit_refs:
+                continue
+            prev = code[k - 1] if k >= 1 else None
+            if prev is not None and prev.kind == PUNCT \
+                    and prev.text in (".", "->", "::"):
+                continue  # member/qualified access, not the capture itself
+            nxt = code[k + 1] if k + 1 < n else None
+            if nxt is None:
+                continue
+
+            flagged_as = None
+            if nxt.kind == PUNCT and nxt.text in _ASSIGN_OPS:
+                flagged_as = f"assignment '{name} {nxt.text}'"
+            elif nxt.kind == PUNCT and nxt.text in ("++", "--"):
+                flagged_as = f"increment of '{name}'"
+            elif prev is not None and prev.kind == PUNCT \
+                    and prev.text in ("++", "--"):
+                flagged_as = f"increment of '{name}'"
+            elif nxt.kind == PUNCT and nxt.text in (".", "->") \
+                    and k + 2 < n and code[k + 2].kind == IDENT:
+                member = code[k + 2].text
+                if member in _ATOMIC_OK:
+                    continue
+                if member in _MUTATORS and k + 3 < n \
+                        and code[k + 3].kind == PUNCT \
+                        and code[k + 3].text == "(":
+                    flagged_as = f"mutating call '{name}.{member}()'"
+            elif nxt.kind == PUNCT and nxt.text == "[":
+                # Own-slot writes are the blessed pattern.
+                close_sub = match_paren(code, k + 1, "[", "]")
+                after = code[close_sub + 1] if close_sub + 1 < n else None
+                is_write = after is not None and after.kind == PUNCT and (
+                    after.text in _ASSIGN_OPS
+                    or (after.text in (".", "->") and close_sub + 2 < n
+                        and code[close_sub + 2].kind == IDENT
+                        and code[close_sub + 2].text in _MUTATORS))
+                if is_write and not _subscript_contains(
+                        code, k + 1, own_indices):
+                    flagged_as = (f"write through '{name}[...]' whose "
+                                  "index is not derived from the task's "
+                                  "own parameter")
+            if flagged_as is None:
+                continue
+            if lock_guarded:
+                continue  # synchronized by a RAII guard in the body
+            ctx.report(
+                t.line, "par-ref-capture",
+                f"{flagged_as} inside a lambda passed to "
+                f"ThreadPool::{method} mutates by-ref-captured state; "
+                "write only your own index slot, use an atomic, guard "
+                "with a lock, or annotate with "
+                "// par-ref-capture-ok: <reason>")
+
+
+def check_scratch_scope(ctx: FileContext) -> None:
+    code = ctx.code
+    decls = ctx.declarations(lambda t: "QueryScratch" in t)
+    if not decls:
+        return
+    by_name: dict[str, list[int]] = {}
+    for d in decls:
+        by_name.setdefault(d.name, []).append(d.token_index)
+    for method, lam in _pool_call_lambdas(ctx):
+        body = set(lam.body_range())
+        for name, positions in by_name.items():
+            if any(p in body for p in positions):
+                continue  # task-local scratch: the blessed pattern
+            if not any(p < lam.body_start for p in positions):
+                continue
+            for k in lam.body_range():
+                t = code[k]
+                if t.kind == IDENT and t.text == name:
+                    prev = code[k - 1] if k >= 1 else None
+                    if prev is not None and prev.kind == PUNCT \
+                            and prev.text in (".", "->", "::"):
+                        continue
+                    ctx.report(
+                        t.line, "scratch-scope",
+                        f"QueryScratch '{name}' is declared outside this "
+                        f"ThreadPool::{method} task but used inside it; "
+                        "a scratch is single-owner per task (DESIGN §10) "
+                        "— declare it inside the lambda, or annotate "
+                        "with // scratch-scope-ok: <reason>")
+                    break  # one finding per (lambda, scratch)

@@ -1,0 +1,136 @@
+"""Determinism family: iteration over unordered containers.
+
+The pipeline's contract (DESIGN §8) is bit-identical output for any
+host_threads; the obs contract (DESIGN §9) is byte-stable snapshots.
+Hash-map iteration order is unspecified, varies across libcs, and —
+for containers filled by workers — across runs, so any range-for (or
+.begin() walk) over a std::unordered_{map,set,multimap,multiset} in
+src/ must either be rewritten over sorted keys or annotated with
+// det-unordered-iter-ok: <why the use is order-independent>.
+
+Detection is scope-aware: the rule tracks declarations (locals,
+members, parameters) whose type names an unordered container and flags
+loops whose range expression resolves to one of them, plus direct
+iterator walks via .begin().
+"""
+
+from __future__ import annotations
+
+from ..context import FileContext
+from ..lexer import IDENT, PUNCT, match_paren
+
+_UNORDERED = ("unordered_map", "unordered_set", "unordered_multimap",
+              "unordered_multiset")
+
+
+def _is_unordered_type(type_text: str) -> bool:
+    return any(u in type_text for u in _UNORDERED)
+
+
+def _range_expr_head(tokens, start: int, end: int) -> str | None:
+    """The variable a range-for expression iterates, for simple shapes:
+    `name`, `obj.name`, `obj->name`, `ns::name`, `name[i]` — the last
+    plain identifier before an optional subscript/member chain end."""
+    # A call in the range expression (e.g. `items()`) is out of scope
+    # except for the trivial `x.begin()` style handled elsewhere.
+    for k in range(start, end):
+        if tokens[k].kind == PUNCT and tokens[k].text == "(":
+            return None
+    # Strip trailing subscripts so `buckets[ci]` resolves to `buckets`
+    # (a vector-of-unordered-maps indexes like this).
+    while end > start and tokens[end - 1].kind == PUNCT \
+            and tokens[end - 1].text == "]":
+        depth = 0
+        k = end - 1
+        while k >= start:
+            tok = tokens[k]
+            if tok.kind == PUNCT and tok.text == "]":
+                depth += 1
+            elif tok.kind == PUNCT and tok.text == "[":
+                depth -= 1
+                if depth == 0:
+                    break
+            k -= 1
+        if k < start:
+            break
+        end = k
+    idents = [t for t in tokens[start:end]
+              if t.kind == IDENT]
+    if not idents:
+        return None
+    return idents[-1].text
+
+
+def check_unordered_iteration(ctx: FileContext) -> None:
+    code = ctx.code
+    decls = ctx.declarations(_is_unordered_type)
+    if not decls:
+        # Still catch `for (auto& x : std::unordered_map<...>{...})` —
+        # no named declaration involved (rare; fixtures cover it).
+        decls = []
+    names: dict[str, list[int]] = {}
+    for d in decls:
+        names.setdefault(d.name, []).append(d.token_index)
+    n = len(code)
+
+    def declared_before(name: str, index: int) -> bool:
+        return any(di < index for di in names.get(name, ()))
+
+    for i, t in enumerate(code):
+        if t.kind == IDENT and t.text == "for" and i + 1 < n \
+                and code[i + 1].kind == PUNCT and code[i + 1].text == "(":
+            close = match_paren(code, i + 1)
+            if close >= n:
+                continue
+            # Find the range-for ':' at paren depth 1 ('::' is one token).
+            colon = -1
+            depth = 0
+            for k in range(i + 1, close):
+                tok = code[k]
+                if tok.kind != PUNCT:
+                    continue
+                if tok.text in "([{":
+                    depth += 1
+                elif tok.text in ")]}":
+                    depth -= 1
+                elif tok.text == ":" and depth == 1:
+                    colon = k
+                    break
+                elif tok.text == ";" and depth == 1:
+                    break  # classic for, not range-for
+            if colon < 0:
+                continue
+            head = _range_expr_head(code, colon + 1, close)
+            if head is None:
+                # Direct temporary: std::unordered_map<...>{...}.
+                expr_text = "".join(tok.text
+                                    for tok in code[colon + 1:close])
+                if _is_unordered_type(expr_text):
+                    ctx.report(
+                        t.line, "det-unordered-iter",
+                        "range-for over an unordered container "
+                        "temporary; iteration order is unspecified")
+                continue
+            if declared_before(head, colon):
+                ctx.report(
+                    t.line, "det-unordered-iter",
+                    f"range-for over unordered container '{head}'; "
+                    "iterate sorted keys (or annotate with "
+                    "// det-unordered-iter-ok: <reason> if the fold is "
+                    "order-independent)")
+            continue
+        # Iterator-style walks: name.begin() (covers assign/copy/ctor
+        # range forms as well as explicit iterator loops).
+        if (t.kind == IDENT and t.text in ("begin", "cbegin")
+                and i >= 2 and i + 1 < n
+                and code[i + 1].kind == PUNCT and code[i + 1].text == "("
+                and code[i - 1].kind == PUNCT and code[i - 1].text in (
+                    ".", "->")
+                and code[i - 2].kind == IDENT):
+            owner = code[i - 2].text
+            if declared_before(owner, i):
+                ctx.report(
+                    t.line, "det-unordered-iter",
+                    f"iterator walk over unordered container '{owner}'; "
+                    "order is unspecified — sort the result or annotate "
+                    "with // det-unordered-iter-ok: <reason>")

@@ -1,0 +1,292 @@
+"""Brace-scope tracking and targeted declaration discovery.
+
+The rules need three structural facts a flat regex cannot provide:
+
+  * which variables are declared with a given type, and in which brace
+    scope (determinism: unordered containers; concurrency: QueryScratch;
+    accounting: Registry / MetricsSnapshot receivers);
+  * where each lambda's capture list, parameter list, and body are
+    (concurrency rules analyse lambdas passed to the thread pool);
+  * nesting — whether a token position lies inside another construct.
+
+Declarations are discovered by pattern, not by parsing C++: a type
+mention (possibly namespace-qualified, with a balanced template
+argument list and ref/pointer decorations) followed by an identifier
+that is introduced rather than used. That covers the repo's idiom; the
+self-test fixtures pin the cases the rules rely on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .lexer import IDENT, PP, PUNCT, Token, match_angle, match_paren
+
+
+@dataclass
+class Declaration:
+    name: str
+    type_text: str  # normalised, e.g. "std::unordered_map<K,V>"
+    token_index: int  # index of the declared name in the code-token stream
+    line: int
+    scope_depth: int
+
+
+@dataclass
+class Lambda:
+    """One lambda expression in the token stream (code tokens)."""
+    intro_index: int      # index of the '[' token
+    capture_default: str  # "&", "=", or ""
+    ref_captures: list[str] = field(default_factory=list)
+    value_captures: list[str] = field(default_factory=list)
+    params: list[str] = field(default_factory=list)
+    body_start: int = -1  # index of the '{'
+    body_end: int = -1    # index of the matching '}'
+    line: int = 0
+
+    def body_range(self) -> range:
+        return range(self.body_start + 1, self.body_end)
+
+
+def brace_depths(tokens: list[Token]) -> list[int]:
+    """depth[i] = brace nesting depth of tokens[i] (before applying it)."""
+    depths: list[int] = []
+    depth = 0
+    for t in tokens:
+        if t.kind == PUNCT and t.text == "}":
+            depth = max(0, depth - 1)
+        depths.append(depth)
+        if t.kind == PUNCT and t.text == "{":
+            depth += 1
+    return depths
+
+
+def enclosing_scope_open(tokens: list[Token], index: int) -> int:
+    """Token index of the '{' opening the innermost scope containing
+    `index`, or -1 for file scope."""
+    depth = 0
+    for k in range(index - 1, -1, -1):
+        t = tokens[k]
+        if t.kind != PUNCT:
+            continue
+        if t.text == "}":
+            depth += 1
+        elif t.text == "{":
+            if depth == 0:
+                return k
+            depth -= 1
+    return -1
+
+
+_TYPE_HEADS = frozenset(("const", "constexpr", "static", "inline",
+                         "mutable", "volatile", "typename", "thread_local"))
+_NOT_A_TYPE = frozenset((
+    "return", "if", "while", "for", "switch", "case", "else", "do",
+    "new", "delete", "throw", "goto", "break", "continue", "sizeof",
+    "using", "namespace", "template", "class", "struct", "enum", "public",
+    "private", "protected", "operator", "co_return", "co_await", "co_yield",
+))
+
+
+def _qualified_name_end(tokens: list[Token], i: int) -> int:
+    """Starting at an identifier, consume `a::b::c` and one balanced
+    template argument list; return the index one past the name."""
+    n = len(tokens)
+    j = i
+    while j < n and tokens[j].kind == IDENT:
+        j += 1
+        if j < n and tokens[j].kind == PUNCT and tokens[j].text == "<":
+            close = match_angle(tokens, j)
+            if close > j:
+                j = close + 1
+        if (j + 1 < n and tokens[j].kind == PUNCT
+                and tokens[j].text == "::" and tokens[j + 1].kind == IDENT):
+            j += 1
+            continue
+        break
+    return j
+
+
+def find_typed_declarations(tokens: list[Token],
+                            type_predicate) -> list[Declaration]:
+    """Find declarations whose type text satisfies `type_predicate`.
+
+    Walks statements; at each statement start (after ; { } or a PP
+    directive) tries to read [qualifiers] qualified-type [&*]* name and
+    records it when the next token is one of `; = { ( ,` (also consuming
+    `, name2` chains). Misses exotic forms by design — the rules that use
+    this only need the repo's declaration idiom.
+    """
+    depths = brace_depths(tokens)
+    decls: list[Declaration] = []
+    n = len(tokens)
+    at_stmt_start = True
+    i = 0
+    while i < n:
+        t = tokens[i]
+        if t.kind == PP:
+            at_stmt_start = True
+            i += 1
+            continue
+        if t.kind == PUNCT and t.text in ";{}":
+            at_stmt_start = True
+            i += 1
+            continue
+        if not at_stmt_start:
+            # `(` and `,` also introduce declaration contexts (function
+            # parameters, for-init after '('), handled conservatively:
+            if t.kind == PUNCT and t.text in "(,":
+                at_stmt_start = True
+            i += 1
+            continue
+        at_stmt_start = False
+        if t.kind != IDENT or t.text in _NOT_A_TYPE:
+            continue  # i advances via the not-at-start path next loop
+        j = i
+        while (j < n and tokens[j].kind == IDENT
+               and tokens[j].text in _TYPE_HEADS):
+            j += 1
+        if j >= n or tokens[j].kind != IDENT or tokens[j].text in _NOT_A_TYPE:
+            continue
+        type_start = j
+        j = _qualified_name_end(tokens, j)
+        type_end = j
+        while j < n and tokens[j].kind == PUNCT and tokens[j].text in (
+                "&", "*", "&&"):
+            j += 1
+        if j >= n or tokens[j].kind != IDENT:
+            continue
+        type_text = "".join(tok.text for tok in tokens[type_start:type_end])
+        if not type_predicate(type_text):
+            continue
+        # The declared name, possibly a comma-separated chain.
+        k = j
+        while k < n and tokens[k].kind == IDENT:
+            name_tok = tokens[k]
+            nxt = tokens[k + 1] if k + 1 < n else None
+            if nxt is None or nxt.kind != PUNCT or nxt.text not in (
+                    ";", "=", "{", "(", ",", ")", ":", "["):
+                break
+            decls.append(Declaration(
+                name=name_tok.text, type_text=type_text, token_index=k,
+                line=name_tok.line, scope_depth=depths[k]))
+            if nxt.text == ",":
+                # Chain: skip to the next name if it is a plain `, name`.
+                if (k + 2 < n and tokens[k + 2].kind == IDENT
+                        and k + 3 < n and tokens[k + 3].kind == PUNCT
+                        and tokens[k + 3].text in (";", "=", "{", "(", ",")):
+                    k += 2
+                    continue
+            break
+        i = type_end
+        continue
+    return decls
+
+
+def find_lambdas(tokens: list[Token]) -> list[Lambda]:
+    """Every lambda expression with a brace body.
+
+    A '[' introduces a lambda when it does not follow a primary
+    expression (identifier, literal, `)`, `]`, or `.`/`->` access) —
+    otherwise it is a subscript — and when, after the balanced ']' and
+    an optional parameter list / specifiers, a '{' follows.
+    """
+    lambdas: list[Lambda] = []
+    n = len(tokens)
+    for i, t in enumerate(tokens):
+        if t.kind != PUNCT or t.text != "[":
+            continue
+        if i > 0:
+            prev = tokens[i - 1]
+            if prev.kind in (IDENT,) and prev.text not in (
+                    "return", "case", "co_return", "co_yield", "throw"):
+                continue  # subscript
+            if prev.kind == PUNCT and prev.text in (")", "]", ".", "->"):
+                continue
+        close = match_paren(tokens, i, "[", "]")
+        if close >= n:
+            continue
+        lam = Lambda(intro_index=i, capture_default="", line=t.line)
+        # Parse the capture list.
+        k = i + 1
+        while k < close:
+            tok = tokens[k]
+            if tok.kind == PUNCT and tok.text == "&":
+                if k + 1 < close and tokens[k + 1].kind == IDENT:
+                    lam.ref_captures.append(tokens[k + 1].text)
+                    k += 2
+                else:
+                    lam.capture_default = "&"
+                    k += 1
+            elif tok.kind == PUNCT and tok.text == "=":
+                lam.capture_default = "="
+                k += 1
+            elif tok.kind == IDENT and tok.text == "this":
+                k += 1
+            elif tok.kind == IDENT:
+                name = tok.text
+                # `name = expr` init-capture (by value) — skip the init.
+                if (k + 1 < close and tokens[k + 1].kind == PUNCT
+                        and tokens[k + 1].text == "="):
+                    k += 2
+                    while k < close and not (tokens[k].kind == PUNCT
+                                             and tokens[k].text == ","):
+                        if tokens[k].kind == PUNCT and tokens[k].text in "([{":
+                            k = match_paren(tokens, k, tokens[k].text,
+                                            {"(": ")", "[": "]",
+                                             "{": "}"}[tokens[k].text])
+                        k += 1
+                    lam.value_captures.append(name)
+                else:
+                    lam.value_captures.append(name)
+                    k += 1
+            else:
+                k += 1
+        # Optional parameter list.
+        j = close + 1
+        if j < n and tokens[j].kind == PUNCT and tokens[j].text == "(":
+            pclose = match_paren(tokens, j)
+            params: list[str] = []
+            last_ident = None
+            depth = 0
+            for k in range(j + 1, min(pclose, n)):
+                tok = tokens[k]
+                if tok.kind == PUNCT and tok.text in "([{<":
+                    depth += 1
+                elif tok.kind == PUNCT and tok.text in ")]}>":
+                    depth -= 1
+                elif depth == 0:
+                    if tok.kind == IDENT:
+                        last_ident = tok.text
+                    elif tok.kind == PUNCT and tok.text in (",", "="):
+                        if last_ident:
+                            params.append(last_ident)
+                        last_ident = None
+            if last_ident:
+                params.append(last_ident)
+            lam.params = params
+            j = pclose + 1
+        # Skip specifiers (mutable, noexcept, -> type) up to the body.
+        guard = 0
+        while j < n and guard < 64:
+            tok = tokens[j]
+            if tok.kind == PUNCT and tok.text == "{":
+                break
+            if tok.kind == PUNCT and tok.text in (";", ")", ","):
+                j = -1
+                break
+            if tok.kind == PUNCT and tok.text == "(":
+                j = match_paren(tokens, j) + 1
+            else:
+                j += 1
+            guard += 1
+        if j is None or j < 0 or j >= n:
+            continue
+        if not (tokens[j].kind == PUNCT and tokens[j].text == "{"):
+            continue
+        lam.body_start = j
+        lam.body_end = match_paren(tokens, j, "{", "}")
+        if lam.body_end >= n:
+            continue
+        lambdas.append(lam)
+    return lambdas

@@ -1,0 +1,8 @@
+#pragma once
+
+// Fixture: target header for the layering fixtures; clean on its own.
+namespace fixture {
+
+int core_api();
+
+}  // namespace fixture

@@ -1,0 +1,29 @@
+// Fixture: hygiene positives — raw clock, naked new/delete, printf,
+// manual lock.
+#include <chrono>
+#include <cstdio>
+#include <mutex>
+
+namespace fixture {
+
+double raw_clock() {
+  const auto t0 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(t0.time_since_epoch()).count();
+}
+
+int* naked_allocation() {
+  int* p = new int[4];
+  delete[] p;
+  return nullptr;
+}
+
+void printf_logging(int value) {
+  std::printf("value=%d\n", value);
+}
+
+void manual_locking(std::mutex& mu) {
+  mu.lock();
+  mu.unlock();
+}
+
+}  // namespace fixture

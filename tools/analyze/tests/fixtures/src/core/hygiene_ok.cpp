@@ -1,0 +1,31 @@
+// Fixture: hygiene negatives — suppressions (modern and legacy
+// spellings) plus RAII locking.
+#include <chrono>
+#include <mutex>
+
+namespace fixture {
+
+double annotated_clock_modern() {
+  // no-raw-clock-ok: fixture exercising the modern suppression
+  const auto t0 = std::chrono::steady_clock::now();
+  return static_cast<double>(t0.time_since_epoch().count());
+}
+
+double annotated_clock_legacy() {
+  // raw-clock-ok: fixture exercising the legacy alias
+  const auto t0 = std::chrono::steady_clock::now();
+  return static_cast<double>(t0.time_since_epoch().count());
+}
+
+void raii_locking(std::mutex& mu) {
+  std::unique_lock<std::mutex> lock(mu);
+  lock.unlock();
+  lock.lock();
+}
+
+struct NoCopy {
+  NoCopy(const NoCopy&) = delete;
+  NoCopy& operator=(const NoCopy&) = delete;
+};
+
+}  // namespace fixture

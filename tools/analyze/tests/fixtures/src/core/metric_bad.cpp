@@ -1,0 +1,15 @@
+// Fixture: metric-name-table positives — a typo'd exact name and a
+// dynamic name built from an undeclared prefix.
+#include <string>
+
+#include "obs/obs.hpp"
+
+namespace fixture {
+
+void emit(mrscan::obs::Registry& reg, const std::string& phase) {
+  reg.add("good.count", 1);
+  reg.add("god.count", 1);
+  reg.set("oops." + phase, 2.0);
+}
+
+}  // namespace fixture

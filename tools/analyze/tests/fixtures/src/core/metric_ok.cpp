@@ -1,0 +1,24 @@
+// Fixture: metric-name-table negatives — table names, declared
+// prefixes, names:: spellings, snapshot reads, and a suppressed
+// migration case.
+#include <string>
+
+#include "obs/names.hpp"
+#include "obs/obs.hpp"
+
+namespace fixture {
+
+void emit(mrscan::obs::Registry& reg, const std::string& phase) {
+  reg.add("good.count", 1);
+  reg.set("good.seconds", 2.0);
+  reg.set(std::string("wall.") + phase, 3.0);
+  reg.add(mrscan::obs::names::kGoodCount, 1);
+  // metric-name-table-ok: legacy series kept one release for dashboards
+  reg.add("legacy.count", 1);
+}
+
+double read(const mrscan::obs::MetricsSnapshot& snap) {
+  return snap.counter("good.count") + snap.gauge("good.seconds");
+}
+
+}  // namespace fixture

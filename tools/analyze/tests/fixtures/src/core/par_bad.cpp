@@ -1,0 +1,31 @@
+// Fixture: par-ref-capture positives — writes to by-ref-captured state
+// inside pool tasks.
+#include <cstddef>
+#include <vector>
+
+#include "util/thread_pool.hpp"
+
+namespace fixture {
+
+void flag_assignment(mrscan::util::ThreadPool& pool) {
+  bool touched = false;
+  pool.parallel_for(0, 8, [&](std::size_t) { touched = true; });
+}
+
+void mutating_call(mrscan::util::ThreadPool& pool) {
+  std::vector<std::size_t> order;
+  pool.parallel_for(0, 8, [&](std::size_t i) { order.push_back(i); });
+}
+
+void shared_counter(mrscan::util::ThreadPool& pool) {
+  std::size_t count = 0;
+  pool.submit([&count] { ++count; });
+}
+
+void foreign_slot(mrscan::util::ThreadPool& pool,
+                  std::vector<int>& out, std::size_t hot) {
+  pool.parallel_for(0, out.size(),
+                    [&out, hot](std::size_t) { out[hot] = 1; });
+}
+
+}  // namespace fixture

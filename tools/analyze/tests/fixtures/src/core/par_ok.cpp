@@ -1,0 +1,49 @@
+// Fixture: par-ref-capture negatives — own-slot writes, atomics, lock
+// guards, value captures, and an annotated benign write.
+#include <atomic>
+#include <cstddef>
+#include <mutex>
+#include <vector>
+
+#include "util/thread_pool.hpp"
+
+namespace fixture {
+
+void own_slot(mrscan::util::ThreadPool& pool, std::vector<int>& out) {
+  pool.parallel_for(0, out.size(),
+                    [&](std::size_t i) { out[i] = static_cast<int>(i); });
+}
+
+void atomic_counter(mrscan::util::ThreadPool& pool) {
+  std::atomic<std::size_t> count{0};
+  pool.parallel_for(0, 8, [&](std::size_t) { count.fetch_add(1); });
+}
+
+void lock_guarded(mrscan::util::ThreadPool& pool,
+                  std::vector<int>& shared, std::mutex& mu) {
+  pool.parallel_for(0, 8, [&](std::size_t i) {
+    std::lock_guard<std::mutex> guard(mu);
+    shared.push_back(static_cast<int>(i));
+  });
+}
+
+void value_capture(mrscan::util::ThreadPool& pool, std::size_t limit) {
+  pool.parallel_for(0, limit, [limit](std::size_t i) {
+    std::size_t local = i + limit;
+    local += 1;
+  });
+}
+
+void reads_are_fine(mrscan::util::ThreadPool& pool,
+                    const std::vector<int>& in, std::vector<int>& out) {
+  pool.parallel_for(0, out.size(),
+                    [&](std::size_t i) { out[i] = in[i] * 2; });
+}
+
+void annotated(mrscan::util::ThreadPool& pool) {
+  bool touched = false;
+  // par-ref-capture-ok: empty range in this fixture; lambda never runs
+  pool.parallel_for(5, 5, [&](std::size_t) { touched = true; });
+}
+
+}  // namespace fixture

@@ -1,0 +1,19 @@
+// Fixture: scratch-scope positive — a QueryScratch shared across pool
+// tasks.
+#include <cstddef>
+#include <vector>
+
+#include "index/query_scratch.hpp"
+#include "util/thread_pool.hpp"
+
+namespace fixture {
+
+void shared_scratch(mrscan::util::ThreadPool& pool,
+                    std::vector<int>& out) {
+  mrscan::index::QueryScratch scratch;
+  pool.parallel_for(0, out.size(), [&](std::size_t i) {
+    out[i] = query(scratch, i);
+  });
+}
+
+}  // namespace fixture

@@ -1,0 +1,35 @@
+// Fixture: scratch-scope negatives — task-local scratch (the blessed
+// pattern), scratch used outside any task, and an annotated share.
+#include <cstddef>
+#include <vector>
+
+#include "index/query_scratch.hpp"
+#include "util/thread_pool.hpp"
+
+namespace fixture {
+
+void task_local_scratch(mrscan::util::ThreadPool& pool,
+                        std::vector<int>& out) {
+  pool.parallel_for(0, out.size(), [&](std::size_t i) {
+    mrscan::index::QueryScratch scratch;
+    out[i] = query(scratch, i);
+  });
+}
+
+int sequential_scratch(std::size_t n) {
+  mrscan::index::QueryScratch scratch;
+  int total = 0;
+  for (std::size_t i = 0; i < n; ++i) total += query(scratch, i);
+  return total;
+}
+
+void annotated_share(mrscan::util::ThreadPool& pool,
+                     std::vector<int>& out) {
+  mrscan::index::QueryScratch scratch;
+  pool.parallel_for(0, out.size(), [&](std::size_t i) {
+    // scratch-scope-ok: single-worker pool in this fixture path
+    out[i] = query(scratch, i);
+  });
+}
+
+}  // namespace fixture

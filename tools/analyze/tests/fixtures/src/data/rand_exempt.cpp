@@ -1,0 +1,13 @@
+// Fixture: src/data/ is the designated home for seeded synthesis, so
+// no-raw-rand stays quiet here by construction.
+#include <cstdlib>
+#include <random>
+
+namespace fixture {
+
+int data_dir_generator() {
+  std::mt19937 gen;
+  return rand() + static_cast<int>(gen());
+}
+
+}  // namespace fixture

@@ -1,0 +1,12 @@
+#pragma once
+
+// Fixture: include-cycle positive (with cycle_b.hpp).
+#include "index/cycle_b.hpp"
+
+namespace fixture {
+
+struct CycleA {
+  int value = 0;
+};
+
+}  // namespace fixture

@@ -1,0 +1,12 @@
+#pragma once
+
+// Fixture: include-cycle positive (with cycle_a.hpp).
+#include "index/cycle_a.hpp"
+
+namespace fixture {
+
+struct CycleB {
+  int value = 0;
+};
+
+}  // namespace fixture

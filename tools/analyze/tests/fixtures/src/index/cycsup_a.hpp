@@ -1,0 +1,13 @@
+#pragma once
+// include-cycle-ok-file: fixture exercising cycle suppression
+
+// Fixture: suppressed include cycle (with cycsup_b.hpp).
+#include "index/cycsup_b.hpp"
+
+namespace fixture {
+
+struct CycSupA {
+  int value = 0;
+};
+
+}  // namespace fixture

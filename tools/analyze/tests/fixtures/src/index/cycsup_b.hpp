@@ -1,0 +1,13 @@
+#pragma once
+
+// Fixture: suppressed include cycle (with cycsup_a.hpp); the
+// suppression lives in cycsup_a.hpp, the cycle's reporting anchor.
+#include "index/cycsup_a.hpp"
+
+namespace fixture {
+
+struct CycSupB {
+  int value = 0;
+};
+
+}  // namespace fixture

@@ -1,0 +1,22 @@
+// Fixture: no-raw-rand positives — C generator, random_device,
+// default-seeded engine.
+#include <cstdlib>
+#include <random>
+
+namespace fixture {
+
+int c_generator() {
+  return rand() % 7;
+}
+
+unsigned hardware_entropy() {
+  std::random_device rd;
+  return rd();
+}
+
+double unseeded_engine() {
+  std::mt19937 gen;
+  return static_cast<double>(gen());
+}
+
+}  // namespace fixture

@@ -1,0 +1,16 @@
+// Fixture: no-raw-rand negatives — suppressed or explicitly seeded.
+#include <cstdlib>
+#include <random>
+
+namespace fixture {
+
+int c_generator_annotated() {
+  return rand() % 7;  // no-raw-rand-ok: fixture exercising suppression
+}
+
+double seeded_engine(unsigned seed) {
+  std::mt19937 gen(seed);
+  return static_cast<double>(gen());
+}
+
+}  // namespace fixture

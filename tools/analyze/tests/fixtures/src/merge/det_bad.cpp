@@ -1,0 +1,32 @@
+// Fixture: det-unordered-iter positives.
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace fixture {
+
+int sum_pairs(const std::unordered_map<int, int>& table) {
+  int total = 0;
+  for (const auto& [key, value] : table) {
+    total += key * value;
+  }
+  return total;
+}
+
+std::vector<std::uint64_t> collect(const std::unordered_set<std::uint64_t>& seen) {
+  std::vector<std::uint64_t> out;
+  out.assign(seen.begin(), seen.end());
+  return out;
+}
+
+int sum_bucket(const std::vector<std::unordered_map<int, int>>& buckets,
+               std::size_t ci) {
+  int total = 0;
+  for (const auto& [key, value] : buckets[ci]) {
+    total += key + value;
+  }
+  return total;
+}
+
+}  // namespace fixture

@@ -1,0 +1,43 @@
+// Fixture: det-unordered-iter negatives — suppressed, sorted, or only
+// mentioned inside strings/comments (lexer coverage).
+#include <algorithm>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace fixture {
+
+int sum_pairs_annotated(const std::unordered_map<int, int>& table) {
+  int total = 0;
+  // det-unordered-iter-ok: addition is commutative; order cannot leak
+  for (const auto& [key, value] : table) {
+    total += key * value;
+  }
+  return total;
+}
+
+std::vector<int> sorted_keys(const std::unordered_map<int, int>& table) {
+  std::vector<int> keys;
+  keys.reserve(table.size());
+  // det-unordered-iter-ok: keys are sorted immediately below
+  keys.assign(table.begin(), table.end());
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
+
+std::string not_code() {
+  // for (const auto& [k, v] : table) { } — commentary, not code
+  return "for (const auto& [k, v] : table) { use(k, v); }";
+}
+
+std::string raw_not_code() {
+  return R"(for (auto it = table.begin(); it != table.end(); ++it) {})";
+}
+
+int ordered_is_fine(const std::vector<int>& values) {
+  int total = 0;
+  for (const int v : values) total += v;
+  return total;
+}
+
+}  // namespace fixture

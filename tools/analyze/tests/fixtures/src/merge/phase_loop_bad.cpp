@@ -1,0 +1,20 @@
+// Fixture: pool-phase-loops positive — a sequential per-segment loop
+// in phase code.
+#include <cstddef>
+#include <vector>
+
+namespace fixture {
+
+struct Segment {
+  int weight = 0;
+};
+
+int sequential_phase(const std::vector<Segment>& segments) {
+  int total = 0;
+  for (std::size_t s = 0; s < segments.size(); ++s) {
+    total += segments[s].weight;
+  }
+  return total;
+}
+
+}  // namespace fixture

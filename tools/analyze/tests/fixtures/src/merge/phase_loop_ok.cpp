@@ -1,0 +1,30 @@
+// Fixture: pool-phase-loops negatives — modern and legacy suppression
+// spellings.
+#include <cstddef>
+#include <vector>
+
+namespace fixture {
+
+struct Segment {
+  int weight = 0;
+};
+
+int annotated_modern(const std::vector<Segment>& segments) {
+  int total = 0;
+  // pool-phase-loops-ok: fold carries a loop dependency; cannot fan out
+  for (std::size_t s = 0; s < segments.size(); ++s) {
+    total += total / 2 + segments[s].weight;
+  }
+  return total;
+}
+
+int annotated_legacy(const std::vector<Segment>& segments) {
+  int total = 0;
+  // sequential-ok: fold carries a loop dependency; cannot fan out
+  for (std::size_t s = 0; s < segments.size(); ++s) {
+    total += total / 2 + segments[s].weight;
+  }
+  return total;
+}
+
+}  // namespace fixture

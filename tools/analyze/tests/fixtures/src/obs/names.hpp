@@ -1,0 +1,10 @@
+#pragma once
+
+// Fixture metric name table (exercises MetricNameTable.load).
+namespace mrscan::obs::names {
+
+inline constexpr const char* kGoodCount = "good.count";
+inline constexpr const char* kGoodSeconds = "good.seconds";
+inline constexpr const char* kWallPrefix = "wall.";
+
+}  // namespace mrscan::obs::names

@@ -1,0 +1,16 @@
+// Fixture: require-validation positive — a pipeline-entry .cpp with no
+// input validation.
+#include <cstddef>
+#include <vector>
+
+namespace fixture {
+
+int sweep_entry(const std::vector<int>& values, std::size_t stride) {
+  int total = 0;
+  for (std::size_t i = 0; i < values.size(); i += stride) {
+    total += values[i];
+  }
+  return total;
+}
+
+}  // namespace fixture

@@ -1,0 +1,11 @@
+// Fixture: require-validation negative — file-level suppression.
+// require-validation-ok-file: constants only; nothing to validate
+#include <cstddef>
+
+namespace fixture {
+
+constexpr std::size_t kSweepFanout = 4;
+
+std::size_t fanout() { return kSweepFanout; }
+
+}  // namespace fixture

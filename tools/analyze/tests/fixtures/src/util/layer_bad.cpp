@@ -1,0 +1,9 @@
+// Fixture: layer-dag positive — util is the floor of the module DAG
+// and must not reach up into core.
+#include "core/fixture_api.hpp"
+
+namespace fixture {
+
+int util_reaching_up() { return core_api(); }
+
+}  // namespace fixture

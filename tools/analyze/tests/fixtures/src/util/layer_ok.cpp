@@ -1,0 +1,9 @@
+// Fixture: layer-dag negative — the same upward include, suppressed at
+// the include line.
+#include "core/fixture_api.hpp"  // layer-dag-ok: fixture exercising suppression
+
+namespace fixture {
+
+int util_reaching_up_annotated() { return core_api(); }
+
+}  // namespace fixture

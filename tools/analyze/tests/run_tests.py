@@ -1,0 +1,212 @@
+#!/usr/bin/env python3
+"""Self-tests for mrscan_analyze.
+
+Covers, per rule: a seeded-violation fixture is detected (positive) and
+the rule's `// <rule>-ok:` suppression actually suppresses (negative) —
+every `*_ok` fixture must be silent. The full fixture run is compared
+against a golden findings JSON, the export is schema-validated, and the
+baseline/lexer/include-graph machinery gets direct unit tests.
+
+Run directly or via CTest (mrscan_analyze_selftest):
+    python3 tools/analyze/tests/run_tests.py
+"""
+
+import json
+import sys
+import tempfile
+import unittest
+from pathlib import Path
+
+HERE = Path(__file__).resolve().parent
+sys.path.insert(0, str(HERE.parent))
+
+from mrscan_analyze import (RULES, analyze, findings_to_json,  # noqa: E402
+                            validate_findings_json)
+from mrscan_analyze.baseline import Baseline  # noqa: E402
+from mrscan_analyze.includes import build_include_graph  # noqa: E402
+from mrscan_analyze.lexer import (COMMENT, IDENT, PP, STRING,  # noqa: E402
+                                  tokenize)
+
+FIXTURES = HERE / "fixtures"
+GOLDEN = HERE / "golden.json"
+
+
+def run_fixture_analysis(baseline_path=None):
+    return analyze(FIXTURES, [FIXTURES / "src"],
+                   baseline_path=baseline_path)
+
+
+class GoldenTest(unittest.TestCase):
+    """The fixture tree must produce exactly the golden findings."""
+
+    def test_matches_golden(self):
+        result = run_fixture_analysis()
+        got = json.loads(findings_to_json(
+            result.findings, checked_files=result.checked_files,
+            rules=sorted(RULES)))
+        want = json.loads(GOLDEN.read_text(encoding="utf-8"))
+        self.assertEqual(want, got,
+                         "fixture findings diverged from golden.json; "
+                         "if the change is intentional, regenerate with "
+                         "tools/analyze/mrscan_analyze.py --repo-root "
+                         "tools/analyze/tests/fixtures src --no-baseline "
+                         "--json tools/analyze/tests/golden.json")
+
+    def test_every_rule_detects_its_seeded_violation(self):
+        found_rules = {f.rule for f in run_fixture_analysis().findings}
+        self.assertEqual(found_rules, set(RULES),
+                         "every registered rule must fire on its fixture")
+
+    def test_suppressed_fixtures_are_silent(self):
+        """Negative half of the contract: `*_ok` fixtures carry the same
+        violations plus suppressions (or live in exempt dirs) and must
+        produce nothing."""
+        silent_markers = ("_ok.cpp", "_ok.hpp", "_exempt.cpp",
+                          "cycsup_a.hpp", "cycsup_b.hpp")
+        noisy = [str(f) for f in run_fixture_analysis().findings
+                 if f.file.endswith(silent_markers)]
+        self.assertEqual(noisy, [])
+
+    def test_legacy_aliases_suppress(self):
+        findings = run_fixture_analysis().findings
+        legacy_files = ("src/core/hygiene_ok.cpp",
+                        "src/merge/phase_loop_ok.cpp")
+        self.assertEqual(
+            [str(f) for f in findings if f.file in legacy_files], [],
+            "// raw-clock-ok: and // sequential-ok: must keep working")
+
+
+class SchemaTest(unittest.TestCase):
+    def test_export_validates(self):
+        result = run_fixture_analysis()
+        doc = json.loads(findings_to_json(
+            result.findings, checked_files=result.checked_files,
+            rules=sorted(RULES)))
+        self.assertEqual(validate_findings_json(doc), [])
+
+    def test_malformed_docs_rejected(self):
+        self.assertTrue(validate_findings_json([]))  # not an object
+        self.assertTrue(validate_findings_json({"schema": "wrong"}))
+        bad_line = {"schema": "mrscan-analyze-findings-v1",
+                    "checked_files": 1, "rules": ["r"],
+                    "findings": [{"rule": "r", "file": "f", "line": 0,
+                                  "message": "m", "snippet": "",
+                                  "baselined": False}]}
+        self.assertTrue(any("line" in p
+                            for p in validate_findings_json(bad_line)))
+        unknown_rule = {"schema": "mrscan-analyze-findings-v1",
+                        "checked_files": 1, "rules": ["r"],
+                        "findings": [{"rule": "other", "file": "f",
+                                      "line": 1, "message": "m",
+                                      "snippet": "", "baselined": False}]}
+        self.assertTrue(any("not in rules" in p
+                            for p in validate_findings_json(unknown_rule)))
+
+
+class BaselineTest(unittest.TestCase):
+    def _write(self, entries):
+        tmp = tempfile.NamedTemporaryFile(
+            "w", suffix=".json", delete=False, encoding="utf-8")
+        json.dump({"schema": "mrscan-analyze-baseline-v1",
+                   "entries": entries}, tmp)
+        tmp.close()
+        self.addCleanup(Path(tmp.name).unlink)
+        return Path(tmp.name)
+
+    def test_matching_entry_baselines_finding(self):
+        path = self._write([{
+            "rule": "metric-name-table", "file": "src/core/metric_bad.cpp",
+            "contains": "god.count",
+            "justification": "fixture: known typo kept for the test"}])
+        result = run_fixture_analysis(baseline_path=path)
+        baselined = [f for f in result.findings if f.baselined]
+        self.assertEqual(len(baselined), 1)
+        self.assertEqual(baselined[0].rule, "metric-name-table")
+        self.assertNotIn(baselined[0], result.active())
+        self.assertEqual(result.stale_baseline, [])
+
+    def test_stale_entry_reported(self):
+        path = self._write([{
+            "rule": "no-raw-rand", "file": "src/does/not_exist.cpp",
+            "contains": "nothing", "justification": "obsolete"}])
+        result = run_fixture_analysis(baseline_path=path)
+        self.assertEqual(len(result.stale_baseline), 1)
+
+    def test_missing_justification_is_a_problem(self):
+        path = self._write([{
+            "rule": "no-raw-rand", "file": "src/io/rand_bad.cpp",
+            "contains": "rand()", "justification": "  "}])
+        baseline = Baseline.load(path)
+        self.assertTrue(any("justification" in p
+                            for p in baseline.problems))
+
+
+class IncludeGraphTest(unittest.TestCase):
+    def test_scan_fallback_finds_edges_and_cycles(self):
+        graph = build_include_graph(FIXTURES, None)
+        self.assertFalse(graph.used_compile_commands)
+        edges = {(e.source, e.target) for e in graph.edges}
+        self.assertIn(("src/util/layer_bad.cpp",
+                       "src/core/fixture_api.hpp"), edges)
+        cycles = graph.find_cycles()
+        flat = ["->".join(c) for c in cycles]
+        self.assertTrue(any("cycle_a" in c and "cycle_b" in c
+                            for c in flat), flat)
+
+    def test_compile_commands_seeding(self):
+        cc = [{"directory": str(FIXTURES),
+               "command": "c++ -c src/util/layer_bad.cpp",
+               "file": "src/util/layer_bad.cpp"}]
+        tmp = tempfile.NamedTemporaryFile(
+            "w", suffix=".json", delete=False, encoding="utf-8")
+        json.dump(cc, tmp)
+        tmp.close()
+        self.addCleanup(Path(tmp.name).unlink)
+        graph = build_include_graph(FIXTURES, Path(tmp.name))
+        self.assertTrue(graph.used_compile_commands)
+        edges = {(e.source, e.target) for e in graph.edges}
+        self.assertIn(("src/util/layer_bad.cpp",
+                       "src/core/fixture_api.hpp"), edges)
+        # Only the listed TU (plus reachable headers) is in the graph.
+        self.assertNotIn("src/io/rand_bad.cpp", graph.files)
+
+
+class LexerTest(unittest.TestCase):
+    def test_comments_and_strings_are_not_code(self):
+        toks = tokenize('int a; // for (x : m)\n'
+                        'const char* s = "rand()";\n'
+                        '/* std::chrono */ int b;\n')
+        code_idents = [t.text for t in toks
+                       if t.kind == IDENT]
+        self.assertIn("a", code_idents)
+        self.assertIn("b", code_idents)
+        self.assertNotIn("rand", code_idents)
+        self.assertNotIn("chrono", code_idents)
+        kinds = {t.kind for t in toks}
+        self.assertIn(COMMENT, kinds)
+        self.assertIn(STRING, kinds)
+
+    def test_raw_strings(self):
+        toks = tokenize('auto s = R"delim(for (x : m) { rand(); })delim";')
+        strings = [t for t in toks if t.kind == STRING]
+        self.assertEqual(len(strings), 1)
+        self.assertNotIn("rand", [t.text for t in toks if t.kind == IDENT])
+
+    def test_preprocessor_lines(self):
+        toks = tokenize('#include "a/b.hpp"  // trailing\n'
+                        '#define TWO \\\n  2\n'
+                        'int x = TWO;\n')
+        pp = [t.text for t in toks if t.kind == PP]
+        self.assertEqual(len(pp), 2)
+        self.assertIn('#include "a/b.hpp"', pp[0])
+        self.assertNotIn("trailing", pp[0])
+        self.assertIn("2", pp[1])
+
+    def test_line_numbers_survive_block_comments(self):
+        toks = tokenize("/* one\ntwo\nthree */\nint after;")
+        after = [t for t in toks if t.kind == IDENT and t.text == "after"]
+        self.assertEqual(after[0].line, 4)
+
+
+if __name__ == "__main__":
+    unittest.main(verbosity=2)
