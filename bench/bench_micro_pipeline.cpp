@@ -179,6 +179,54 @@ BENCHMARK(BM_ClusterPhaseHostThreads)
     ->UseManualTime()
     ->Unit(benchmark::kMillisecond);
 
+// The same cluster-phase fixture on the cell-graph path (DESIGN §12):
+// the head-to-head against BM_ClusterPhaseHostThreads at equal host
+// threads is the tentpole's speedup claim, with identical output
+// (enforced by the differential battery, sampled here per run).
+void BM_ClusterPhaseCellGraph(benchmark::State& state) {
+  const auto points =
+      bench_points(bench::env_u64("MRSCAN_BENCH_MICRO_POINTS", 60000));
+  core::MrScanConfig config;
+  config.params = {0.1, 40};
+  config.leaves = 8;
+  config.fanout = 4;
+  config.partition_nodes = 2;
+  config.host_threads = static_cast<std::size_t>(state.range(0));
+  config.cluster_algo = cluster::ClusterAlgo::kCellGraph;
+  const core::MrScan pipeline(config);
+  std::size_t clusters = 0;
+  double cluster_phase_s = 0.0;
+  std::shared_ptr<obs::Recorder> recorder;
+  for (auto _ : state) {
+    const auto result = pipeline.run(points);
+    cluster_phase_s = result.wall.get("cluster");
+    state.SetIterationTime(cluster_phase_s);
+    clusters = result.cluster_count;
+    recorder = result.obs;
+    benchmark::DoNotOptimize(clusters);
+  }
+  state.SetLabel("8 leaves, " + std::to_string(state.range(0)) +
+                 " host thread(s), cell-graph, " +
+                 std::to_string(clusters) + " clusters");
+  if (recorder) {
+    obs::Registry& reg = recorder->metrics();
+    reg.set("bench.cluster_phase_s", cluster_phase_s);
+    reg.add("bench.host_threads",
+            static_cast<std::uint64_t>(state.range(0)));
+    reg.add("bench.points", points.size());
+    reg.add("bench.cluster_algo", 1);  // 0 = two-pass, 1 = cell-graph
+    bench::write_bench_snapshot(
+        "micro_pipeline_cellgraph_" + std::to_string(state.range(0)) + "t",
+        reg);
+  }
+}
+BENCHMARK(BM_ClusterPhaseCellGraph)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->UseManualTime()
+    ->Unit(benchmark::kMillisecond);
+
 }  // namespace
 
 BENCHMARK_MAIN();

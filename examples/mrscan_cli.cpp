@@ -17,6 +17,9 @@
 //   --host-threads N  host workers for the phase loops (0 = hardware
 //                     concurrency, default 1); output is bit-identical
 //                     for any value (DESIGN §8)
+//   --cluster-algo A  per-leaf cluster formulation: "two-pass" (default)
+//                     or "cell-graph" (DESIGN §12); both yield the same
+//                     clustering
 //   --keep-noise      include noise points (cluster id -1) in the output
 //   --demo N          instead of --input, generate N synthetic tweets
 //   --trace-out PATH  write a Chrome trace-event JSON of the run
@@ -41,7 +44,8 @@ namespace {
   std::fprintf(stderr,
                "usage: %s --input PATH [--output PATH] [--eps F] "
                "[--minpts N] [--leaves N] [--partition-nodes N] "
-               "[--host-threads N] [--keep-noise] [--trace-out PATH] "
+               "[--host-threads N] [--cluster-algo two-pass|cell-graph] "
+               "[--keep-noise] [--trace-out PATH] "
                "[--metrics-out PATH] | --demo N\n",
                argv0);
   std::exit(2);
@@ -67,6 +71,7 @@ int main(int argc, char** argv) {
   std::size_t host_threads = 1;
   bool keep_noise = false;
   std::uint64_t demo_points = 0;
+  auto cluster_algo = cluster::ClusterAlgo::kTwoPass;
   std::string trace_out, metrics_out;
 
   for (int i = 1; i < argc; ++i) {
@@ -89,6 +94,10 @@ int main(int argc, char** argv) {
       partition_nodes = std::strtoull(next(), nullptr, 10);
     } else if (arg == "--host-threads") {
       host_threads = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--cluster-algo") {
+      const auto parsed = cluster::parse_cluster_algo(next());
+      if (!parsed) usage(argv[0]);
+      cluster_algo = *parsed;
     } else if (arg == "--keep-noise") {
       keep_noise = true;
     } else if (arg == "--demo") {
@@ -128,6 +137,7 @@ int main(int argc, char** argv) {
   config.leaves = leaves;
   config.partition_nodes = partition_nodes;
   config.host_threads = host_threads;
+  config.cluster_algo = cluster_algo;
   config.keep_noise = keep_noise;
   if (!trace_out.empty() || !metrics_out.empty()) {
     config.observability.enabled = true;

@@ -20,10 +20,14 @@
 #   7. tidy preset        clang-tidy over every TU (skipped with a notice
 #                         when clang-tidy is not installed)
 #
-# Usage: scripts/check.sh [--quick] [--no-stress] [--jobs N]
+# Usage: scripts/check.sh [--quick] [--no-stress] [--coverage] [--jobs N]
 #   --quick      analyze + default preset only (the fast pre-commit loop)
 #   --no-stress  skip the `stress`-labeled tests in every preset (the
 #                push/PR CI path; a scheduled job runs them)
+#   --coverage   also build + test the `coverage` preset and gate line
+#                coverage of src/gpu/ + src/cluster/ at 80% with
+#                tools/coverage/check_coverage.py; the summary JSON lands
+#                in build-coverage/coverage_summary.json (CI uploads it)
 #   --jobs N     parallelism for builds and ctest (default: nproc)
 set -euo pipefail
 
@@ -32,10 +36,12 @@ cd "$(dirname "$0")/.."
 JOBS=$(nproc 2>/dev/null || echo 2)
 QUICK=0
 NO_STRESS=0
+COVERAGE=0
 for arg in "$@"; do
   case "$arg" in
     --quick) QUICK=1 ;;
     --no-stress) NO_STRESS=1 ;;
+    --coverage) COVERAGE=1 ;;
     --jobs) ;; # value handled below
     --jobs=*) JOBS="${arg#--jobs=}" ;;
     [0-9]*) JOBS="$arg" ;;
@@ -109,11 +115,21 @@ bench_smoke() {
          --benchmark_filter='BM_KDTree' --benchmark_min_time=0.05 \
     && env MRSCAN_BENCH_METRICS_DIR="$dir" MRSCAN_BENCH_MICRO_POINTS=20000 \
          ./build/bench/bench_micro_pipeline \
-         --benchmark_filter='BM_ClusterPhaseHostThreads/1' \
+         --benchmark_filter='BM_ClusterPhase(HostThreads|CellGraph)/1' \
          --benchmark_min_time=0.05 \
     && python3 tools/obs/check_obs_json.py --bench "$dir"/BENCH_*.json
 }
 run_step "bench-smoke" bench_smoke
+
+# Coverage gate: instrumented build + full suite, then the line-coverage
+# check over the GPGPU cluster phase and the cell-graph module. Composes
+# with --quick (the CI coverage job runs `--quick --coverage`).
+if [[ "$COVERAGE" -eq 1 ]]; then
+  run_preset coverage
+  run_step "coverage-gate" python3 tools/coverage/check_coverage.py \
+    --build-dir build-coverage --threshold 80 \
+    --summary build-coverage/coverage_summary.json
+fi
 
 if [[ "$QUICK" -eq 0 ]]; then
   run_preset asan-ubsan

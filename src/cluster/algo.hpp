@@ -1,0 +1,46 @@
+// Cluster-phase algorithm selection.
+//
+// Two interchangeable per-leaf DBSCAN formulations produce the same
+// clustering (proven by the differential battery):
+//   * kTwoPass   — CUDA-DClust-style bulk-issued classification +
+//                  per-core-point BFS wave expansion with the paper's
+//                  dense-box elimination (§3.2.2, §3.2.3). The oracle.
+//   * kCellGraph — the cell-graph formulation (Wang/Gu/Shun; ArborX's
+//                  FDBSCAN): cells of side Eps/(2*sqrt(2)) whose points
+//                  are mutually Eps-reachable, cells holding >= MinPts
+//                  points are core wholesale (a strict generalization
+//                  of the dense-box rule), intra-cell core points union
+//                  for free, and neighboring cells connect through
+//                  bichromatic closest-pair tests that early-exit at
+//                  distance Eps (DESIGN §12).
+#pragma once
+
+#include <optional>
+#include <string_view>
+
+namespace mrscan::cluster {
+
+enum class ClusterAlgo {
+  kTwoPass,
+  kCellGraph,
+};
+
+/// Stable spelling for CLI flags, env overrides, and bench labels.
+constexpr std::string_view to_string(ClusterAlgo algo) {
+  switch (algo) {
+    case ClusterAlgo::kCellGraph:
+      return "cell-graph";
+    case ClusterAlgo::kTwoPass:
+      break;
+  }
+  return "two-pass";
+}
+
+/// Parse the spelling above; nullopt on anything else.
+inline std::optional<ClusterAlgo> parse_cluster_algo(std::string_view s) {
+  if (s == "two-pass") return ClusterAlgo::kTwoPass;
+  if (s == "cell-graph") return ClusterAlgo::kCellGraph;
+  return std::nullopt;
+}
+
+}  // namespace mrscan::cluster

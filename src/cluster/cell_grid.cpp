@@ -1,0 +1,63 @@
+#include "cluster/cell_grid.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace mrscan::cluster {
+
+CellGrid::CellGrid(std::span<const geom::Point> points, double side)
+    : side_(side) {
+  MRSCAN_REQUIRE(side > 0.0);
+  const std::size_t n = points.size();
+  cell_of_point_.assign(n, kNoCell);
+
+  std::vector<std::uint64_t> codes(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    codes[i] = geom::cell_code(key_of(points[i]));
+  }
+
+  // Group points by cell: sort indices by (code, index). Stable order is
+  // part of the determinism contract — members() must not depend on how
+  // the grid was built.
+  members_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    members_[i] = static_cast<std::uint32_t>(i);
+  }
+  std::sort(members_.begin(), members_.end(),
+            [&](std::uint32_t a, std::uint32_t b) {
+              if (codes[a] != codes[b]) return codes[a] < codes[b];
+              return a < b;
+            });
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint64_t code = codes[members_[i]];
+    if (cells_.empty() || cells_.back().code != code) {
+      cells_.push_back(Cell{code, static_cast<std::uint32_t>(i),
+                            static_cast<std::uint32_t>(i)});
+    }
+    cells_.back().end = static_cast<std::uint32_t>(i + 1);
+  }
+
+  lookup_.reserve(cells_.size());
+  for (std::uint32_t c = 0; c < cells_.size(); ++c) {
+    lookup_.emplace(cells_[c].code, c);
+    for (std::uint32_t i = cells_[c].begin; i < cells_[c].end; ++i) {
+      cell_of_point_[members_[i]] = c;
+    }
+  }
+}
+
+double CellGrid::box_dist2(const Cell& a, const Cell& b) const {
+  const geom::CellKey ka = geom::cell_from_code(a.code);
+  const geom::CellKey kb = geom::cell_from_code(b.code);
+  const auto gap = [&](std::int32_t da) {
+    const std::int32_t d = da < 0 ? -da : da;
+    return d <= 1 ? 0.0 : static_cast<double>(d - 1) * side_;
+  };
+  const double gx = gap(ka.ix - kb.ix);
+  const double gy = gap(ka.iy - kb.iy);
+  return gx * gx + gy * gy;
+}
+
+}  // namespace mrscan::cluster

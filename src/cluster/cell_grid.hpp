@@ -1,0 +1,102 @@
+// The cell-graph grid (DESIGN §12).
+//
+// A uniform grid of square cells with side Eps/(2*sqrt(2)): the cell
+// diagonal is Eps/2, so every pair of points sharing a cell is mutually
+// within Eps. Two consequences drive the cell-graph cluster phase:
+//   * a cell holding >= MinPts points makes every one of its points a
+//     core point wholesale — the strict generalization of the paper's
+//     dense-box rule (§3.2.3), which required the KD-tree to happen to
+//     bottom out in a small-enough region;
+//   * all core points of one cell belong to one cluster outright, so
+//     clusters form by connecting *cells*, not points: only cells whose
+//     boxes come within Eps of each other (Chebyshev distance <= 3 at
+//     this side) can contribute an Eps-close core pair.
+//
+// Cells are stored sorted by packed cell code and members are grouped
+// per cell in ascending point-index order — iteration over cells() and
+// members() is deterministic by construction, which is what lets the
+// cluster phase meet the determinism contract (DESIGN §8) and
+// mrscan_analyze's unordered-iteration rules. The code -> ordinal hash
+// map is for point lookups only and is never iterated.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "geometry/cell.hpp"
+#include "geometry/point.hpp"
+
+namespace mrscan::cluster {
+
+/// Cell side for the cell-graph formulation: Eps / (2 * sqrt(2)), i.e. a
+/// cell diagonal of Eps/2.
+inline double cell_graph_side(double eps) {
+  return eps * 0.3535533905932738;  // 1 / (2 * sqrt(2))
+}
+
+/// Cells at Chebyshev distance d have boxes at least (d-1) * side apart;
+/// with side Eps/(2*sqrt(2)) the largest d whose corner gap
+/// sqrt(2)*(d-1)*side can still be <= Eps is 3.
+inline constexpr std::int32_t kCellGraphRings = 3;
+
+class CellGrid {
+ public:
+  struct Cell {
+    std::uint64_t code = 0;   // geom::cell_code of the cell key
+    std::uint32_t begin = 0;  // range into members()
+    std::uint32_t end = 0;
+    std::uint32_t size() const { return end - begin; }
+  };
+
+  static constexpr std::uint32_t kNoCell = 0xffffffffu;
+
+  CellGrid() = default;
+
+  /// Bin `points` into cells of the given side (origin fixed at 0,0 so
+  /// the grid is independent of the leaf's point set — a partition
+  /// boundary never shifts cell membership).
+  CellGrid(std::span<const geom::Point> points, double side);
+
+  double side() const { return side_; }
+
+  /// Occupied cells, ascending by code.
+  std::span<const Cell> cells() const { return cells_; }
+
+  /// Point indices grouped by cell: members()[c.begin, c.end) are cell
+  /// c's points in ascending original-index order.
+  std::span<const std::uint32_t> members() const { return members_; }
+
+  /// Cell ordinal (index into cells()) that owns original point `idx`.
+  std::uint32_t cell_of_point(std::uint32_t idx) const {
+    return cell_of_point_[idx];
+  }
+
+  /// Ordinal of the cell with this code, or kNoCell when unoccupied.
+  std::uint32_t find(std::uint64_t code) const {
+    const auto it = lookup_.find(code);
+    return it == lookup_.end() ? kNoCell : it->second;
+  }
+
+  geom::CellKey key_of(const geom::Point& p) const {
+    return geom::CellKey{
+        static_cast<std::int32_t>(std::floor(p.x / side_)),
+        static_cast<std::int32_t>(std::floor(p.y / side_))};
+  }
+
+  /// Squared minimum distance between the boxes of two cells; 0 for
+  /// touching or identical cells. The Eps-reachability prefilter for
+  /// cell-pair connection.
+  double box_dist2(const Cell& a, const Cell& b) const;
+
+ private:
+  double side_ = 1.0;
+  std::vector<Cell> cells_;
+  std::vector<std::uint32_t> members_;
+  std::vector<std::uint32_t> cell_of_point_;
+  std::unordered_map<std::uint64_t, std::uint32_t> lookup_;
+};
+
+}  // namespace mrscan::cluster

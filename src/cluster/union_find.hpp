@@ -1,8 +1,10 @@
 // Disjoint-set (union-find) with path halving and union by size.
 //
-// Used in three places that mirror the paper: resolving GPGPU block
-// collisions into clusters (§3.2.1), the PDSDBSCAN-style baseline (§2.2),
-// and merging cluster summaries at tree nodes (§3.3.2).
+// Promoted to the shared cluster module: this is the structure every
+// cluster phase leans on — resolving GPGPU block collisions and
+// cell-graph cell connections into clusters (§3.2.1), the
+// PDSDBSCAN-style baseline (§2.2), and merging cluster summaries at
+// tree nodes (§3.3.2).
 #pragma once
 
 #include <cstdint>
@@ -11,7 +13,7 @@
 
 #include "util/assert.hpp"
 
-namespace mrscan::util {
+namespace mrscan::cluster {
 
 class UnionFind {
  public:
@@ -89,4 +91,4 @@ class UnionFind {
   std::vector<std::uint32_t> size_;
 };
 
-}  // namespace mrscan::util
+}  // namespace mrscan::cluster

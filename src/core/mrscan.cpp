@@ -130,6 +130,7 @@ MrScanResult MrScan::run(std::span<const geom::Point> points) const {
   // ---- Cluster phase: GPGPU DBSCAN per leaf (§3.2). ----
   gpu::MrScanGpuConfig gpu_config = config_.gpu;
   gpu_config.params = config_.params;
+  gpu_config.cluster_algo = config_.cluster_algo;
 
   std::optional<fault::FaultInjector> injector;
   if (!config_.fault_plan.empty()) {
@@ -326,6 +327,12 @@ MrScanResult MrScan::run(std::span<const geom::Point> points) const {
     reg.add("gpu.kernel_launches", stats.kernel_launches);
     reg.add("gpu.h2d_transfers", stats.h2d_transfers);
     reg.add("gpu.d2h_transfers", stats.d2h_transfers);
+    reg.add("cluster.cellgraph.cells", stats.cellgraph_cells);
+    reg.add("cluster.cellgraph.core_cells", stats.cellgraph_core_cells);
+    reg.add("cluster.cellgraph.wholesale_points",
+            stats.cellgraph_wholesale_points);
+    reg.add("cluster.cellgraph.bcp_pairs", stats.cellgraph_bcp_pairs);
+    reg.add("cluster.cellgraph.bcp_ops", stats.cellgraph_bcp_ops);
     reg.set_max("gpu.device_seconds_max", stats.device_seconds);
   }
   result.gpu_dbscan_seconds = reg.gauge_value("gpu.device_seconds_max");

@@ -41,8 +41,12 @@ struct MrScanConfig {
   std::size_t fanout = 256;
   /// Partitioner tree leaves ("# of partition nodes", Table 1).
   std::size_t partition_nodes = 2;
-  /// GPGPU DBSCAN settings (params is overwritten from `params`).
+  /// GPGPU DBSCAN settings (params and cluster_algo are overwritten from
+  /// `params` / `cluster_algo`).
   gpu::MrScanGpuConfig gpu;
+  /// Per-leaf cluster formulation (two-pass oracle or cell-graph,
+  /// DESIGN §12). Both yield identical output.
+  cluster::ClusterAlgo cluster_algo = cluster::ClusterAlgo::kTwoPass;
   /// Shadow representative-point optimisation threshold (0 = off).
   std::size_t shadow_rep_threshold = 0;
   /// Partition delivery: Lustre files (evaluated in the paper) or direct

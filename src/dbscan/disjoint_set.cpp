@@ -5,7 +5,7 @@
 #include "index/kdtree.hpp"
 #include "index/query_scratch.hpp"
 #include "util/assert.hpp"
-#include "util/union_find.hpp"
+#include "cluster/union_find.hpp"
 
 namespace mrscan::dbscan {
 
@@ -41,7 +41,7 @@ Labeling dbscan_disjoint_set(std::span<const geom::Point> points,
   }
 
   // Phase 2: union every pair of Eps-adjacent core points.
-  util::UnionFind uf(n);
+  cluster::UnionFind uf(n);
   {
     std::vector<std::uint32_t> cores;
     for (std::uint32_t i = 0; i < n; ++i) {

@@ -7,7 +7,7 @@
 #include "index/kdtree.hpp"
 #include "index/query_scratch.hpp"
 #include "util/assert.hpp"
-#include "util/union_find.hpp"
+#include "cluster/union_find.hpp"
 
 namespace mrscan::gpu {
 
@@ -55,7 +55,7 @@ GpuDbscanResult cuda_dclust(std::span<const geom::Point> points,
   std::vector<State> state(n, State::kUnvisited);
   std::vector<std::uint8_t> was_seed(n, 0);
   std::vector<std::uint32_t> chain(n, kNoChain);
-  util::UnionFind chains;
+  cluster::UnionFind chains;
   std::vector<std::deque<std::uint32_t>> queues(config.block_count);
   std::uint32_t next_seed = 0;
   std::size_t collisions = 0;

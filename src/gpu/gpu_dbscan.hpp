@@ -19,6 +19,14 @@ struct GpuDbscanStats {
   std::uint64_t h2d_transfers = 0;
   std::uint64_t d2h_transfers = 0;
   double device_seconds = 0.0;  // simulated GPU time (kernels + copies)
+
+  // Cell-graph path only (mirrored as cluster.cellgraph.* metrics;
+  // all zero when the leaf ran the two-pass path).
+  std::size_t cellgraph_cells = 0;       // occupied grid cells
+  std::size_t cellgraph_core_cells = 0;  // cells core wholesale (>= MinPts)
+  std::size_t cellgraph_wholesale_points = 0;  // points they cover
+  std::uint64_t cellgraph_bcp_pairs = 0;  // cell pairs closest-pair-tested
+  std::uint64_t cellgraph_bcp_ops = 0;    // distance ops those tests spent
 };
 
 struct GpuDbscanResult {

@@ -1,15 +1,18 @@
 #include "gpu/mrscan_gpu.hpp"
 
+#include <algorithm>
 #include <deque>
 #include <unordered_map>
 #include <vector>
 
+#include "cluster/cell_grid.hpp"
+#include "cluster/union_find.hpp"
+#include "geometry/bbox.hpp"
 #include "gpu/dense_box.hpp"
 #include "gpu/device_layout.hpp"
 #include "index/kdtree.hpp"
 #include "index/query_scratch.hpp"
 #include "util/assert.hpp"
-#include "util/union_find.hpp"
 
 namespace mrscan::gpu {
 
@@ -30,7 +33,7 @@ constexpr std::uint32_t kNoChain = 0xffffffffu;
 void connect_dense_boxes(const index::KDTree& tree, const DenseBoxes& dense,
                          double eps, std::uint32_t block_count,
                          const std::vector<std::uint32_t>& box_chain,
-                         util::UnionFind& chains, std::size_t& collisions,
+                         cluster::UnionFind& chains, std::size_t& collisions,
                          VirtualDevice& device) {
   if (dense.count() < 2) return;
   const double cell = 2.0 * eps;
@@ -107,6 +110,256 @@ void connect_dense_boxes(const index::KDTree& tree, const DenseBoxes& dense,
   device.account_launch(block_ops);
 }
 
+/// Border pass, shared by both cluster paths: attach every non-core point
+/// to a neighbouring core's cluster (lowest core index wins — a
+/// deterministic DBSCAN tie-break). One bulk-issued kernel.
+void attach_border_points(const index::KDTree& tree, double eps,
+                          std::uint32_t block_count,
+                          index::QueryScratch& scratch,
+                          const std::vector<std::uint8_t>& core,
+                          std::vector<std::uint32_t>& chain,
+                          VirtualDevice& device) {
+  const auto n = static_cast<std::uint32_t>(core.size());
+  std::vector<std::uint32_t> border;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    if (!core[i]) border.push_back(i);
+  }
+  std::vector<std::uint64_t> block_ops(block_count, 0);
+  tree.radius_query_many(
+      border, eps, scratch,
+      [&](std::size_t k, std::span<const std::uint32_t> neighbors,
+          std::uint64_t ops) {
+        // Round-robin block assignment, as the rr counter did.
+        block_ops[k % block_count] += ops;
+        std::uint32_t best = kNoChain;
+        for (const std::uint32_t q : neighbors) {
+          if (core[q] && q < best) best = q;
+        }
+        if (best != kNoChain) chain[border[k]] = chain[best];
+      });
+  device.account_launch(block_ops);
+}
+
+/// Resolve per-point chain ids into cluster labels (the one D2H copy),
+/// shared by both cluster paths.
+void resolve_labels(const std::vector<std::uint32_t>& chain,
+                    cluster::UnionFind& chains, GpuDbscanResult& result,
+                    VirtualDevice& device) {
+  const auto n = static_cast<std::uint32_t>(chain.size());
+  device.copy_to_host(n * kLabelBytes);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    if (chain[i] == kNoChain) {
+      result.labels.cluster[i] = dbscan::kNoise;
+    } else {
+      result.labels.cluster[i] =
+          static_cast<dbscan::ClusterId>(chains.find(chain[i]));
+    }
+  }
+  result.labels.renumber();
+  result.stats.chains = chains.size();
+}
+
+/// The cell-graph cluster path (DESIGN §12), after Wang/Gu/Shun's
+/// theoretically-efficient parallel DBSCAN and ArborX's FDBSCAN: instead
+/// of expanding core points one BFS wave at a time, cluster structure is
+/// read off a grid of Eps/(2*sqrt(2)) cells —
+///   1. a cell holding >= MinPts points is core wholesale (every pair of
+///      its points is mutually within Eps: the cell diagonal is Eps/2),
+///      strictly generalizing the dense-box rule; remaining points are
+///      classified exactly with the same early-exiting bulk-issued
+///      counting kernel as the two-pass path;
+///   2. all core points of one cell union for free (one chain per cell);
+///   3. cells whose boxes come within Eps (Chebyshev distance <= 3)
+///      connect through a bichromatic closest-pair test over their core
+///      points, early-exiting at the first pair within Eps.
+/// Border points attach exactly as in the two-pass path, so the label
+/// partition matches the oracle (the differential battery proves it).
+/// Every distance computation is charged to the virtual device, and all
+/// cell iteration is in ascending cell-code order — deterministic for
+/// any host_threads (DESIGN §8).
+GpuDbscanResult cell_graph_dbscan(std::span<const geom::Point> points,
+                                  const MrScanGpuConfig& config,
+                                  VirtualDevice& device) {
+  const double eps = config.params.eps;
+  const std::size_t min_pts = config.params.min_pts;
+  const std::size_t n = points.size();
+
+  GpuDbscanResult result;
+  result.labels.cluster.assign(n, dbscan::kNoise);
+  result.labels.core.assign(n, 0);
+  DeviceStatsDelta delta(device);
+  if (n == 0) {
+    delta.fill(result.stats);
+    return result;
+  }
+
+  // One H2D copy, same as the two-pass path: points plus the KD-tree the
+  // classification and border kernels traverse.
+  index::KDTree tree(
+      points,
+      index::KDTreeConfig{config.max_leaf_points,
+                          config.dense_box ? dense_box_side(eps) : 0.0});
+  device.copy_to_device(n * kPointBytes + tree.node_count() * kTreeNodeBytes);
+
+  index::QueryScratch scratch;
+
+  // Cell binning: one O(n) kernel (one op per point, round-robin over
+  // blocks) plus the O(cells) wholesale-core mark.
+  const cluster::CellGrid grid(points, cluster::cell_graph_side(eps));
+  const auto cells = grid.cells();
+  {
+    std::vector<std::uint64_t> block_ops(config.block_count, 0);
+    for (std::uint32_t b = 0; b < config.block_count; ++b) {
+      block_ops[b] = n / config.block_count +
+                     (b < n % config.block_count ? 1 : 0);
+    }
+    device.account_launch(block_ops);
+    device.account_launch({cells.size()});
+  }
+  result.stats.cellgraph_cells = cells.size();
+
+  // ---- Core classification. Cells with >= MinPts points are core
+  // wholesale; everyone else gets the exact early-exiting count, issued
+  // in the same block_count x points_per_block waves as pass 1 of the
+  // two-pass path.
+  std::vector<std::uint32_t> work;
+  work.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const auto& cell = cells[grid.cell_of_point(i)];
+    if (cell.size() >= min_pts) {
+      result.labels.core[i] = 1;
+    } else {
+      work.push_back(i);
+    }
+  }
+  for (const auto& cell : cells) {
+    if (cell.size() >= min_pts) {
+      ++result.stats.cellgraph_core_cells;
+      result.stats.cellgraph_wholesale_points += cell.size();
+    }
+  }
+  {
+    const std::size_t wave_size =
+        static_cast<std::size_t>(config.block_count) *
+        config.points_per_block;
+    std::vector<std::uint64_t> block_ops;
+    std::size_t cursor = 0;
+    while (cursor < work.size()) {
+      const std::size_t batch = std::min(wave_size, work.size() - cursor);
+      const auto wave =
+          std::span<const std::uint32_t>(work).subspan(cursor, batch);
+      block_ops.assign(config.block_count, 0);
+      tree.count_in_radius_many(
+          wave, eps, min_pts, scratch,
+          [&](std::size_t q, std::size_t found, std::uint64_t ops) {
+            block_ops[q / config.points_per_block] += ops;
+            if (found >= min_pts) result.labels.core[wave[q]] = 1;
+          });
+      device.account_launch(block_ops);
+      cursor += batch;
+    }
+  }
+
+  // ---- Intra-cell unions: one chain per cell with core points; every
+  // core point of the cell joins it for free (mutually within Eps).
+  cluster::UnionFind chains;
+  std::vector<std::uint32_t> chain(n, kNoChain);
+  std::vector<std::uint32_t> cell_chain(cells.size(), kNoChain);
+  // Core members per cell (flattened, cell-code order) and the tight
+  // bounding box of each cell's core points — the Eps prefilter for the
+  // connection kernel below.
+  std::vector<std::uint32_t> core_members;
+  core_members.reserve(n);
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> core_range(
+      cells.size());
+  std::vector<geom::BBox> core_bbox(cells.size());
+  const auto members = grid.members();
+  for (std::uint32_t c = 0; c < cells.size(); ++c) {
+    const auto begin = static_cast<std::uint32_t>(core_members.size());
+    for (std::uint32_t i = cells[c].begin; i < cells[c].end; ++i) {
+      const std::uint32_t p = members[i];
+      if (!result.labels.core[p]) continue;
+      core_members.push_back(p);
+      core_bbox[c].expand(points[p]);
+    }
+    const auto end = static_cast<std::uint32_t>(core_members.size());
+    core_range[c] = {begin, end};
+    if (end == begin) continue;
+    cell_chain[c] = chains.add();
+    for (std::uint32_t i = begin; i < end; ++i) {
+      chain[core_members[i]] = cell_chain[c];
+    }
+  }
+
+  // ---- Cell-graph connection: bichromatic closest-pair tests between
+  // neighbouring core-candidate cells, early-exiting at the first pair
+  // within Eps. Each source cell's comparisons go to one block,
+  // round-robin, exactly like connect_dense_boxes.
+  {
+    const double eps2 = eps * eps;
+    std::vector<std::uint64_t> block_ops(config.block_count, 0);
+    std::uint32_t active = 0;  // round-robin ordinal over core cells
+    for (std::uint32_t ca = 0; ca < cells.size(); ++ca) {
+      if (cell_chain[ca] == kNoChain) continue;
+      std::uint64_t& ops = block_ops[active % config.block_count];
+      ++active;
+      const geom::CellKey key = geom::cell_from_code(cells[ca].code);
+      for (std::int32_t dy = -cluster::kCellGraphRings;
+           dy <= cluster::kCellGraphRings; ++dy) {
+        for (std::int32_t dx = -cluster::kCellGraphRings;
+             dx <= cluster::kCellGraphRings; ++dx) {
+          if (dx == 0 && dy == 0) continue;
+          const std::uint64_t ncode =
+              geom::cell_code(geom::CellKey{key.ix + dx, key.iy + dy});
+          if (ncode <= cells[ca].code) continue;  // each pair tested once
+          const std::uint32_t cb = grid.find(ncode);
+          if (cb == cluster::CellGrid::kNoCell ||
+              cell_chain[cb] == kNoChain) {
+            continue;
+          }
+          if (chains.same(cell_chain[ca], cell_chain[cb])) continue;
+          // Tight prefilter: the cells' core points cannot reach Eps.
+          const geom::BBox& ba = core_bbox[ca];
+          const geom::BBox& bb = core_bbox[cb];
+          const double gx = std::max(
+              {0.0, ba.min_x - bb.max_x, bb.min_x - ba.max_x});
+          const double gy = std::max(
+              {0.0, ba.min_y - bb.max_y, bb.min_y - ba.max_y});
+          if (gx * gx + gy * gy > eps2) continue;
+          ++result.stats.cellgraph_bcp_pairs;
+          bool linked = false;
+          std::uint64_t pair_ops = 0;
+          for (std::uint32_t i = core_range[ca].first;
+               i < core_range[ca].second && !linked; ++i) {
+            const geom::Point& pa = points[core_members[i]];
+            for (std::uint32_t j = core_range[cb].first;
+                 j < core_range[cb].second; ++j) {
+              ++pair_ops;
+              if (geom::dist2(pa, points[core_members[j]]) <= eps2) {
+                linked = true;
+                break;
+              }
+            }
+          }
+          ops += pair_ops;
+          result.stats.cellgraph_bcp_ops += pair_ops;
+          if (linked) {
+            chains.unite(cell_chain[ca], cell_chain[cb]);
+            ++result.stats.collisions;
+          }
+        }
+      }
+    }
+    device.account_launch(block_ops);
+  }
+
+  attach_border_points(tree, eps, config.block_count, scratch,
+                       result.labels.core, chain, device);
+  resolve_labels(chain, chains, result, device);
+  delta.fill(result.stats);
+  return result;
+}
+
 }  // namespace
 
 GpuDbscanResult mrscan_gpu_dbscan(std::span<const geom::Point> points,
@@ -116,6 +369,10 @@ GpuDbscanResult mrscan_gpu_dbscan(std::span<const geom::Point> points,
   MRSCAN_REQUIRE(config.params.min_pts >= 1);
   MRSCAN_REQUIRE(config.block_count >= 1);
   MRSCAN_REQUIRE(config.points_per_block >= 1);
+
+  if (config.cluster_algo == cluster::ClusterAlgo::kCellGraph) {
+    return cell_graph_dbscan(points, config, device);
+  }
 
   const std::size_t n = points.size();
   GpuDbscanResult result;
@@ -153,7 +410,7 @@ GpuDbscanResult mrscan_gpu_dbscan(std::span<const geom::Point> points,
   result.stats.dense_boxes = dense.count();
   result.stats.dense_points = dense.covered_points;
 
-  util::UnionFind chains;
+  cluster::UnionFind chains;
   std::vector<std::uint32_t> chain(n, kNoChain);
 
   // Every dense box is a pre-formed chain; its points are core by
@@ -277,43 +534,9 @@ GpuDbscanResult mrscan_gpu_dbscan(std::span<const geom::Point> points,
                         box_chain, chains, result.stats.collisions, device);
   }
 
-  // ---- Border pass: attach non-core points to a neighbouring core's
-  // cluster (lowest core index wins — a deterministic DBSCAN tie-break).
-  {
-    std::vector<std::uint32_t> border;
-    for (std::uint32_t i = 0; i < n; ++i) {
-      if (!result.labels.core[i]) border.push_back(i);
-    }
-    block_ops.assign(config.block_count, 0);
-    tree.radius_query_many(
-        border, config.params.eps, scratch,
-        [&](std::size_t k, std::span<const std::uint32_t> neighbors,
-            std::uint64_t ops) {
-          // Round-robin block assignment, as the rr counter did.
-          block_ops[k % config.block_count] += ops;
-          std::uint32_t best = kNoChain;
-          for (const std::uint32_t q : neighbors) {
-            if (result.labels.core[q] && q < best) best = q;
-          }
-          if (best != kNoChain) chain[border[k]] = chain[best];
-        });
-    device.account_launch(block_ops);
-  }
-
-  // One D2H copy: the clustered result.
-  device.copy_to_host(n * kLabelBytes);
-
-  for (std::uint32_t i = 0; i < n; ++i) {
-    if (chain[i] == kNoChain) {
-      result.labels.cluster[i] = dbscan::kNoise;
-    } else {
-      result.labels.cluster[i] =
-          static_cast<dbscan::ClusterId>(chains.find(chain[i]));
-    }
-  }
-  result.labels.renumber();
-
-  result.stats.chains = chains.size();
+  attach_border_points(tree, config.params.eps, config.block_count, scratch,
+                       result.labels.core, chain, device);
+  resolve_labels(chain, chains, result, device);
   delta.fill(result.stats);
   return result;
 }

@@ -21,6 +21,7 @@
 
 #include <span>
 
+#include "cluster/algo.hpp"
 #include "dbscan/labels.hpp"
 #include "geometry/point.hpp"
 #include "gpu/gpu_dbscan.hpp"
@@ -35,8 +36,13 @@ struct MrScanGpuConfig {
   std::uint32_t points_per_block = 256;
   /// KD-tree region-leaf capacity.
   std::size_t max_leaf_points = 64;
-  /// Enable the dense box optimisation (off = ablation).
+  /// Enable the dense box optimisation (off = ablation). Two-pass path
+  /// only: the cell-graph path's cell-core rule strictly generalizes it.
   bool dense_box = true;
+  /// Per-leaf cluster formulation: the CUDA-DClust-style two-pass path
+  /// (the oracle) or the cell-graph path (DESIGN §12). Both produce the
+  /// same clustering; the differential battery proves it.
+  cluster::ClusterAlgo cluster_algo = cluster::ClusterAlgo::kTwoPass;
 };
 
 /// Cluster `points` with Mr. Scan's GPGPU DBSCAN on `device`.

@@ -8,7 +8,7 @@
 #include "merge/audit.hpp"
 #include "util/assert.hpp"
 #include "util/audit.hpp"
-#include "util/union_find.hpp"
+#include "cluster/union_find.hpp"
 
 namespace mrscan::merge {
 
@@ -51,7 +51,7 @@ MergeResult merge_summaries(const std::vector<MergeSummary>& children,
       pairs.emplace_back(c, k);
     }
   }
-  util::UnionFind uf(pairs.size());
+  cluster::UnionFind uf(pairs.size());
   auto pair_id = [&](std::uint32_t child, std::uint32_t cluster) {
     return pair_offset[child] + cluster;
   };

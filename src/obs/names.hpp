@@ -88,6 +88,18 @@ inline constexpr const char* kGpuD2hTransfers = "gpu.d2h_transfers";
 inline constexpr const char* kGpuDeviceSecondsMax =
     "gpu.device_seconds_max";
 
+// ---- cell-graph cluster path (core, from gpu::GpuDbscanStats) -----
+inline constexpr const char* kClusterCellgraphCells =
+    "cluster.cellgraph.cells";
+inline constexpr const char* kClusterCellgraphCoreCells =
+    "cluster.cellgraph.core_cells";
+inline constexpr const char* kClusterCellgraphWholesalePoints =
+    "cluster.cellgraph.wholesale_points";
+inline constexpr const char* kClusterCellgraphBcpPairs =
+    "cluster.cellgraph.bcp_pairs";
+inline constexpr const char* kClusterCellgraphBcpOps =
+    "cluster.cellgraph.bcp_ops";
+
 // ---- per-domain network stats ("net.<domain>.<suffix>") -----------
 // Suffixes for mrnet::record_network_stats; full names are
 // kNetPrefix + domain + "." + suffix.
@@ -125,5 +137,7 @@ inline constexpr const char* kBenchPartitionS = "bench.partition_s";
 inline constexpr const char* kBenchClusterMergeS = "bench.cluster_merge_s";
 inline constexpr const char* kBenchSweepS = "bench.sweep_s";
 inline constexpr const char* kBenchGpuDbscanS = "bench.gpu_dbscan_s";
+// Cluster formulation of a bench run: 0 = two-pass, 1 = cell-graph.
+inline constexpr const char* kBenchClusterAlgo = "bench.cluster_algo";
 
 }  // namespace mrscan::obs::names

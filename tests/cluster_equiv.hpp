@@ -1,0 +1,49 @@
+// Label-permutation-invariant clustering comparison for the test
+// batteries.
+//
+// Two labelings describe the same clustering when one maps onto the other
+// by a bijection of cluster ids (noise maps to noise). Comparing them
+// directly is order-fragile — cluster ids fall out of visit order — so
+// both sides are first put in a canonical form: clusters renumbered
+// 0..k-1 by the index of their first member point. Canonical forms are
+// equal if and only if such a bijection exists, which makes the
+// comparison a plain vector ==.
+#pragma once
+
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "dbscan/labels.hpp"
+
+namespace mrscan::test {
+
+/// Renumber cluster ids to 0..k-1 in order of first appearance. Noise
+/// (and any other negative label) is preserved untouched, so a noise /
+/// cluster disagreement always survives canonicalization.
+inline std::vector<dbscan::ClusterId> canonical_relabel(
+    std::span<const dbscan::ClusterId> labels) {
+  std::vector<dbscan::ClusterId> out(labels.size());
+  std::unordered_map<dbscan::ClusterId, dbscan::ClusterId> remap;
+  dbscan::ClusterId next = 0;
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    if (labels[i] < 0) {
+      out[i] = labels[i];
+      continue;
+    }
+    const auto [it, inserted] = remap.emplace(labels[i], next);
+    if (inserted) ++next;
+    out[i] = it->second;
+  }
+  return out;
+}
+
+/// True when `a` and `b` are the same clustering up to a renaming of
+/// cluster ids. Labelings of different length never match.
+inline bool same_clustering(std::span<const dbscan::ClusterId> a,
+                            std::span<const dbscan::ClusterId> b) {
+  if (a.size() != b.size()) return false;
+  return canonical_relabel(a) == canonical_relabel(b);
+}
+
+}  // namespace mrscan::test

@@ -1,0 +1,68 @@
+// Unit tests for the canonical-relabel clustering comparison the
+// differential battery relies on: if this helper were too lax the
+// cell-graph / two-pass equivalence proof would be vacuous.
+#include "cluster_equiv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace mt = mrscan::test;
+using mrscan::dbscan::ClusterId;
+using mrscan::dbscan::kNoise;
+
+namespace {
+using Labels = std::vector<ClusterId>;
+}  // namespace
+
+TEST(ClusterEquiv, CanonicalRelabelNumbersByFirstAppearance) {
+  const Labels in{7, 7, 3, kNoise, 3, 9};
+  const Labels expect{0, 0, 1, kNoise, 1, 2};
+  EXPECT_EQ(mt::canonical_relabel(in), expect);
+}
+
+TEST(ClusterEquiv, CanonicalRelabelIsIdempotent) {
+  const Labels in{5, kNoise, 5, 2, 0, 2};
+  const auto once = mt::canonical_relabel(in);
+  EXPECT_EQ(mt::canonical_relabel(once), once);
+}
+
+TEST(ClusterEquiv, PermutedClusterIdsMatch) {
+  const Labels a{0, 0, 1, 1, 2, kNoise};
+  const Labels b{42, 42, 7, 7, 0, kNoise};
+  EXPECT_TRUE(mt::same_clustering(a, b));
+  EXPECT_TRUE(mt::same_clustering(b, a));
+}
+
+TEST(ClusterEquiv, MergedClustersDoNotMatch) {
+  // b merges a's clusters 0 and 1 into one — the map 0->0, 1->0 is not a
+  // bijection and canonicalization must expose it (in both directions).
+  const Labels a{0, 0, 1, 1};
+  const Labels b{0, 0, 0, 0};
+  EXPECT_FALSE(mt::same_clustering(a, b));
+  EXPECT_FALSE(mt::same_clustering(b, a));
+}
+
+TEST(ClusterEquiv, SplitClusterDoesNotMatch) {
+  const Labels a{3, 3, 3, kNoise};
+  const Labels b{0, 1, 0, kNoise};
+  EXPECT_FALSE(mt::same_clustering(a, b));
+  EXPECT_FALSE(mt::same_clustering(b, a));
+}
+
+TEST(ClusterEquiv, NoiseVersusClusterDoesNotMatch) {
+  const Labels a{0, kNoise, 0};
+  const Labels b{0, 0, 0};
+  EXPECT_FALSE(mt::same_clustering(a, b));
+  EXPECT_FALSE(mt::same_clustering(b, a));
+}
+
+TEST(ClusterEquiv, DifferentLengthsNeverMatch) {
+  const Labels a{0, 0};
+  const Labels b{0, 0, 0};
+  EXPECT_FALSE(mt::same_clustering(a, b));
+}
+
+TEST(ClusterEquiv, EmptyLabelingsMatch) {
+  EXPECT_TRUE(mt::same_clustering(Labels{}, Labels{}));
+}

@@ -15,6 +15,7 @@
 #include <cstdlib>
 #include <string>
 
+#include "cluster_equiv.hpp"
 #include "core/mrscan.hpp"
 #include "data/sdss.hpp"
 #include "data/synthetic.hpp"
@@ -205,6 +206,122 @@ TEST(Differential, FaultMatrixUnderHostThreadsStaysBitIdentical) {
   EXPECT_TRUE(faulty.output == baseline.output)
       << "faulty threaded run diverged from the sequential fault-free run";
   EXPECT_EQ(faulty.cluster_count, baseline.cluster_count);
+}
+
+TEST(Differential, ClusterAlgoSweepAcrossDatasetsStaysBitIdentical) {
+  // The cell-graph and two-pass paths must produce the same clustering on
+  // every dataset shape, with dense-box on and off (two-pass only; the
+  // cell-graph cell-core rule subsumes it), at 1, 2 and 4 host workers —
+  // all bit-identical to the sequential-host two-pass run, which itself
+  // is oracle-checked. Cluster labels are additionally compared with the
+  // canonical-relabel helper, so a cluster-id permutation would still
+  // pass while any partition change fails.
+  struct Dataset {
+    std::string name;
+    mg::PointSet points;
+    double eps;
+    std::size_t min_pts;
+  };
+  std::vector<Dataset> datasets;
+  {
+    mrscan::data::TwitterConfig tw;
+    tw.num_points = 6000;
+    tw.seed = 41;
+    datasets.push_back({"twitter", mrscan::data::generate_twitter(tw),
+                        0.1, 40});
+    mrscan::data::SdssConfig sdss;
+    sdss.num_points = 6000;
+    datasets.push_back({"sdss", mrscan::data::generate_sdss(sdss),
+                        0.00015, 5});
+    const std::vector<mrscan::data::Blob> blobs{{0.0, 0.0, 0.3, 900},
+                                                {8.0, 8.0, 0.4, 700},
+                                                {0.0, 8.0, 0.2, 500}};
+    datasets.push_back(
+        {"blobs",
+         mrscan::data::gaussian_blobs(
+             blobs, 300, mg::BBox{-4.0, -4.0, 12.0, 12.0}, 43),
+         0.3, 5});
+    auto annuli = mrscan::data::annulus(1500, 0.0, 0.0, 1.8, 2.2, 47);
+    const auto inner = mrscan::data::annulus(1200, 0.0, 0.0, 0.6, 0.9, 53,
+                                             /*first_id=*/100000);
+    annuli.insert(annuli.end(), inner.begin(), inner.end());
+    datasets.push_back({"annuli", std::move(annuli), 0.25, 5});
+    datasets.push_back(
+        {"uniform",
+         mrscan::data::uniform_points(
+             2500, mg::BBox{0.0, 0.0, 100.0, 100.0}, 59),
+         0.4, 8});
+  }
+
+  using mrscan::cluster::ClusterAlgo;
+  for (const auto& ds : datasets) {
+    auto base_cfg = make_config(ds.eps, ds.min_pts, 5, 4);
+    base_cfg.host_threads = 1;
+    base_cfg.cluster_algo = ClusterAlgo::kTwoPass;
+    expect_matches_oracle(ds.points, base_cfg, ds.name + " baseline");
+    const auto baseline = mc::MrScan(base_cfg).run(ds.points);
+    const auto baseline_labels = baseline.labels_for(ds.points);
+
+    const struct {
+      ClusterAlgo algo;
+      bool dense_box;
+    } variants[] = {{ClusterAlgo::kTwoPass, false},
+                    {ClusterAlgo::kCellGraph, true},
+                    {ClusterAlgo::kCellGraph, false}};
+    for (const auto& v : variants) {
+      for (const std::size_t threads : {1UL, 2UL, 4UL}) {
+        auto cfg = base_cfg;
+        cfg.cluster_algo = v.algo;
+        cfg.gpu.dense_box = v.dense_box;
+        cfg.host_threads = threads;
+        const auto result = mc::MrScan(cfg).run(ds.points);
+        const std::string context =
+            ds.name + " algo " +
+            std::string(mrscan::cluster::to_string(v.algo)) +
+            " dense_box " + (v.dense_box ? "on" : "off") + " threads " +
+            std::to_string(threads);
+        EXPECT_TRUE(result.output == baseline.output)
+            << context << ": output records differ";
+        EXPECT_EQ(result.cluster_count, baseline.cluster_count) << context;
+        EXPECT_TRUE(mrscan::test::same_clustering(
+            result.labels_for(ds.points), baseline_labels))
+            << context << ": clustering differs up to relabeling";
+      }
+    }
+  }
+}
+
+TEST(Differential, FaultMatrixCoversTheCellGraphPath) {
+  // The PR-2 fault matrix re-run on the cell-graph path: leaf kills,
+  // drops and reorders at 4 host workers must recover to the exact
+  // labeling of the fault-free sequential two-pass run.
+  mrscan::data::TwitterConfig tw;
+  tw.num_points = 8000;
+  tw.seed = 13;
+  const auto points = mrscan::data::generate_twitter(tw);
+
+  auto base_cfg = make_config(0.1, 20, 6, 4);
+  base_cfg.host_threads = 1;
+  const auto baseline = mc::MrScan(base_cfg).run(points);
+  ASSERT_GE(baseline.leaves_used, 3u);
+
+  auto cfg = base_cfg;
+  cfg.cluster_algo = mrscan::cluster::ClusterAlgo::kCellGraph;
+  cfg.host_threads = 4;
+  cfg.fault_plan.seed = 0xfeedULL;
+  cfg.fault_plan.kill(0, /*before_cluster=*/true)
+      .kill(2, /*before_cluster=*/false)
+      .drop(mrscan::fault::kAllNodes, 0)
+      .reorder(mrscan::fault::kAllNodes, 2e-4);
+  cfg.fault_plan.retry.leaf_timeout_s = 2.0;
+  const auto faulty = mc::MrScan(cfg).run(points);
+
+  EXPECT_EQ(faulty.fault.leaves_recovered, 2u);
+  EXPECT_TRUE(faulty.output == baseline.output)
+      << "faulty cell-graph run diverged from the fault-free two-pass run";
+  EXPECT_EQ(faulty.cluster_count, baseline.cluster_count);
+  EXPECT_TRUE(mrscan::test::same_clustering(faulty.labels_for(points),
+                                            baseline.labels_for(points)));
 }
 
 TEST(Differential, UniformNoiseOnlyYieldsNoClustersAnywhere) {

@@ -12,7 +12,6 @@
 #include "util/rng.hpp"
 #include "util/thread_pool.hpp"
 #include "util/timer.hpp"
-#include "util/union_find.hpp"
 
 namespace mu = mrscan::util;
 
@@ -149,56 +148,6 @@ TEST(Rng, ShuffleIsPermutation) {
   EXPECT_NE(v, orig);
   std::sort(v.begin(), v.end());
   EXPECT_EQ(v, orig);
-}
-
-TEST(UnionFind, SingletonsAreDistinct) {
-  mu::UnionFind uf(5);
-  EXPECT_EQ(uf.count_sets(), 5u);
-  for (std::uint32_t i = 0; i < 5; ++i) EXPECT_EQ(uf.find(i), i);
-}
-
-TEST(UnionFind, UniteMergesAndFindAgrees) {
-  mu::UnionFind uf(6);
-  uf.unite(0, 1);
-  uf.unite(2, 3);
-  EXPECT_TRUE(uf.same(0, 1));
-  EXPECT_FALSE(uf.same(1, 2));
-  uf.unite(1, 3);
-  EXPECT_TRUE(uf.same(0, 2));
-  EXPECT_EQ(uf.count_sets(), 3u);  // {0,1,2,3}, {4}, {5}
-}
-
-TEST(UnionFind, SetSizeTracksUnions) {
-  mu::UnionFind uf(4);
-  EXPECT_EQ(uf.set_size(0), 1u);
-  uf.unite(0, 1);
-  uf.unite(0, 2);
-  EXPECT_EQ(uf.set_size(2), 3u);
-}
-
-TEST(UnionFind, AddExtendsStructure) {
-  mu::UnionFind uf(2);
-  const auto id = uf.add();
-  EXPECT_EQ(id, 2u);
-  uf.unite(0, id);
-  EXPECT_TRUE(uf.same(0, 2));
-}
-
-TEST(UnionFind, TransitiveChainCollapses) {
-  const std::uint32_t n = 1000;
-  mu::UnionFind uf(n);
-  for (std::uint32_t i = 0; i + 1 < n; ++i) uf.unite(i, i + 1);
-  EXPECT_EQ(uf.count_sets(), 1u);
-  EXPECT_EQ(uf.set_size(0), n);
-}
-
-TEST(UnionFind, ValidateAcceptsHeavilyUsedStructure) {
-  mu::UnionFind uf(500);
-  for (std::uint32_t i = 0; i < 500; i += 2) uf.unite(i, (i * 7 + 3) % 500);
-  uf.validate();  // aborts on a cyclic or out-of-range parent chain
-  for (std::uint32_t i = 0; i < 500; ++i) uf.find(i);  // full halving
-  uf.validate();
-  SUCCEED();
 }
 
 TEST(PhaseTimer, AccumulatesNamedPhases) {

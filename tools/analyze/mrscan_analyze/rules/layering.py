@@ -22,22 +22,23 @@ ALLOWED_DEPS: dict[str, tuple[str, ...]] = {
     "util": (),
     "geometry": (),
     "obs": ("util",),
+    "cluster": ("geometry", "util"),
     "index": ("geometry", "util"),
     "io": ("geometry", "util"),
     "data": ("geometry", "index", "util"),
-    "dbscan": ("geometry", "index", "util"),
-    "gpu": ("dbscan", "geometry", "index", "util"),
+    "dbscan": ("cluster", "geometry", "index", "util"),
+    "gpu": ("cluster", "dbscan", "geometry", "index", "util"),
     "sim": ("gpu", "util"),
     "fault": ("sim", "util"),
     "mrnet": ("fault", "obs", "sim", "util"),
-    "merge": ("dbscan", "geometry", "mrnet", "util"),
+    "merge": ("cluster", "dbscan", "geometry", "mrnet", "util"),
     "sweep": ("dbscan", "geometry", "merge", "util"),
     "quality": ("dbscan", "geometry", "sweep", "util"),
     "partition": ("geometry", "index", "io", "mrnet", "obs", "sim",
                   "util"),
-    "core": ("data", "dbscan", "fault", "geometry", "gpu", "index", "io",
-             "merge", "mrnet", "obs", "partition", "quality", "sim",
-             "sweep", "util"),
+    "core": ("cluster", "data", "dbscan", "fault", "geometry", "gpu",
+             "index", "io", "merge", "mrnet", "obs", "partition",
+             "quality", "sim", "sweep", "util"),
 }
 
 # Only this module may depend on all three of mrnet, gpu and merge —
