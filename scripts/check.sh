@@ -25,7 +25,8 @@
 #   --no-stress  skip the `stress`-labeled tests in every preset (the
 #                push/PR CI path; a scheduled job runs them)
 #   --coverage   also build + test the `coverage` preset and gate line
-#                coverage of src/gpu/ + src/cluster/ at 80% with
+#                coverage of src/gpu/ + src/cluster/ + src/index/ at 80%
+#                with
 #                tools/coverage/check_coverage.py; the summary JSON lands
 #                in build-coverage/coverage_summary.json (CI uploads it)
 #   --jobs N     parallelism for builds and ctest (default: nproc)
@@ -107,23 +108,28 @@ run_step "obs-smoke" obs_smoke
 # files, and those files must validate. Tiny min_time / fixture sizes —
 # this checks the machinery, not the numbers. (--benchmark_min_time takes
 # a plain double with this google-benchmark version, not "0.05s".)
+# The validated snapshots are copied to the repo root as the canonical
+# BENCH_*.json artifacts (committed, so index-backend regressions show up
+# in review diffs).
 bench_smoke() {
   local dir=build/bench_metrics
   rm -rf "$dir" && mkdir -p "$dir" \
     && env MRSCAN_BENCH_METRICS_DIR="$dir" \
          ./build/bench/bench_micro_index \
-         --benchmark_filter='BM_KDTree' --benchmark_min_time=0.05 \
+         --benchmark_filter='BM_(KDTree|BVH)' --benchmark_min_time=0.05 \
     && env MRSCAN_BENCH_METRICS_DIR="$dir" MRSCAN_BENCH_MICRO_POINTS=20000 \
          ./build/bench/bench_micro_pipeline \
          --benchmark_filter='BM_ClusterPhase(HostThreads|CellGraph)/1' \
          --benchmark_min_time=0.05 \
-    && python3 tools/obs/check_obs_json.py --bench "$dir"/BENCH_*.json
+    && python3 tools/obs/check_obs_json.py --bench "$dir"/BENCH_*.json \
+    && cp "$dir"/BENCH_*.json .
 }
 run_step "bench-smoke" bench_smoke
 
 # Coverage gate: instrumented build + full suite, then the line-coverage
-# check over the GPGPU cluster phase and the cell-graph module. Composes
-# with --quick (the CI coverage job runs `--quick --coverage`).
+# check over the GPGPU cluster phase, the cell-graph module and the
+# spatial index backends. Composes with --quick (the CI coverage job runs
+# `--quick --coverage`).
 if [[ "$COVERAGE" -eq 1 ]]; then
   run_preset coverage
   run_step "coverage-gate" python3 tools/coverage/check_coverage.py \

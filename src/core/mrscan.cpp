@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdlib>
 #include <memory>
 #include <optional>
 #include <string>
@@ -131,6 +132,14 @@ MrScanResult MrScan::run(std::span<const geom::Point> points) const {
   gpu::MrScanGpuConfig gpu_config = config_.gpu;
   gpu_config.params = config_.params;
   gpu_config.cluster_algo = config_.cluster_algo;
+  gpu_config.index_backend = config_.index_backend;
+  // Environment overlay, the same treatment the obs options get: lets the
+  // differential battery and CI sweep the backend without config plumbing.
+  if (const char* env = std::getenv("MRSCAN_INDEX_BACKEND")) {
+    if (const auto parsed = index::parse_backend(env)) {
+      gpu_config.index_backend = *parsed;
+    }
+  }
 
   std::optional<fault::FaultInjector> injector;
   if (!config_.fault_plan.empty()) {
@@ -333,6 +342,7 @@ MrScanResult MrScan::run(std::span<const geom::Point> points) const {
             stats.cellgraph_wholesale_points);
     reg.add("cluster.cellgraph.bcp_pairs", stats.cellgraph_bcp_pairs);
     reg.add("cluster.cellgraph.bcp_ops", stats.cellgraph_bcp_ops);
+    reg.add("gpu.bvh.node_steps", stats.bvh_node_steps);
     reg.set_max("gpu.device_seconds_max", stats.device_seconds);
   }
   result.gpu_dbscan_seconds = reg.gauge_value("gpu.device_seconds_max");

@@ -47,6 +47,10 @@ struct MrScanConfig {
   /// Per-leaf cluster formulation (two-pass oracle or cell-graph,
   /// DESIGN §12). Both yield identical output.
   cluster::ClusterAlgo cluster_algo = cluster::ClusterAlgo::kTwoPass;
+  /// Spatial index the per-leaf kernels traverse (KD-tree oracle or the
+  /// fused-traversal BVH, DESIGN §13). Both yield identical output; run()
+  /// overlays the MRSCAN_INDEX_BACKEND environment override on top.
+  index::Backend index_backend = index::Backend::kKdTree;
   /// Shadow representative-point optimisation threshold (0 = off).
   std::size_t shadow_rep_threshold = 0;
   /// Partition delivery: Lustre files (evaluated in the paper) or direct

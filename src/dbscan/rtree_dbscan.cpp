@@ -54,7 +54,8 @@ Labeling dbscan_rtree(std::span<const geom::Point> points,
       next_frontier.clear();
       tree.radius_query_many(
           frontier, params.eps, scratch,
-          [&](std::size_t k, std::span<const std::uint32_t> neighbors) {
+          [&](std::size_t k, std::span<const std::uint32_t> neighbors,
+              std::uint64_t /*ops*/) {
             if (neighbors.size() < params.min_pts) return;
             result.core[frontier[k]] = 1;
             for (const std::uint32_t nb : neighbors) {

@@ -10,8 +10,9 @@
 
 namespace mrscan::gpu {
 
-void audit_dense_boxes(const DenseBoxes& boxes, const index::KDTree& tree,
-                       double eps, std::size_t min_pts) {
+template <typename Tree>
+void audit_dense_boxes(const DenseBoxes& boxes, const Tree& tree, double eps,
+                       std::size_t min_pts) {
   MRSCAN_AUDIT_ASSERT_MSG(boxes.box_of_point.size() == tree.point_count(),
                           "box map does not cover the point set");
 
@@ -27,7 +28,7 @@ void audit_dense_boxes(const DenseBoxes& boxes, const index::KDTree& tree,
     const std::uint32_t leaf_id = boxes.leaf_ids[ordinal];
     MRSCAN_AUDIT_ASSERT_MSG(leaf_id < leaves.size(),
                             "dense box refers to a nonexistent leaf");
-    const index::KDTree::Leaf& leaf = leaves[leaf_id];
+    const auto& leaf = leaves[leaf_id];
     MRSCAN_AUDIT_ASSERT_MSG(leaf.size() >= min_pts,
                             "dense box below MinPts");
     MRSCAN_AUDIT_ASSERT_MSG(
@@ -59,5 +60,12 @@ void audit_dense_boxes(const DenseBoxes& boxes, const index::KDTree& tree,
   MRSCAN_AUDIT_ASSERT_MSG(mapped == covered,
                           "points mapped to boxes outside marked leaves");
 }
+
+template void audit_dense_boxes<index::KDTree>(const DenseBoxes&,
+                                               const index::KDTree&, double,
+                                               std::size_t);
+template void audit_dense_boxes<index::BVH>(const DenseBoxes&,
+                                            const index::BVH&, double,
+                                            std::size_t);
 
 }  // namespace mrscan::gpu

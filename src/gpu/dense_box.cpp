@@ -6,7 +6,8 @@
 
 namespace mrscan::gpu {
 
-DenseBoxes detect_dense_boxes(const index::KDTree& tree, double eps,
+template <typename Tree>
+DenseBoxes detect_dense_boxes(const Tree& tree, double eps,
                               std::size_t min_pts) {
   MRSCAN_REQUIRE(eps > 0.0);
   MRSCAN_REQUIRE(min_pts >= 1);
@@ -33,5 +34,10 @@ DenseBoxes detect_dense_boxes(const index::KDTree& tree, double eps,
   }
   return result;
 }
+
+template DenseBoxes detect_dense_boxes<index::KDTree>(const index::KDTree&,
+                                                      double, std::size_t);
+template DenseBoxes detect_dense_boxes<index::BVH>(const index::BVH&, double,
+                                                   std::size_t);
 
 }  // namespace mrscan::gpu

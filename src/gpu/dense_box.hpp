@@ -6,13 +6,15 @@
 // diagonal of at most Eps, so every pair of its points is mutually within
 // Eps; with at least MinPts points, every one of them is a core point —
 // membership is inferred, not computed. The sub-divisions come for free
-// from the region-leaf KD-tree (§3.2.1), so detection is O(l) in the number
-// of leaves.
+// from the region-leaf KD-tree (§3.2.1) — or from the BVH's Morton-run
+// leaves, which stop splitting under the same extent rule — so detection
+// is O(l) in the number of leaves for either backend.
 #pragma once
 
 #include <cstdint>
 #include <vector>
 
+#include "index/bvh.hpp"
 #include "index/kdtree.hpp"
 
 namespace mrscan::gpu {
@@ -21,7 +23,7 @@ namespace mrscan::gpu {
 inline double dense_box_side(double eps) { return eps * 0.7071067811865476; }
 
 struct DenseBoxes {
-  /// Leaf ids (into KDTree::leaves()) that qualified as dense boxes.
+  /// Leaf ids (into the tree's leaves()) that qualified as dense boxes.
   std::vector<std::uint32_t> leaf_ids;
   /// Per original point index: the dense-box ordinal that owns the point
   /// (index into leaf_ids), or kNone.
@@ -38,8 +40,10 @@ struct DenseBoxes {
 };
 
 /// Scan the tree's leaves and mark dense boxes. Worst case O(l) plus O(p)
-/// to flag covered points.
-DenseBoxes detect_dense_boxes(const index::KDTree& tree, double eps,
+/// to flag covered points. Instantiated for index::KDTree and index::BVH
+/// (both expose the region-leaf interface the scan reads).
+template <typename Tree>
+DenseBoxes detect_dense_boxes(const Tree& tree, double eps,
                               std::size_t min_pts);
 
 }  // namespace mrscan::gpu

@@ -25,6 +25,7 @@
 #include "dbscan/labels.hpp"
 #include "geometry/point.hpp"
 #include "gpu/gpu_dbscan.hpp"
+#include "index/backend.hpp"
 
 namespace mrscan::gpu {
 
@@ -43,6 +44,11 @@ struct MrScanGpuConfig {
   /// (the oracle) or the cell-graph path (DESIGN §12). Both produce the
   /// same clustering; the differential battery proves it.
   cluster::ClusterAlgo cluster_algo = cluster::ClusterAlgo::kTwoPass;
+  /// Spatial index the kernels traverse: the region-leaf KD-tree (the
+  /// oracle, materializing neighbor spans) or the Morton-ordered BVH with
+  /// fused traversal and per-node-step cost charging (DESIGN §13). Both
+  /// produce the same clustering; the differential battery proves it.
+  index::Backend index_backend = index::Backend::kKdTree;
 };
 
 /// Cluster `points` with Mr. Scan's GPGPU DBSCAN on `device`.

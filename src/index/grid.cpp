@@ -49,23 +49,18 @@ std::span<const std::uint32_t> Grid::points_in(geom::CellKey key) const {
 }
 
 std::size_t Grid::count_in_radius(const geom::Point& p, double radius,
-                                  std::size_t at_least) const {
-  MRSCAN_REQUIRE_MSG(radius <= geometry_.cell_size,
-                     "grid cell size must be >= query radius");
-  const double r2 = radius * radius;
-  const geom::CellKey c = geometry_.cell_of(p);
+                                  std::size_t at_least,
+                                  std::uint64_t* ops) const {
+  // Deduplicated onto the ring scan: the bool-returning callback gives the
+  // early exit once `at_least` neighbours are seen.
   std::size_t count = 0;
-  for (std::int32_t dy = -1; dy <= 1; ++dy) {
-    for (std::int32_t dx = -1; dx <= 1; ++dx) {
-      for (std::uint32_t idx :
-           points_in(geom::CellKey{c.ix + dx, c.iy + dy})) {
-        if (geom::dist2(p, points_[idx]) <= r2) {
-          ++count;
-          if (at_least != 0 && count >= at_least) return count;
-        }
-      }
-    }
-  }
+  for_each_in_radius(
+      p, radius,
+      [&](std::uint32_t) {
+        ++count;
+        return at_least == 0 || count < at_least;
+      },
+      ops);
   return count;
 }
 

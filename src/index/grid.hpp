@@ -9,8 +9,10 @@
 // sorted by code, and per-cell point index lists are contiguous.
 #pragma once
 
+#include <cmath>
 #include <cstdint>
 #include <span>
+#include <type_traits>
 #include <vector>
 
 #include "geometry/cell.hpp"
@@ -43,53 +45,78 @@ class Grid {
     return points_in(key).size();
   }
 
-  /// Visit indices of every point within `radius` of `p` (inclusive).
-  /// Requires radius <= cell_size; enforced.
+  /// Visit indices of every point within `radius` of `p` (inclusive). The
+  /// scan covers ceil(radius / cell_size) rings of cells around p's cell —
+  /// the classic 3x3 scan is the radius <= cell_size case — so any radius
+  /// is answered exactly instead of silently dropping neighbours beyond
+  /// the first ring. A callback returning bool may stop the scan early by
+  /// returning false; `ops` (when non-null) accumulates the distance tests
+  /// performed, the work unit the virtual GPU's cost model charges for.
   template <typename Fn>
-  void for_each_in_radius(const geom::Point& p, double radius,
-                          Fn&& fn) const {
+  void for_each_in_radius(const geom::Point& p, double radius, Fn&& fn,
+                          std::uint64_t* ops = nullptr) const {
     const double r2 = radius * radius;
     const geom::CellKey c = geometry_.cell_of(p);
-    for (std::int32_t dy = -1; dy <= 1; ++dy) {
-      for (std::int32_t dx = -1; dx <= 1; ++dx) {
+    const auto rings = static_cast<std::int32_t>(
+        std::ceil(radius / geometry_.cell_size));
+    std::uint64_t work = 0;
+    bool stop = false;
+    for (std::int32_t dy = -rings; dy <= rings && !stop; ++dy) {
+      for (std::int32_t dx = -rings; dx <= rings && !stop; ++dx) {
         for (std::uint32_t idx :
              points_in(geom::CellKey{c.ix + dx, c.iy + dy})) {
-          if (geom::dist2(p, points_[idx]) <= r2) fn(idx);
+          ++work;
+          if (geom::dist2(p, points_[idx]) > r2) continue;
+          if constexpr (std::is_void_v<
+                            std::invoke_result_t<Fn&, std::uint32_t>>) {
+            fn(idx);
+          } else {
+            if (!fn(idx)) {
+              stop = true;
+              break;
+            }
+          }
         }
       }
     }
+    if (ops) *ops += work;
   }
 
   /// Eps-neighbourhood size of p, with early exit once `at_least` neighbours
   /// are seen (0 = count all). The point itself counts as its own neighbour
   /// when it is a member of the indexed set, matching classic DBSCAN.
+  /// `ops` as in for_each_in_radius.
   std::size_t count_in_radius(const geom::Point& p, double radius,
-                              std::size_t at_least = 0) const;
+                              std::size_t at_least = 0,
+                              std::uint64_t* ops = nullptr) const;
 
   /// Collect neighbour indices into `scratch.results` (cleared first) and
   /// return them as a span, valid until the next query through `scratch`.
   /// Grid traversal needs no stack; the scratch supplies the reusable
   /// result buffer so the query path stays allocation-free once warm, the
-  /// same engine contract as KDTree / RTree. Requires radius <= cell_size.
-  std::span<const std::uint32_t> radius_query(const geom::Point& p,
-                                              double radius,
-                                              QueryScratch& scratch) const {
+  /// same engine contract as KDTree / RTree / BVH.
+  std::span<const std::uint32_t> radius_query(
+      const geom::Point& p, double radius, QueryScratch& scratch,
+      std::uint64_t* ops = nullptr) const {
     auto& out = scratch.results;
     out.clear();
-    for_each_in_radius(p, radius,
-                       [&](std::uint32_t idx) { out.push_back(idx); });
+    for_each_in_radius(
+        p, radius, [&](std::uint32_t idx) { out.push_back(idx); }, ops);
     return out;
   }
 
   /// Batched collection over point indices into the indexed span:
-  /// fn(q, neighbors) per query, in order; neighbors borrows
+  /// fn(q, neighbors, ops) per query, in order; neighbors borrows
   /// scratch.results.
   template <typename Fn>
   void radius_query_many(std::span<const std::uint32_t> queries,
                          double radius, QueryScratch& scratch,
                          Fn&& fn) const {
     for (std::size_t q = 0; q < queries.size(); ++q) {
-      fn(q, radius_query(points_[queries[q]], radius, scratch));
+      std::uint64_t ops = 0;
+      const auto neighbors =
+          radius_query(points_[queries[q]], radius, scratch, &ops);
+      fn(q, neighbors, ops);
     }
   }
 

@@ -302,11 +302,13 @@ std::size_t RTree::height() const {
 }
 
 std::span<const std::uint32_t> RTree::radius_query(
-    const geom::Point& p, double radius, QueryScratch& scratch) const {
+    const geom::Point& p, double radius, QueryScratch& scratch,
+    std::uint64_t* ops) const {
   auto& out = scratch.results;
   out.clear();
   if (root_ == kNone) return out;
   const double r2 = radius * radius;
+  std::uint64_t work = 0;
   auto& stack = scratch.stack;
   stack.clear();
   stack.push_back(root_);
@@ -316,6 +318,7 @@ std::span<const std::uint32_t> RTree::radius_query(
     if (node.box.dist2_to(p) > r2) continue;
     if (node.leaf) {
       for (const std::uint32_t idx : node.entries) {
+        ++work;
         if (geom::dist2(p, points_[idx]) <= r2) out.push_back(idx);
       }
     } else {
@@ -327,15 +330,18 @@ std::span<const std::uint32_t> RTree::radius_query(
       }
     }
   }
+  if (ops) *ops += work;
   return out;
 }
 
 std::size_t RTree::count_in_radius(const geom::Point& p, double radius,
                                    QueryScratch& scratch,
-                                   std::size_t at_least) const {
+                                   std::size_t at_least,
+                                   std::uint64_t* ops) const {
   if (root_ == kNone) return 0;
   const double r2 = radius * radius;
   std::size_t count = 0;
+  std::uint64_t work = 0;
   auto& stack = scratch.stack;
   stack.clear();
   stack.push_back(root_);
@@ -345,28 +351,37 @@ std::size_t RTree::count_in_radius(const geom::Point& p, double radius,
     if (node.box.dist2_to(p) > r2) continue;
     if (node.leaf) {
       for (const std::uint32_t idx : node.entries) {
+        ++work;
         if (geom::dist2(p, points_[idx]) <= r2) {
           ++count;
-          if (at_least != 0 && count >= at_least) return count;
+          if (at_least != 0 && count >= at_least) {
+            if (ops) *ops += work;
+            return count;
+          }
         }
       }
     } else {
       for (const std::uint32_t child : node.entries) stack.push_back(child);
     }
   }
+  if (ops) *ops += work;
   return count;
 }
 
 void RTree::radius_query(const geom::Point& p, double radius,
-                         std::vector<std::uint32_t>& out) const {
-  out.clear();
-  for_each_in_radius(p, radius, [&](std::uint32_t idx) { out.push_back(idx); });
+                         std::vector<std::uint32_t>& out,
+                         std::uint64_t* ops) const {
+  QueryScratch scratch;
+  scratch.results.swap(out);  // reuse the caller's capacity
+  radius_query(p, radius, scratch, ops);
+  scratch.results.swap(out);
 }
 
 std::size_t RTree::count_in_radius(const geom::Point& p, double radius,
-                                   std::size_t at_least) const {
+                                   std::size_t at_least,
+                                   std::uint64_t* ops) const {
   QueryScratch scratch;
-  return count_in_radius(p, radius, scratch, at_least);
+  return count_in_radius(p, radius, scratch, at_least, ops);
 }
 
 void RTree::check_invariants() const {

@@ -57,34 +57,43 @@ class RTree {
   /// Collect neighbour indices into `scratch.results` (cleared first) and
   /// return them as a span, valid until the next query through `scratch`.
   /// Same preorder DFS neighbor order as the recursive for_each_in_radius,
-  /// and allocation-free once `scratch` is warm.
-  std::span<const std::uint32_t> radius_query(const geom::Point& p,
-                                              double radius,
-                                              QueryScratch& scratch) const;
+  /// and allocation-free once `scratch` is warm. If `ops` is non-null it
+  /// is incremented by the point distance tests performed — the same
+  /// cost-model work unit KDTree reports.
+  std::span<const std::uint32_t> radius_query(
+      const geom::Point& p, double radius, QueryScratch& scratch,
+      std::uint64_t* ops = nullptr) const;
 
   std::size_t count_in_radius(const geom::Point& p, double radius,
                               QueryScratch& scratch,
-                              std::size_t at_least = 0) const;
+                              std::size_t at_least = 0,
+                              std::uint64_t* ops = nullptr) const;
 
   /// Batched neighbourhood collection over point indices (indices into the
-  /// attached span): fn(q, neighbors) per query, in order. The neighbor
-  /// span borrows scratch.results — consume it before the next query runs.
+  /// attached span): fn(q, neighbors, ops) per query, in order. The
+  /// neighbor span borrows scratch.results — consume it before the next
+  /// query runs.
   template <typename Fn>
   void radius_query_many(std::span<const std::uint32_t> queries,
                          double radius, QueryScratch& scratch,
                          Fn&& fn) const {
     for (std::size_t q = 0; q < queries.size(); ++q) {
-      fn(q, radius_query(points_[queries[q]], radius, scratch));
+      std::uint64_t ops = 0;
+      const auto neighbors =
+          radius_query(points_[queries[q]], radius, scratch, &ops);
+      fn(q, neighbors, ops);
     }
   }
 
   /// Convenience overloads that allocate per call; hot paths thread a
   /// QueryScratch instead.
   void radius_query(const geom::Point& p, double radius,
-                    std::vector<std::uint32_t>& out) const;
+                    std::vector<std::uint32_t>& out,
+                    std::uint64_t* ops = nullptr) const;
 
   std::size_t count_in_radius(const geom::Point& p, double radius,
-                              std::size_t at_least = 0) const;
+                              std::size_t at_least = 0,
+                              std::uint64_t* ops = nullptr) const;
 
   /// Internal invariant check (entry counts, box containment); throws on
   /// violation. Used by the property tests.

@@ -8,10 +8,12 @@
 
 #include "data/synthetic.hpp"
 #include "geometry/point.hpp"
+#include "index/bvh.hpp"
 #include "index/cell_histogram.hpp"
 #include "index/grid.hpp"
 #include "index/kdtree.hpp"
 #include "index/query_scratch.hpp"
+#include "index/rtree.hpp"
 #include "util/rng.hpp"
 
 namespace mg = mrscan::geom;
@@ -89,10 +91,91 @@ TEST(Grid, CountInRadiusEarlyExit) {
   EXPECT_EQ(grid.count_in_radius(q, eps, exact + 10), exact);
 }
 
-TEST(Grid, RejectsRadiusLargerThanCell) {
-  const auto pts = random_points(10, 5);
-  mi::Grid grid(mg::GridGeometry{0.0, 0.0, 0.5}, pts);
-  EXPECT_THROW(grid.count_in_radius(pts[0], 0.6), std::invalid_argument);
+TEST(Grid, WideRadiusScansEnoughRings) {
+  // Regression: radius > cell_size used to scan only the 3x3 cell block and
+  // silently drop every neighbour in the outer rings. The ring count now
+  // widens with the radius, so a query at 1.5x the cell size must match the
+  // brute-force oracle through every query API.
+  const auto pts = random_points(600, 5);
+  const double cell = 0.5;
+  const double radius = 1.5 * cell;
+  mi::Grid grid(mg::GridGeometry{0.0, 0.0, cell}, pts);
+  mi::QueryScratch scratch;
+  mrscan::util::Rng rng(6);
+  for (int trial = 0; trial < 30; ++trial) {
+    const mg::Point q{0, rng.uniform(-1.0, 11.0), rng.uniform(-1.0, 11.0),
+                      1.0f};
+    const auto expect = brute_radius(pts, q, radius);
+
+    std::set<std::uint32_t> got;
+    grid.for_each_in_radius(q, radius,
+                            [&](std::uint32_t i) { got.insert(i); });
+    EXPECT_EQ(got, expect);
+    EXPECT_EQ(grid.count_in_radius(q, radius), expect.size());
+    const auto span_out = grid.radius_query(q, radius, scratch);
+    EXPECT_EQ(std::set<std::uint32_t>(span_out.begin(), span_out.end()),
+              expect);
+  }
+}
+
+TEST(Index, EveryBackendReportsNonZeroOps) {
+  // Cost-model parity (DESIGN §13): all four index backends answer the
+  // same query with ops accounting. A backend reporting zero ops would
+  // silently undercount the K20 cost model.
+  const auto pts = random_points(800, 40);
+  const double r = 0.9;
+  const mg::Point q{0, 5.0, 5.0, 1.0f};
+  const std::size_t expect = brute_radius(pts, q, r).size();
+  ASSERT_GT(expect, 4u) << "query must hit enough points to be interesting";
+
+  mi::KDTree kdtree(pts, mi::KDTreeConfig{16, 0.0});
+  mi::BVH bvh(pts, mi::BVHConfig{16, 0.0});
+  mi::RTree rtree(pts, mi::RTreeConfig{});
+  mi::Grid grid(mg::GridGeometry{0.0, 0.0, r}, pts);
+  mi::QueryScratch scratch;
+
+  std::uint64_t kd_ops = 0, bvh_ops = 0, bvh_steps = 0, rt_ops = 0,
+                grid_ops = 0;
+  EXPECT_EQ(kdtree.count_in_radius(q, r, scratch, 0, &kd_ops), expect);
+  EXPECT_EQ(bvh.count_in_radius(q, r, scratch, 0, &bvh_ops, &bvh_steps),
+            expect);
+  EXPECT_EQ(rtree.count_in_radius(q, r, scratch, 0, &rt_ops), expect);
+  EXPECT_EQ(grid.count_in_radius(q, r, 0, &grid_ops), expect);
+
+  EXPECT_GT(kd_ops, 0u);
+  EXPECT_GT(bvh_ops, 0u);
+  EXPECT_GT(bvh_steps, 0u);
+  EXPECT_GT(rt_ops, 0u);
+  EXPECT_GT(grid_ops, 0u);
+  // Every backend examined at least the points it returned.
+  EXPECT_GE(kd_ops, expect);
+  EXPECT_GE(bvh_ops, expect);
+  EXPECT_GE(rt_ops, expect);
+  EXPECT_GE(grid_ops, expect);
+
+  // Early exit is monotone on every backend: a smaller at_least target can
+  // only examine fewer (or equally many) points.
+  auto expect_monotone = [&](auto count_with) {
+    std::uint64_t ops1 = 0, ops4 = 0, ops_all = 0;
+    count_with(1, &ops1);
+    count_with(4, &ops4);
+    count_with(0, &ops_all);
+    EXPECT_LE(ops1, ops4);
+    EXPECT_LE(ops4, ops_all);
+    EXPECT_GT(ops1, 0u);
+  };
+  expect_monotone([&](std::size_t at_least, std::uint64_t* ops) {
+    kdtree.count_in_radius(q, r, scratch, at_least, ops);
+  });
+  expect_monotone([&](std::size_t at_least, std::uint64_t* ops) {
+    bvh.count_in_radius(q, r, scratch, at_least, ops);
+  });
+  expect_monotone([&](std::size_t at_least, std::uint64_t* ops) {
+    rtree.count_in_radius(q, r, scratch, at_least, ops);
+  });
+  expect_monotone([&](std::size_t at_least, std::uint64_t* ops) {
+    grid.count_in_radius(q, r, at_least, ops);
+  });
 }
 
 TEST(Grid, EmptyPointSet) {
