@@ -1,0 +1,112 @@
+// bench_serve: epoch latency of the long-lived clustering service
+// (serve::ClusterService, DESIGN §14) as a function of epoch batch size.
+//
+// One seeded mutation stream (data::generate_mutation_stream — the same
+// workload the differential battery replays) is driven through the
+// service with an epoch every 1 / 8 / 64 / 256 mutations. Small batches
+// measure per-epoch fixed cost (snapshot materialization is O(live));
+// large batches measure how the dirty-region recompute amortizes. Each
+// batch size exports "bench.serve.batch<N>.*" gauges (mean epoch wall
+// ms, mean re-clustered points per epoch, epochs run) into
+// BENCH_serve_epoch.json for the CI bench-smoke validator — the
+// recluster gauge staying well below the live point count at small
+// batches is the incrementality claim in exportable form.
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <string>
+
+#include "common/experiment.hpp"
+#include "data/stream.hpp"
+#include "obs/names.hpp"
+#include "obs/registry.hpp"
+#include "serve/service.hpp"
+
+namespace {
+
+using namespace mrscan;
+
+// Gauges accumulated across all batch sizes, exported once from main().
+obs::Registry g_registry;
+
+const data::MutationStream& bench_stream() {
+  static const data::MutationStream stream = [] {
+    data::StreamConfig config;
+    config.distribution = data::StreamDistribution::kTwitter;
+    config.initial_points =
+        bench::env_u64("MRSCAN_BENCH_SERVE_INITIAL", 20000);
+    config.mutations = bench::env_u64("MRSCAN_BENCH_SERVE_MUTATIONS", 512);
+    config.remove_fraction = 0.35;
+    return data::generate_mutation_stream(config);
+  }();
+  return stream;
+}
+
+void BM_ServeEpoch(benchmark::State& state) {
+  const data::MutationStream& stream = bench_stream();
+  const std::size_t batch = static_cast<std::size_t>(state.range(0));
+
+  serve::ServeConfig config;
+  config.params = {0.05, 5};
+  config.host_threads = static_cast<std::size_t>(
+      bench::env_u64("MRSCAN_BENCH_HOST_THREADS", 1));
+
+  std::uint64_t epochs = 0;
+  std::uint64_t recluster = 0;
+  std::uint64_t live = 0;
+  double epoch_wall = 0.0;
+  for (auto _ : state) {
+    state.PauseTiming();  // bootstrap is the batch pipeline's cost
+    serve::ClusterService service(config);
+    service.bootstrap(stream.initial);
+    state.ResumeTiming();
+
+    std::size_t in_batch = 0;
+    auto run_epoch = [&] {
+      const serve::EpochResult r = service.advance_epoch();
+      epoch_wall += r.stats.wall_seconds;
+      recluster += r.stats.recluster_points;
+      ++epochs;
+      in_batch = 0;
+    };
+    for (const auto& m : stream.mutations) {
+      if (m.kind == data::Mutation::Kind::kInsert) {
+        service.insert(m.point);
+      } else {
+        service.remove(m.point.id);
+      }
+      if (++in_batch == batch) run_epoch();
+    }
+    if (in_batch > 0) run_epoch();
+    live = service.live_points();
+    benchmark::DoNotOptimize(live);
+  }
+  state.SetItemsProcessed(
+      state.iterations() *
+      static_cast<std::int64_t>(stream.mutations.size()));
+  state.counters["live"] = static_cast<double>(live);
+
+  auto set_gauge = [&](const std::string& suffix, double value) {
+    g_registry.set(std::string(obs::names::kBenchServePrefix) + "batch" +
+                       std::to_string(batch) + "." + suffix,
+                   value);
+  };
+  const double n = epochs > 0 ? static_cast<double>(epochs) : 1.0;
+  set_gauge("epoch_ms", 1000.0 * epoch_wall / n);
+  set_gauge("recluster_points_per_epoch", static_cast<double>(recluster) / n);
+  set_gauge("epochs", static_cast<double>(epochs));
+  set_gauge("live_points", static_cast<double>(live));
+}
+BENCHMARK(BM_ServeEpoch)->Arg(1)->Arg(8)->Arg(64)->Arg(256)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  mrscan::bench::write_bench_snapshot("serve_epoch", g_registry);
+  return 0;
+}

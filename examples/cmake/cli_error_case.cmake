@@ -1,0 +1,28 @@
+# CTest runner asserting the CLI flag-audit contract: a bad flag or flag
+# value is rejected with a NONZERO exit and EXACTLY ONE stderr line
+# matching PATTERN (so scripts can reliably capture the reason).
+#
+#   cmake -DCLI=<path> "-DARGS=--cluster-algo;bogus" -DPATTERN=<regex>
+#         -P cli_error_case.cmake
+if(NOT DEFINED CLI OR NOT DEFINED ARGS OR NOT DEFINED PATTERN)
+  message(FATAL_ERROR "cli_error_case.cmake needs -DCLI, -DARGS, -DPATTERN")
+endif()
+
+execute_process(
+  COMMAND ${CLI} ${ARGS}
+  RESULT_VARIABLE exit_code
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err)
+
+if(exit_code EQUAL 0)
+  message(FATAL_ERROR "expected nonzero exit for '${ARGS}', got 0")
+endif()
+string(REGEX REPLACE "\n$" "" err_trimmed "${err}")
+string(REGEX MATCHALL "\n" newlines "${err_trimmed}")
+list(LENGTH newlines newline_count)
+if(NOT newline_count EQUAL 0)
+  message(FATAL_ERROR "expected one stderr line, got:\n${err}")
+endif()
+if(NOT err_trimmed MATCHES "${PATTERN}")
+  message(FATAL_ERROR "stderr '${err_trimmed}' does not match '${PATTERN}'")
+endif()

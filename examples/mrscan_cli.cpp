@@ -32,15 +32,43 @@
 //   --metrics-out PATH  write the flat metrics snapshot JSON
 // Either flag enables observability; MRSCAN_TRACE_OUT / MRSCAN_METRICS_OUT
 // / MRSCAN_OBS environment overrides are honoured as well.
+//
+// Serving mode (DESIGN §14) — a long-lived serve::ClusterService driven
+// by a mutation script instead of a one-shot batch run:
+//
+//   $ ./examples/mrscan_cli --serve --serve-script mutations.txt
+//         --eps 0.1 --minpts 40 --output live.clusters
+//
+//   --serve             run a ClusterService instead of the batch pipeline
+//   --serve-script PATH mutation script (insert/remove/epoch/query/stats
+//                       lines; see src/serve/script.hpp)
+//   --serve-demo N      instead of a script: stream N generated mutations
+//   --serve-initial N   demo-stream bootstrap size (default 1000)
+//   --serve-epoch-every K  demo stream: advance an epoch every K
+//                       mutations (default 25)
+//   --serve-dist D      demo stream distribution: "twitter" (default) or
+//                       "blobs"
+// --eps/--minpts/--host-threads configure the service; --output writes
+// the final snapshot's labeled points; --metrics-out writes the service
+// registry's serve.* snapshot.
+//
+// Flag errors are one line on stderr + exit 2 (scripts can pattern-match
+// them); runtime failures are one line + exit 1.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <iostream>
+#include <sstream>
 #include <string>
 
 #include "core/mrscan.hpp"
+#include "data/stream.hpp"
 #include "data/twitter.hpp"
 #include "io/point_file.hpp"
+#include "obs/export.hpp"
+#include "serve/script.hpp"
+#include "serve/service.hpp"
 #include "sweep/sweep.hpp"
 
 namespace {
@@ -52,8 +80,24 @@ namespace {
                "[--host-threads N] [--cluster-algo two-pass|cell-graph] "
                "[--index-backend kdtree|bvh] "
                "[--keep-noise] [--trace-out PATH] "
-               "[--metrics-out PATH] | --demo N\n",
+               "[--metrics-out PATH] | --demo N | "
+               "--serve [--serve-script PATH | --serve-demo N] "
+               "[--serve-initial N] [--serve-epoch-every K] "
+               "[--serve-dist twitter|blobs]\n",
                argv0);
+  std::exit(2);
+}
+
+/// Flag audit contract: a bad value is exactly one stderr line + exit 2.
+[[noreturn]] void bad_value(const char* flag, const char* value,
+                            const char* expected) {
+  std::fprintf(stderr, "mrscan_cli: invalid value '%s' for %s (expected %s)\n",
+               value, flag, expected);
+  std::exit(2);
+}
+
+[[noreturn]] void bad_flag(const char* flag) {
+  std::fprintf(stderr, "mrscan_cli: unknown flag '%s'\n", flag);
   std::exit(2);
 }
 
@@ -62,6 +106,120 @@ bool is_binary_point_file(const std::string& path) {
   char magic[4] = {0, 0, 0, 0};
   in.read(magic, 4);
   return in && std::memcmp(magic, "MRSC", 4) == 0;
+}
+
+struct ServeOptions {
+  bool enabled = false;
+  std::string script;
+  std::uint64_t demo_mutations = 0;
+  std::uint64_t demo_initial = 1000;
+  std::uint64_t epoch_every = 25;
+  mrscan::data::StreamDistribution distribution =
+      mrscan::data::StreamDistribution::kTwitter;
+};
+
+/// Render a generated demo stream as script text, so the demo path and
+/// the script path exercise the identical command pipeline.
+std::string demo_stream_script(const ServeOptions& serve) {
+  mrscan::data::StreamConfig config;
+  config.distribution = serve.distribution;
+  config.initial_points = serve.demo_initial;
+  config.mutations = serve.demo_mutations;
+  const auto stream = mrscan::data::generate_mutation_stream(config);
+  std::ostringstream script;
+  for (const auto& p : stream.initial) {
+    script << "insert " << p.id << " " << p.x << " " << p.y << "\n";
+  }
+  script << "epoch\n";
+  std::uint64_t since_epoch = 0;
+  for (const auto& m : stream.mutations) {
+    if (m.kind == mrscan::data::Mutation::Kind::kInsert) {
+      script << "insert " << m.point.id << " " << m.point.x << " "
+             << m.point.y << "\n";
+    } else {
+      script << "remove " << m.point.id << "\n";
+    }
+    if (++since_epoch >= serve.epoch_every) {
+      script << "epoch\n";
+      since_epoch = 0;
+    }
+  }
+  if (since_epoch > 0) script << "epoch\n";
+  return script.str();
+}
+
+int run_serve(const ServeOptions& serve, double eps, std::size_t min_pts,
+              std::size_t host_threads, const std::string& output,
+              const std::string& metrics_out) {
+  using namespace mrscan;
+  serve::ServeConfig config;
+  config.params = {eps, min_pts};
+  config.host_threads = host_threads;
+  serve::ClusterService service(config);
+
+  serve::ScriptResult script_result;
+  if (!serve.script.empty()) {
+    std::ifstream in(serve.script);
+    if (!in) {
+      std::fprintf(stderr, "mrscan_cli: cannot open serve script '%s'\n",
+                   serve.script.c_str());
+      return 1;
+    }
+    script_result = serve::run_script(service, in, std::cout);
+  } else {
+    std::istringstream in(demo_stream_script(serve));
+    script_result = serve::run_script(service, in, std::cout);
+  }
+  if (!script_result.ok) {
+    std::fprintf(stderr, "mrscan_cli: serve script error at line %s\n",
+                 script_result.error.c_str());
+    return 1;
+  }
+
+  const auto snapshot = service.snapshot();
+  // Exercise the concurrent-query surface so the serve.query.* series
+  // carry data (the smoke validator requires the latency histogram).
+  std::size_t probed = 0;
+  for (const auto& point : snapshot->points) {
+    if (probed++ >= 16) break;
+    (void)service.label_of(point.id);
+  }
+  if (!output.empty()) {
+    std::vector<sweep::LabeledPoint> records;
+    records.reserve(snapshot->points.size());
+    for (std::size_t i = 0; i < snapshot->points.size(); ++i) {
+      records.push_back(
+          sweep::LabeledPoint{snapshot->points[i], snapshot->labels[i]});
+    }
+    try {
+      sweep::write_labeled_text(output, records);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      return 1;
+    }
+  }
+  if (!metrics_out.empty()) {
+    try {
+      obs::write_text_file(
+          metrics_out, obs::metrics_json(service.metrics().snapshot()));
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      return 1;
+    }
+  }
+
+  std::printf("serve: %llu commands, %llu epochs (%llu failed)\n",
+              static_cast<unsigned long long>(script_result.commands),
+              static_cast<unsigned long long>(script_result.epochs),
+              static_cast<unsigned long long>(script_result.failed_epochs));
+  std::printf("epoch %llu: %zu live points, %zu clusters\n",
+              static_cast<unsigned long long>(snapshot->epoch),
+              snapshot->points.size(), snapshot->clusters.size());
+  if (!output.empty()) std::printf("output: %s\n", output.c_str());
+  if (!metrics_out.empty()) {
+    std::printf("metrics: %s\n", metrics_out.c_str());
+  }
+  return 0;
 }
 
 }  // namespace
@@ -80,6 +238,7 @@ int main(int argc, char** argv) {
   auto cluster_algo = cluster::ClusterAlgo::kTwoPass;
   auto index_backend = index::Backend::kKdTree;
   std::string trace_out, metrics_out;
+  ServeOptions serve;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -102,12 +261,14 @@ int main(int argc, char** argv) {
     } else if (arg == "--host-threads") {
       host_threads = std::strtoull(next(), nullptr, 10);
     } else if (arg == "--cluster-algo") {
-      const auto parsed = cluster::parse_cluster_algo(next());
-      if (!parsed) usage(argv[0]);
+      const char* value = next();
+      const auto parsed = cluster::parse_cluster_algo(value);
+      if (!parsed) bad_value("--cluster-algo", value, "two-pass|cell-graph");
       cluster_algo = *parsed;
     } else if (arg == "--index-backend") {
-      const auto parsed = index::parse_backend(next());
-      if (!parsed) usage(argv[0]);
+      const char* value = next();
+      const auto parsed = index::parse_backend(value);
+      if (!parsed) bad_value("--index-backend", value, "kdtree|bvh");
       index_backend = *parsed;
     } else if (arg == "--keep-noise") {
       keep_noise = true;
@@ -117,9 +278,46 @@ int main(int argc, char** argv) {
       trace_out = next();
     } else if (arg == "--metrics-out") {
       metrics_out = next();
+    } else if (arg == "--serve") {
+      serve.enabled = true;
+    } else if (arg == "--serve-script") {
+      serve.script = next();
+    } else if (arg == "--serve-demo") {
+      serve.demo_mutations = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--serve-initial") {
+      serve.demo_initial = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--serve-epoch-every") {
+      serve.epoch_every = std::strtoull(next(), nullptr, 10);
+      if (serve.epoch_every == 0) {
+        bad_value("--serve-epoch-every", "0", "a positive batch size");
+      }
+    } else if (arg == "--serve-dist") {
+      const std::string value = next();
+      if (value == "twitter") {
+        serve.distribution = data::StreamDistribution::kTwitter;
+      } else if (value == "blobs") {
+        serve.distribution = data::StreamDistribution::kBlobs;
+      } else {
+        bad_value("--serve-dist", value.c_str(), "twitter|blobs");
+      }
     } else {
-      usage(argv[0]);
+      bad_flag(arg.c_str());
     }
+  }
+
+  if (serve.enabled) {
+    if (serve.script.empty() && serve.demo_mutations == 0) {
+      std::fprintf(stderr,
+                   "mrscan_cli: --serve needs --serve-script PATH or "
+                   "--serve-demo N\n");
+      return 2;
+    }
+    return run_serve(serve, eps, min_pts, host_threads, output, metrics_out);
+  }
+  if (!serve.script.empty() || serve.demo_mutations != 0) {
+    std::fprintf(stderr,
+                 "mrscan_cli: --serve-script/--serve-demo need --serve\n");
+    return 2;
   }
   if (input.empty() && demo_points == 0) usage(argv[0]);
 

@@ -9,15 +9,19 @@
 #   2. default preset     build + full test suite (tier-1 bar)
 #   3. obs smoke          traced pipeline run; both JSON artifacts are
 #                         schema-validated by tools/obs/check_obs_json.py
-#   4. bench smoke        short bench_micro_index + bench_micro_pipeline
-#                         runs with MRSCAN_BENCH_METRICS_DIR set; every
-#                         emitted BENCH_*.json is schema-validated by
+#   4. serve smoke        mrscan_cli --serve demo-stream replay; the
+#                         serve.* metrics snapshot is schema-validated by
+#                         tools/obs/check_obs_json.py --serve
+#   5. bench smoke        short bench_micro_index + bench_micro_pipeline
+#                         + bench_serve runs with MRSCAN_BENCH_METRICS_DIR
+#                         set; every emitted BENCH_*.json is
+#                         schema-validated by
 #                         tools/obs/check_obs_json.py --bench
-#   5. asan-ubsan preset  full suite under ASan+UBSan with
+#   6. asan-ubsan preset  full suite under ASan+UBSan with
 #                         MRSCAN_CHECK_INVARIANTS=ON and MRSCAN_WERROR=ON
-#   6. tsan preset        full suite (incl. the `stress`-labeled tests)
+#   7. tsan preset        full suite (incl. the `stress`-labeled tests)
 #                         under TSan, same options
-#   7. tidy preset        clang-tidy over every TU (skipped with a notice
+#   8. tidy preset        clang-tidy over every TU (skipped with a notice
 #                         when clang-tidy is not installed)
 #
 # Usage: scripts/check.sh [--quick] [--no-stress] [--coverage] [--jobs N]
@@ -104,6 +108,18 @@ obs_smoke() {
 }
 run_step "obs-smoke" obs_smoke
 
+# Serving-mode smoke: replay a seeded demo mutation stream through the
+# long-lived ClusterService, then validate the serve.* metric series
+# (epoch counter, live-set gauges, epoch/query latency histograms).
+serve_smoke() {
+  ./build/examples/mrscan_cli --serve --serve-demo 300 \
+    --serve-initial 2000 --serve-epoch-every 50 --eps 0.05 --minpts 5 \
+    --host-threads 4 --output build/serve_smoke.clusters \
+    --metrics-out build/serve_metrics.json \
+    && python3 tools/obs/check_obs_json.py --serve build/serve_metrics.json
+}
+run_step "serve-smoke" serve_smoke
+
 # Bench smoke: the micro benches must run, export BENCH_*.json metric
 # files, and those files must validate. Tiny min_time / fixture sizes —
 # this checks the machinery, not the numbers. (--benchmark_min_time takes
@@ -120,6 +136,11 @@ bench_smoke() {
     && env MRSCAN_BENCH_METRICS_DIR="$dir" MRSCAN_BENCH_MICRO_POINTS=20000 \
          ./build/bench/bench_micro_pipeline \
          --benchmark_filter='BM_ClusterPhase(HostThreads|CellGraph)/1' \
+         --benchmark_min_time=0.05 \
+    && env MRSCAN_BENCH_METRICS_DIR="$dir" MRSCAN_BENCH_SERVE_INITIAL=4000 \
+         MRSCAN_BENCH_SERVE_MUTATIONS=64 \
+         ./build/bench/bench_serve \
+         --benchmark_filter='BM_ServeEpoch/(8|64)$' \
          --benchmark_min_time=0.05 \
     && python3 tools/obs/check_obs_json.py --bench "$dir"/BENCH_*.json \
     && cp "$dir"/BENCH_*.json .

@@ -1,0 +1,34 @@
+#include "cluster/mutable_grid.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace mrscan::cluster {
+
+void MutableCellGrid::insert(std::uint64_t code, geom::PointId id,
+                             std::uint32_t slot) {
+  auto& members = cells_[code];
+  const auto it = std::lower_bound(
+      members.begin(), members.end(), id,
+      [](const Member& m, geom::PointId v) { return m.id < v; });
+  MRSCAN_REQUIRE(it == members.end() || it->id != id);
+  members.insert(it, Member{id, slot});
+  ++point_count_;
+}
+
+bool MutableCellGrid::remove(std::uint64_t code, geom::PointId id) {
+  const auto cell = cells_.find(code);
+  if (cell == cells_.end()) return false;
+  auto& members = cell->second;
+  const auto it = std::lower_bound(
+      members.begin(), members.end(), id,
+      [](const Member& m, geom::PointId v) { return m.id < v; });
+  if (it == members.end() || it->id != id) return false;
+  members.erase(it);
+  if (members.empty()) cells_.erase(cell);
+  --point_count_;
+  return true;
+}
+
+}  // namespace mrscan::cluster

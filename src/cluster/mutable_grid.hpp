@@ -1,0 +1,92 @@
+// The mutable Eps/(2*sqrt(2)) cell grid backing the serving path
+// (DESIGN §14).
+//
+// Where cluster::CellGrid is a batch-built immutable snapshot, this grid
+// lives for the whole service lifetime and absorbs per-epoch inserts and
+// removals. It keeps the CellGrid invariants that make the cell-graph
+// phase deterministic and exact:
+//   * cell side is cluster::cell_graph_side(eps) with the origin fixed at
+//     (0,0), so cell membership never shifts as points come and go;
+//   * cells are held in a std::map keyed by packed cell code and members
+//     are kept in ascending point-id order — every iteration surface is
+//     deterministic by construction (mrscan_analyze's unordered-iteration
+//     rule), and member order is stable across epochs because ids are
+//     global, not slot-dependent.
+// Members carry the owning service's slot index alongside the id so the
+// epoch machinery can reach point records without a second lookup.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <map>
+#include <span>
+#include <vector>
+
+#include "geometry/cell.hpp"
+#include "geometry/point.hpp"
+
+namespace mrscan::cluster {
+
+class MutableCellGrid {
+ public:
+  struct Member {
+    geom::PointId id = 0;
+    std::uint32_t slot = 0;
+  };
+
+  MutableCellGrid() = default;
+  explicit MutableCellGrid(double side) : side_(side) {}
+
+  double side() const { return side_; }
+
+  geom::CellKey key_of(const geom::Point& p) const {
+    return geom::CellKey{
+        static_cast<std::int32_t>(std::floor(p.x / side_)),
+        static_cast<std::int32_t>(std::floor(p.y / side_))};
+  }
+
+  std::uint64_t code_of(const geom::Point& p) const {
+    return geom::cell_code(key_of(p));
+  }
+
+  /// Insert a member into its cell, keeping the cell's members sorted by
+  /// point id. The id must not already be present in the cell.
+  void insert(std::uint64_t code, geom::PointId id, std::uint32_t slot);
+
+  /// Remove the member with this id from the cell; empty cells are erased
+  /// so cell iteration never visits ghosts. Returns false when the id was
+  /// not present.
+  bool remove(std::uint64_t code, geom::PointId id);
+
+  /// Members of the cell with this code (ascending id order), or an empty
+  /// span when the cell is unoccupied.
+  std::span<const Member> members(std::uint64_t code) const {
+    const auto it = cells_.find(code);
+    if (it == cells_.end()) return {};
+    return it->second;
+  }
+
+  bool occupied(std::uint64_t code) const { return cells_.contains(code); }
+
+  std::size_t cell_count() const { return cells_.size(); }
+
+  std::size_t point_count() const { return point_count_; }
+
+  /// Visit every occupied cell in ascending code order:
+  /// fn(code, span<const Member>).
+  template <typename Fn>
+  void for_each_cell(Fn&& fn) const {
+    for (const auto& [code, members] : cells_) {
+      fn(code, std::span<const Member>(members));
+    }
+  }
+
+ private:
+  double side_ = 1.0;
+  std::size_t point_count_ = 0;
+  // Ordered map: cell iteration is ascending-code deterministic, exactly
+  // like CellGrid's sorted cell array.
+  std::map<std::uint64_t, std::vector<Member>> cells_;
+};
+
+}  // namespace mrscan::cluster

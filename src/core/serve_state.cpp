@@ -1,0 +1,35 @@
+#include "core/serve_state.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace mrscan::core {
+
+ServeState extract_serve_state(const MrScanConfig& config,
+                               const MrScanResult& result,
+                               std::span<const geom::Point> all_points) {
+  ServeState state;
+  state.params = config.params;
+  state.host_threads = config.host_threads;
+
+  // Id-keyed merge of the clustered output with the (optional) full input:
+  // output records carry the authoritative labels, input records supply
+  // noise points a keep_noise=false run dropped.
+  std::map<geom::PointId, sweep::LabeledPoint> by_id;
+  for (const geom::Point& p : all_points) {
+    by_id.emplace(p.id, sweep::LabeledPoint{p, dbscan::kNoise});
+  }
+  for (const sweep::LabeledPoint& rec : result.output) {
+    by_id.insert_or_assign(rec.point.id, rec);
+  }
+
+  state.points.reserve(by_id.size());
+  state.labels.reserve(by_id.size());
+  for (const auto& [id, rec] : by_id) {
+    state.points.push_back(rec.point);
+    state.labels.push_back(rec.cluster);
+  }
+  return state;
+}
+
+}  // namespace mrscan::core

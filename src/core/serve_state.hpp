@@ -1,0 +1,43 @@
+// The build-state / serve-state split (DESIGN §14).
+//
+// core::MrScan owns *build* state: partitions, the simulated tree, the
+// per-leaf GPGPU runs, the merge/sweep machinery, the machine model. None
+// of that survives a run, and none of it is what a long-lived service
+// needs. ServeState is the distilled, partition-free residue of a batch
+// run — the surviving points, their labels, and the clustering
+// parameters — the exact ingredients serve::ClusterService needs to warm-
+// start an incremental serving session whose labels are provably
+// equivalent to re-running the batch pipeline from scratch.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/mrscan.hpp"
+#include "dbscan/labels.hpp"
+#include "geometry/point.hpp"
+
+namespace mrscan::core {
+
+struct ServeState {
+  dbscan::DbscanParams params{0.1, 40};
+  std::size_t host_threads = 1;
+  /// Surviving points, ascending by point id (the service's canonical
+  /// iteration order).
+  geom::PointSet points;
+  /// Batch labels aligned with `points` (kNoise for points the batch run
+  /// dropped as noise). Carried so an adopting service can be validated
+  /// against the build it descends from.
+  std::vector<dbscan::ClusterId> labels;
+};
+
+/// Distil a finished batch run into serve state: points sorted by id with
+/// their batch labels. keep_noise=false runs drop noise records from
+/// MrScanResult::output, so callers that want noise points served must
+/// pass the original input via `all_points` (labels for points absent
+/// from the output come back as kNoise).
+ServeState extract_serve_state(const MrScanConfig& config,
+                               const MrScanResult& result,
+                               std::span<const geom::Point> all_points = {});
+
+}  // namespace mrscan::core

@@ -1,0 +1,86 @@
+#include "data/stream.hpp"
+
+#include "data/synthetic.hpp"
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace mrscan::data {
+
+namespace {
+
+/// Draw the stream's point material: `count` points of the configured
+/// distribution (ids are reassigned by the caller).
+geom::PointSet draw_points(const StreamConfig& config, std::uint64_t count,
+                           std::uint64_t seed) {
+  if (config.distribution == StreamDistribution::kTwitter) {
+    TwitterConfig twitter = config.twitter;
+    twitter.num_points = count;
+    twitter.seed = seed;
+    return generate_twitter(twitter);
+  }
+  // Four well-separated blobs plus a thin uniform background: small
+  // enough to eyeball, structured enough that deletes can empty a core
+  // cell.
+  const geom::BBox window{0.0, 0.0, 10.0, 10.0};
+  const std::uint64_t noise = count / 10;
+  const std::uint64_t per_blob = (count - noise) / 4;
+  std::vector<Blob> blobs{
+      {2.0, 2.0, 0.25, per_blob},
+      {8.0, 2.5, 0.30, per_blob},
+      {2.5, 8.0, 0.20, per_blob},
+      {7.5, 7.5, 0.35, count - noise - 3 * per_blob},
+  };
+  return gaussian_blobs(blobs, noise, window, seed);
+}
+
+}  // namespace
+
+MutationStream generate_mutation_stream(const StreamConfig& config) {
+  MRSCAN_REQUIRE(config.remove_fraction >= 0.0 &&
+                 config.remove_fraction <= 1.0);
+  MRSCAN_REQUIRE(config.mean_interarrival_s > 0.0);
+  MutationStream stream;
+  util::Rng rng(config.seed);
+
+  // All point material up front: initial set + one insert candidate per
+  // mutation (an all-insert stream consumes the whole pool). Ids are
+  // reassigned sequentially so initial and inserted points never collide
+  // regardless of the generator's own numbering.
+  stream.initial = draw_points(config, config.initial_points, config.seed);
+  geom::PointSet pool =
+      draw_points(config, config.mutations, config.seed ^ 0x5f356495ULL);
+  geom::PointId next_id = 0;
+  for (geom::Point& p : stream.initial) p.id = next_id++;
+  for (geom::Point& p : pool) p.id = next_id++;
+
+  std::vector<geom::PointId> live;
+  live.reserve(stream.initial.size() + pool.size());
+  for (const geom::Point& p : stream.initial) live.push_back(p.id);
+
+  std::size_t pool_cursor = 0;
+  double clock_s = 0.0;
+  stream.mutations.reserve(config.mutations);
+  for (std::uint64_t m = 0; m < config.mutations; ++m) {
+    clock_s += rng.exponential(1.0 / config.mean_interarrival_s);
+    Mutation mutation;
+    mutation.timestamp_s = clock_s;
+    const bool want_remove =
+        rng.next_double() < config.remove_fraction && !live.empty();
+    if (want_remove) {
+      const std::size_t pick =
+          static_cast<std::size_t>(rng.next_below(live.size()));
+      mutation.kind = Mutation::Kind::kRemove;
+      mutation.point.id = live[pick];
+      live[pick] = live.back();
+      live.pop_back();
+    } else {
+      mutation.kind = Mutation::Kind::kInsert;
+      mutation.point = pool[pool_cursor++];
+      live.push_back(mutation.point.id);
+    }
+    stream.mutations.push_back(mutation);
+  }
+  return stream;
+}
+
+}  // namespace mrscan::data

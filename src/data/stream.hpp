@@ -1,0 +1,67 @@
+// Seeded streaming workloads for the clustering service (DESIGN §14).
+//
+// The serving story's load is tweets *arriving*: a timestamped sequence
+// of inserts (new geo-located tweets) mixed with deletes (expiry,
+// takedowns) over one of the batch distributions. A MutationStream is
+// that sequence, fully determined by its config — the service tests
+// replay every prefix against a cold batch run, and bench_serve replays
+// the same stream at several epoch batch sizes, so both must see
+// byte-identical workloads.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "data/twitter.hpp"
+#include "geometry/point.hpp"
+
+namespace mrscan::data {
+
+enum class StreamDistribution : std::uint8_t {
+  /// Hot-spot tweet model (generate_twitter) — the serving workload.
+  kTwitter,
+  /// Well-separated Gaussian blobs — the debuggable workload.
+  kBlobs,
+};
+
+struct StreamConfig {
+  StreamDistribution distribution = StreamDistribution::kTwitter;
+  /// Points live before the stream starts (the warm bootstrap set).
+  std::uint64_t initial_points = 1000;
+  /// Mutations in the stream proper.
+  std::uint64_t mutations = 200;
+  /// Probability that a mutation removes a live point instead of
+  /// inserting a fresh one (removals fall back to inserts when nothing
+  /// is live).
+  double remove_fraction = 0.35;
+  std::uint64_t seed = 20130817;
+  /// Mean seconds between mutations (timestamps are exponential
+  /// inter-arrivals — Poisson tweet arrivals).
+  double mean_interarrival_s = 0.05;
+  /// Distribution parameters for kTwitter (num_points/seed are ignored;
+  /// the stream sizes and seeds the draws itself).
+  TwitterConfig twitter;
+};
+
+struct Mutation {
+  enum class Kind : std::uint8_t { kInsert, kRemove };
+  Kind kind = Kind::kInsert;
+  /// The full point for inserts; only `point.id` is meaningful for
+  /// removes.
+  geom::Point point;
+  /// Seconds since stream start.
+  double timestamp_s = 0.0;
+};
+
+struct MutationStream {
+  geom::PointSet initial;
+  std::vector<Mutation> mutations;
+};
+
+/// Generate the stream. Deterministic in `config`; point ids are unique
+/// across the whole stream (initial ids first, inserted ids above them),
+/// and every remove targets a point actually live at that position in
+/// the sequence.
+MutationStream generate_mutation_stream(const StreamConfig& config);
+
+}  // namespace mrscan::data

@@ -5,6 +5,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "cluster/cell_graph_ops.hpp"
 #include "cluster/cell_grid.hpp"
 #include "cluster/union_find.hpp"
 #include "geometry/bbox.hpp"
@@ -190,11 +191,17 @@ void connect_dense_boxes(const Tree& tree, const DenseBoxes& dense,
 
 /// Border pass, shared by both cluster paths and both backends: attach
 /// every non-core point to a neighbouring core's cluster (lowest core
-/// index wins — a deterministic DBSCAN tie-break that is also visit-order
-/// independent, which is what makes the fused walk safe here). One
-/// bulk-issued kernel.
+/// point *id* wins — a deterministic DBSCAN tie-break that is visit-order
+/// independent, which is what makes the fused walk safe here, and
+/// partition-invariant: leaf point arrays interleave owned and shadow
+/// points in a partition-dependent order, but ids are global, so every
+/// leaf that sees a border point's full Eps-neighbourhood resolves the
+/// same anchor. The serving path (src/serve) relies on this to reproduce
+/// batch labels without re-partitioning — DESIGN §14). One bulk-issued
+/// kernel.
 template <typename Engine>
-void attach_border_points(Engine& engine, double eps,
+void attach_border_points(Engine& engine,
+                          std::span<const geom::Point> points, double eps,
                           std::uint32_t block_count,
                           const std::vector<std::uint8_t>& core,
                           std::vector<std::uint32_t>& chain,
@@ -209,7 +216,10 @@ void attach_border_points(Engine& engine, double eps,
   engine.neighbors_many(
       border, eps,
       [&](std::size_t k, std::uint32_t q) {
-        if (core[q] && q < best[k]) best[k] = q;
+        if (core[q] &&
+            (best[k] == kNoChain || points[q].id < points[best[k]].id)) {
+          best[k] = q;
+        }
       },
       [&](std::size_t k, std::uint64_t charge) {
         // Round-robin block assignment, as the rr counter did.
@@ -380,28 +390,21 @@ void cell_graph_dbscan(std::span<const geom::Point> points,
           }
           if (chains.same(cell_chain[ca], cell_chain[cb])) continue;
           // Tight prefilter: the cells' core points cannot reach Eps.
-          const geom::BBox& ba = core_bbox[ca];
-          const geom::BBox& bb = core_bbox[cb];
-          const double gx = std::max(
-              {0.0, ba.min_x - bb.max_x, bb.min_x - ba.max_x});
-          const double gy = std::max(
-              {0.0, ba.min_y - bb.max_y, bb.min_y - ba.max_y});
-          if (gx * gx + gy * gy > eps2) continue;
-          ++result.stats.cellgraph_bcp_pairs;
-          bool linked = false;
-          std::uint64_t pair_ops = 0;
-          for (std::uint32_t i = core_range[ca].first;
-               i < core_range[ca].second && !linked; ++i) {
-            const geom::Point& pa = points[core_members[i]];
-            for (std::uint32_t j = core_range[cb].first;
-                 j < core_range[cb].second; ++j) {
-              ++pair_ops;
-              if (geom::dist2(pa, points[core_members[j]]) <= eps2) {
-                linked = true;
-                break;
-              }
-            }
+          if (cluster::box_gap2(core_bbox[ca], core_bbox[cb]) > eps2) {
+            continue;
           }
+          ++result.stats.cellgraph_bcp_pairs;
+          std::uint64_t pair_ops = 0;
+          const bool linked = cluster::bcp_within_eps(
+              core_range[ca].second - core_range[ca].first,
+              core_range[cb].second - core_range[cb].first,
+              [&](std::size_t i) -> const geom::Point& {
+                return points[core_members[core_range[ca].first + i]];
+              },
+              [&](std::size_t j) -> const geom::Point& {
+                return points[core_members[core_range[cb].first + j]];
+              },
+              eps2, pair_ops);
           ops += pair_ops;
           result.stats.cellgraph_bcp_ops += pair_ops;
           if (linked) {
@@ -414,8 +417,8 @@ void cell_graph_dbscan(std::span<const geom::Point> points,
     device.account_launch(block_ops);
   }
 
-  attach_border_points(engine, eps, config.block_count, result.labels.core,
-                       chain, device);
+  attach_border_points(engine, points, eps, config.block_count,
+                       result.labels.core, chain, device);
   resolve_labels(chain, chains, result, device);
 }
 
@@ -565,8 +568,9 @@ void two_pass_dbscan(std::span<const geom::Point> points,
                         box_chain, chains, result.stats.collisions, device);
   }
 
-  attach_border_points(engine, config.params.eps, config.block_count,
-                       result.labels.core, chain, device);
+  attach_border_points(engine, points, config.params.eps,
+                       config.block_count, result.labels.core, chain,
+                       device);
   resolve_labels(chain, chains, result, device);
 }
 

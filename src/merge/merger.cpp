@@ -56,13 +56,23 @@ MergeResult merge_summaries(const std::vector<MergeSummary>& children,
     return pair_offset[child] + cluster;
   };
 
-  // Index every summary cell by its grid cell code.
+  // Index every summary cell by its grid cell code, and every child's
+  // non-core ids by (child, cell): a point the child reports as non-core
+  // under ANY of its clusters is a border point in that child's view.
   std::unordered_map<std::uint64_t, std::vector<CellRef>> by_cell;
+  std::unordered_map<std::uint64_t, std::unordered_set<geom::PointId>>
+      child_noncore;
+  auto child_cell_key = [](std::uint32_t child, std::uint64_t code) {
+    // Cell codes pack two 32-bit grid indices; fold the child in on top.
+    return code ^ (static_cast<std::uint64_t>(child) * 0x9e3779b97f4a7c15ULL);
+  };
   for (std::uint32_t c = 0; c < children.size(); ++c) {
     for (std::uint32_t k = 0; k < children[c].clusters.size(); ++k) {
       for (const CellSummary& cell : children[c].clusters[k].cells) {
         by_cell[cell.cell_code].push_back(
             CellRef{c, pair_id(c, k), &cell});
+        auto& ids = child_noncore[child_cell_key(c, cell.cell_code)];
+        for (const auto& p : cell.noncore) ids.insert(p.id);
       }
     }
   }
@@ -119,11 +129,20 @@ MergeResult merge_summaries(const std::vector<MergeSummary>& children,
 
         // Type 2: non-core/core overlap. The shadow side's unique
         // non-core points are tested against the owning side's reps.
-        auto type2 = [&](const CellSummary& shadow_side,
-                         const CellSummary& owned_side) {
+        // "Unique" means the owning child reports the point as non-core
+        // under NONE of its clusters in this cell — then the owner's
+        // (exact) view says the point is core, its misclassification is
+        // the shadow side's truncated horizon, and a within-Eps rep is a
+        // genuine core-core edge. A point the owner attached as border to
+        // any cluster must be skipped: a border point within Eps of two
+        // clusters' cores is no evidence the clusters connect.
+        auto type2 = [&](const CellRef& shadow_ref,
+                         const CellRef& owned_ref) {
           if (merged) return;
-          std::unordered_set<geom::PointId> owned_noncore;
-          for (const auto& p : owned_side.noncore) owned_noncore.insert(p.id);
+          const CellSummary& shadow_side = *shadow_ref.cell;
+          const CellSummary& owned_side = *owned_ref.cell;
+          const auto& owned_noncore =
+              child_noncore.at(child_cell_key(owned_ref.child, code));
           for (const auto& p : shadow_side.noncore) {
             if (owned_noncore.contains(p.id)) continue;  // not unique
             for (const auto& r : owned_side.reps) {
@@ -137,8 +156,8 @@ MergeResult merge_summaries(const std::vector<MergeSummary>& children,
             }
           }
         };
-        if (ca.from_shadow && !cb.from_shadow) type2(ca, cb);
-        if (cb.from_shadow && !ca.from_shadow) type2(cb, ca);
+        if (ca.from_shadow && !cb.from_shadow) type2(refs[a], refs[b]);
+        if (cb.from_shadow && !ca.from_shadow) type2(refs[b], refs[a]);
 
         // Type 3: duplicate non-core points. Shadow-side copies of points
         // the owning side also reports are dropped from the output.

@@ -71,7 +71,7 @@ struct LeafSummaryInput {
   std::span<const std::uint64_t> shadow_cells;
   /// Shadow radius in cells (PartitionPlan::shadow_rings): an owned cell
   /// is a boundary cell when a shadow cell lies within this many rings.
-  std::int32_t shadow_rings = 1;
+  std::int32_t shadow_rings = 2;
 };
 
 MergeSummary build_leaf_summary(const LeafSummaryInput& input);

@@ -29,6 +29,7 @@ inline constexpr const char* kWallPrefix = "wall.";
 inline constexpr const char* kPoolWorkerPrefix = "pool.worker.";
 inline constexpr const char* kNetPrefix = "net.";
 inline constexpr const char* kBenchMicroIndexPrefix = "bench.micro_index.";
+inline constexpr const char* kBenchServePrefix = "bench.serve.";
 
 // ---- thread pool (obs::PoolMetrics) -------------------------------
 inline constexpr const char* kPoolTasks = "pool.tasks";
@@ -142,5 +143,29 @@ inline constexpr const char* kBenchSweepS = "bench.sweep_s";
 inline constexpr const char* kBenchGpuDbscanS = "bench.gpu_dbscan_s";
 // Cluster formulation of a bench run: 0 = two-pass, 1 = cell-graph.
 inline constexpr const char* kBenchClusterAlgo = "bench.cluster_algo";
+
+// ---- clustering service (serve::ClusterService, DESIGN §14) -------
+inline constexpr const char* kServeEpochs = "serve.epochs";
+inline constexpr const char* kServeInserts = "serve.mutations.inserts";
+inline constexpr const char* kServeRemoves = "serve.mutations.removes";
+inline constexpr const char* kServeRejected = "serve.mutations.rejected";
+inline constexpr const char* kServePoints = "serve.points";
+inline constexpr const char* kServeCells = "serve.cells";
+inline constexpr const char* kServeClusters = "serve.clusters";
+inline constexpr const char* kServeEpochDirtyCells =
+    "serve.epoch.dirty_cells";
+inline constexpr const char* kServeEpochReclusterPoints =
+    "serve.epoch.recluster_points";
+inline constexpr const char* kServeReclusterPoints =
+    "serve.recluster_points";
+inline constexpr const char* kServeDistanceOps = "serve.distance_ops";
+inline constexpr const char* kServeEdgeTests = "serve.edge_tests";
+inline constexpr const char* kServeEpochSeconds = "serve.epoch.seconds";
+inline constexpr const char* kServeSimSeconds = "serve.sim_seconds";
+inline constexpr const char* kServeQuerySeconds = "serve.query.seconds";
+inline constexpr const char* kServeQueries = "serve.queries";
+inline constexpr const char* kServePinnedEpochs = "serve.pinned_epochs";
+inline constexpr const char* kServeRetries = "serve.retries";
+inline constexpr const char* kServeFaultAborts = "serve.fault.aborts";
 
 }  // namespace mrscan::obs::names

@@ -15,8 +15,8 @@ void audit_plan(const PartitionPlan& plan, const index::CellHistogram& hist,
                 const PartitionerConfig& config,
                 double rebalance_threshold_points) {
   MRSCAN_AUDIT_ASSERT_MSG(
-      plan.shadow_rings == static_cast<std::int32_t>(config.cell_refine),
-      "shadow radius must match the grid refinement factor");
+      plan.shadow_rings == 2 * static_cast<std::int32_t>(config.cell_refine),
+      "shadow radius must be 2*Eps (two rings per grid refinement factor)");
 
   // ---- Ownership: each non-empty cell owned exactly once. ----
   std::unordered_map<std::uint64_t, std::uint32_t> owner;

@@ -196,7 +196,7 @@ PartitionPlan plan_partitions(const index::CellHistogram& hist,
   const std::vector<CellEntry> cells = cells_in_grid_order(hist);
   if (cells.empty()) {
     return make_plan(geometry, {},
-                     static_cast<std::int32_t>(config.cell_refine));
+                     2 * static_cast<std::int32_t>(config.cell_refine));
   }
   const std::size_t n_parts = std::min(config.target_parts, cells.size());
 
@@ -230,7 +230,12 @@ PartitionPlan plan_partitions(const index::CellHistogram& hist,
   }
 
   MRSCAN_REQUIRE(config.cell_refine >= 1);
-  const auto rings = static_cast<std::int32_t>(config.cell_refine);
+  // Shadow radius 2*Eps (two Eps-sized rings, 2k refined ones): the inner
+  // Eps band completes owned points' neighbourhoods, the outer band makes
+  // the inner band's *core flags* exact — a shadow point within Eps of an
+  // owned cell sees its own full Eps-ball, so border attachment and core
+  // connectivity never depend on which leaf owns which side of a cut.
+  const auto rings = 2 * static_cast<std::int32_t>(config.cell_refine);
   Rebalancer reb(std::move(owned), hist, config.shadow_regions, rings);
 
   // ---- Backward rebalancing (Figure 2c/2d): update the target to the

@@ -31,10 +31,13 @@ struct PartitionPart {
 
 struct PartitionPlan {
   geom::GridGeometry geometry;
-  /// Shadow radius in cells. 1 when cells are Eps-sized; k when the grid
-  /// is refined to Eps/k cells (§5.1.2 future work), so that the shadow
-  /// region still covers everything within Eps of the partition boundary.
-  std::int32_t shadow_rings = 1;
+  /// Shadow radius in cells: 2 when cells are Eps-sized, 2k when the grid
+  /// is refined to Eps/k cells (§5.1.2 future work). The shadow covers
+  /// everything within 2*Eps of the partition boundary so that points in
+  /// the inner Eps band carry *exact* core flags — which is what makes
+  /// owned labels partition-invariant (border attachment and core
+  /// connectivity near a cut see the same evidence every leaf sees).
+  std::int32_t shadow_rings = 2;
   std::vector<PartitionPart> parts;
   /// Cells handed to the previous partition during backward rebalancing
   /// (Figure 2c/2d); deterministic, exported as metric
@@ -70,6 +73,6 @@ struct PartitionPlan {
 /// Assemble a plan and build its ownership index.
 PartitionPlan make_plan(geom::GridGeometry geometry,
                         std::vector<PartitionPart> parts,
-                        std::int32_t shadow_rings = 1);
+                        std::int32_t shadow_rings = 2);
 
 }  // namespace mrscan::partition

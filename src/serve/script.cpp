@@ -1,0 +1,92 @@
+#include "serve/script.hpp"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+namespace mrscan::serve {
+
+namespace {
+
+bool fail(ScriptResult& result, std::size_t line_no,
+          const std::string& message) {
+  result.ok = false;
+  result.error = std::to_string(line_no) + ": " + message;
+  return false;
+}
+
+}  // namespace
+
+ScriptResult run_script(ClusterService& service, std::istream& in,
+                        std::ostream& out) {
+  ScriptResult result;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    std::istringstream fields(line);
+    std::string command;
+    if (!(fields >> command) || command[0] == '#') continue;
+    ++result.commands;
+    if (command == "insert") {
+      geom::Point p;
+      if (!(fields >> p.id >> p.x >> p.y)) {
+        fail(result, line_no, "insert wants: id x y [weight]");
+        break;
+      }
+      fields >> p.weight;  // optional; defaults to 1
+      service.insert(p);
+    } else if (command == "remove") {
+      geom::PointId id = 0;
+      if (!(fields >> id)) {
+        fail(result, line_no, "remove wants: id");
+        break;
+      }
+      service.remove(id);
+    } else if (command == "epoch") {
+      const EpochResult r = service.advance_epoch();
+      ++result.epochs;
+      if (r.ok) {
+        out << "epoch " << r.stats.epoch << " ok points="
+            << r.stats.live_points << " clusters=" << r.stats.clusters
+            << " dirty=" << r.stats.dirty_cells
+            << " recluster=" << r.stats.recluster_points << "\n";
+      } else {
+        ++result.failed_epochs;
+        out << "epoch " << r.stats.epoch << " failed: " << r.error << "\n";
+      }
+    } else if (command == "query") {
+      geom::PointId id = 0;
+      if (!(fields >> id)) {
+        fail(result, line_no, "query wants: id");
+        break;
+      }
+      const auto label = service.label_of(id);
+      if (label.has_value()) {
+        out << "query " << id << " -> " << *label << "\n";
+      } else {
+        out << "query " << id << " -> unknown\n";
+      }
+    } else if (command == "stats") {
+      dbscan::ClusterId cluster = 0;
+      if (!(fields >> cluster)) {
+        fail(result, line_no, "stats wants: cluster-id");
+        break;
+      }
+      const auto stats = service.cluster_stats(cluster);
+      if (stats.has_value()) {
+        out << "stats " << cluster << " -> size=" << stats->size
+            << " core=" << stats->core_points
+            << " weight=" << stats->weight << "\n";
+      } else {
+        out << "stats " << cluster << " -> unknown\n";
+      }
+    } else {
+      fail(result, line_no, "unknown command '" + command + "'");
+      break;
+    }
+  }
+  return result;
+}
+
+}  // namespace mrscan::serve

@@ -1,0 +1,611 @@
+#include "serve/service.hpp"
+
+#include <algorithm>
+
+#include "cluster/cell_graph_ops.hpp"
+#include "cluster/cell_grid.hpp"
+#include "core/serve_state.hpp"
+#include "geometry/cell.hpp"
+#include "obs/names.hpp"
+#include "util/assert.hpp"
+#include "util/timer.hpp"
+
+namespace mrscan::serve {
+
+namespace {
+
+namespace names = obs::names;
+
+// FNV-1a over the sorted core-member ids of a cell. Order-independent
+// inputs are not needed — members are scanned in ascending-id order — but
+// the count is folded in so {a} and {a, a} style degeneracies cannot
+// collide trivially.
+constexpr std::uint64_t kFnvOffset = 1469598103934665603ULL;
+constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
+
+std::uint64_t fnv_step(std::uint64_t h, std::uint64_t v) {
+  for (int byte = 0; byte < 8; ++byte) {
+    h ^= (v >> (8 * byte)) & 0xffu;
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+/// Occupied cells within Chebyshev distance kCellGraphRings of `code`,
+/// including `code` itself, appended to `out`.
+void occupied_neighborhood(const cluster::MutableCellGrid& grid,
+                           std::uint64_t code,
+                           std::set<std::uint64_t>& out) {
+  if (grid.occupied(code)) out.insert(code);
+  geom::for_each_neighbor_within(
+      geom::cell_from_code(code), cluster::kCellGraphRings,
+      [&](geom::CellKey key) {
+        const std::uint64_t ncode = geom::cell_code(key);
+        if (grid.occupied(ncode)) out.insert(ncode);
+      });
+}
+
+}  // namespace
+
+std::optional<dbscan::ClusterId> EpochSnapshot::label_of(
+    geom::PointId id) const {
+  const auto it = std::lower_bound(
+      points.begin(), points.end(), id,
+      [](const geom::Point& p, geom::PointId v) { return p.id < v; });
+  if (it == points.end() || it->id != id) return std::nullopt;
+  return labels[static_cast<std::size_t>(it - points.begin())];
+}
+
+ClusterService::ClusterService(ServeConfig config)
+    : config_(std::move(config)),
+      eps2_(config_.params.eps * config_.params.eps),
+      injector_(config_.fault_plan),
+      pool_(config_.host_threads),
+      grid_(cluster::cell_graph_side(config_.params.eps)) {
+  MRSCAN_REQUIRE(config_.params.eps > 0.0);
+  MRSCAN_REQUIRE(config_.params.min_pts >= 1);
+  // Every serve.* counter exists from the first snapshot on (the "created
+  // at zero" idiom), so metric consumers never see a partial table.
+  registry_.add(names::kServeEpochs, 0);
+  registry_.add(names::kServeInserts, 0);
+  registry_.add(names::kServeRemoves, 0);
+  registry_.add(names::kServeRejected, 0);
+  registry_.add(names::kServeReclusterPoints, 0);
+  registry_.add(names::kServeDistanceOps, 0);
+  registry_.add(names::kServeEdgeTests, 0);
+  registry_.add(names::kServeQueries, 0);
+  registry_.add(names::kServeRetries, 0);
+  registry_.add(names::kServeFaultAborts, 0);
+  registry_.set(names::kServePoints, 0.0);
+  registry_.set(names::kServeCells, 0.0);
+  registry_.set(names::kServeClusters, 0.0);
+  registry_.set(names::kServePinnedEpochs, 0.0);
+  registry_.set(names::kServeSimSeconds, 0.0);
+  // Epoch 0: the empty clustering, published so queries are well-defined
+  // before any mutation arrives.
+  publish(std::make_shared<const EpochSnapshot>());
+}
+
+ClusterService::~ClusterService() = default;
+
+std::unique_ptr<ClusterService> ClusterService::from_build(
+    const core::ServeState& state) {
+  ServeConfig config;
+  config.params = state.params;
+  config.host_threads = state.host_threads;
+  auto service = std::make_unique<ClusterService>(std::move(config));
+  const EpochResult r = service->bootstrap(state.points);
+  MRSCAN_REQUIRE(r.ok);
+  return service;
+}
+
+void ClusterService::insert(const geom::Point& point) {
+  pending_.push_back(Mutation{Mutation::Kind::kInsert, point});
+}
+
+void ClusterService::remove(geom::PointId id) {
+  geom::Point key;
+  key.id = id;
+  pending_.push_back(Mutation{Mutation::Kind::kRemove, key});
+}
+
+EpochResult ClusterService::bootstrap(std::span<const geom::Point> points) {
+  for (const geom::Point& p : points) insert(p);
+  return advance_epoch();
+}
+
+EpochResult ClusterService::advance_epoch() {
+  util::Timer timer;
+  EpochResult result;
+  EpochStats& stats = result.stats;
+  const std::uint64_t e = epoch_ + 1;
+  stats.epoch = e;
+
+  // ---- Fault gate: the epoch's publish link. Epoch e plays node e in
+  // the fault plan; each drop costs an ack timeout + exponential backoff
+  // on the virtual clock, and exhausting the retry budget fails the
+  // epoch cleanly — the previous snapshot stays current and the pending
+  // mutations are retried by the next advance_epoch().
+  double fault_delay_s = 0.0;
+  if (injector_.active()) {
+    const auto node = static_cast<std::uint32_t>(e);
+    std::uint32_t attempt = 0;
+    while (injector_.should_drop(node, attempt)) {
+      fault_delay_s += injector_.retry().ack_timeout_s +
+                       injector_.retry().backoff_seconds(attempt);
+      ++stats.retries;
+      ++attempt;
+      if (attempt >= injector_.retry().max_attempts) {
+        registry_.add(names::kServeRetries, stats.retries);
+        registry_.add(names::kServeFaultAborts);
+        result.ok = false;
+        result.error = "epoch " + std::to_string(e) +
+                       ": publish retry budget exhausted";
+        return result;
+      }
+    }
+  }
+
+  // ---- Apply pending mutations; every touched cell is dirty.
+  std::set<std::uint64_t> dirty;
+  std::vector<Mutation> batch;
+  batch.swap(pending_);
+  for (const Mutation& m : batch) {
+    if (m.kind == Mutation::Kind::kInsert) {
+      if (live_.contains(m.point.id)) {
+        ++stats.rejected;
+        continue;
+      }
+      std::uint32_t slot;
+      if (free_slots_.empty()) {
+        slot = static_cast<std::uint32_t>(slots_.size());
+        slots_.emplace_back();
+      } else {
+        slot = free_slots_.back();
+        free_slots_.pop_back();
+      }
+      PointRec& rec = slots_[slot];
+      rec = PointRec{};
+      rec.point = m.point;
+      rec.cell_code = grid_.code_of(m.point);
+      rec.live = true;
+      live_.emplace(m.point.id, slot);
+      grid_.insert(rec.cell_code, m.point.id, slot);
+      dirty.insert(rec.cell_code);
+      ++stats.inserts;
+    } else {
+      const auto it = live_.find(m.point.id);
+      if (it == live_.end()) {
+        ++stats.rejected;
+        continue;
+      }
+      const std::uint32_t slot = it->second;
+      const std::uint64_t code = slots_[slot].cell_code;
+      grid_.remove(code, m.point.id);
+      live_.erase(it);
+      slots_[slot].live = false;
+      free_slots_.push_back(slot);
+      dirty.insert(code);
+      ++stats.removes;
+    }
+  }
+  stats.dirty_cells = dirty.size();
+
+  // ---- Invalidation region. Core status can only flip for points within
+  // Eps of a mutation; with cells of side Eps/(2*sqrt(2)) those points
+  // live within Chebyshev distance kCellGraphRings of a dirty cell
+  // (DESIGN §12's reachability bound), so `affected` is a complete core
+  // recompute set.
+  std::set<std::uint64_t> affected;
+  for (const std::uint64_t code : dirty) {
+    occupied_neighborhood(grid_, code, affected);
+  }
+
+  std::set<std::uint64_t> changed_core;
+  stats.distance_ops += classify_core_cells(affected, changed_core);
+
+  // A dirty cell that vanished entirely: its former core members are
+  // gone, which is a core-membership change like any other.
+  for (const std::uint64_t code : dirty) {
+    if (!grid_.occupied(code) && core_fp_.contains(code)) {
+      core_fp_.erase(code);
+      changed_core.insert(code);
+    }
+  }
+
+  // ---- Edge cache invalidation: a cached BCP outcome is a function of
+  // the two cells' core-member sets, so it survives any epoch that leaves
+  // both endpoints' core membership untouched.
+  std::erase_if(edges_, [&](const auto& entry) {
+    return changed_core.contains(entry.first.first) ||
+           changed_core.contains(entry.first.second);
+  });
+
+  // ---- Border anchors. An anchor (lowest-id core point within Eps) can
+  // only change when a core-membership change happens within Eps, i.e.
+  // for border points within ring-3 of a changed_core cell — plus the
+  // affected cells themselves, whose own members (re-)classified.
+  std::set<std::uint64_t> anchor_region = affected;
+  for (const std::uint64_t code : changed_core) {
+    occupied_neighborhood(grid_, code, anchor_region);
+  }
+  // Re-clustered points: the epoch's distance-level footprint — every
+  // member of a core-recompute cell plus every border point whose anchor
+  // was redone outside those cells.
+  for (const std::uint64_t code : affected) {
+    stats.recluster_points += grid_.members(code).size();
+  }
+  for (const std::uint64_t code : anchor_region) {
+    if (affected.contains(code)) continue;
+    for (const auto& member : grid_.members(code)) {
+      if (!slots_[member.slot].core) ++stats.recluster_points;
+    }
+  }
+  stats.distance_ops += recompute_anchors(anchor_region);
+
+  // ---- Connectivity + labels: union-find over core cells from cached
+  // and freshly-tested edges, then the O(live) label materialization.
+  std::shared_ptr<EpochSnapshot> snapshot = materialize(stats);
+
+  stats.wall_seconds = timer.seconds();
+  stats.sim_seconds =
+      (static_cast<double>(stats.distance_ops) / config_.titan.cpu_op_rate +
+       fault_delay_s) *
+      injector_.slow_factor(static_cast<std::uint32_t>(e));
+  sim_seconds_total_ += stats.sim_seconds;
+  epoch_ = e;
+
+  // Mirror the epoch into the serve.* series.
+  registry_.add(names::kServeEpochs);
+  registry_.add(names::kServeInserts, stats.inserts);
+  registry_.add(names::kServeRemoves, stats.removes);
+  registry_.add(names::kServeRejected, stats.rejected);
+  registry_.add(names::kServeReclusterPoints, stats.recluster_points);
+  registry_.add(names::kServeDistanceOps, stats.distance_ops);
+  registry_.add(names::kServeEdgeTests, stats.edge_tests);
+  registry_.add(names::kServeRetries, stats.retries);
+  registry_.observe(names::kServeEpochDirtyCells,
+                    static_cast<double>(stats.dirty_cells));
+  registry_.observe(names::kServeEpochReclusterPoints,
+                    static_cast<double>(stats.recluster_points));
+  registry_.observe(names::kServeEpochSeconds, stats.wall_seconds);
+  registry_.set(names::kServePoints, static_cast<double>(live_.size()));
+  registry_.set(names::kServeCells,
+                static_cast<double>(grid_.cell_count()));
+  registry_.set(names::kServeClusters,
+                static_cast<double>(snapshot->clusters.size()));
+  registry_.set(names::kServeSimSeconds, sim_seconds_total_);
+
+  snapshot->stats = stats;
+  publish(std::move(snapshot));
+  return result;
+}
+
+std::uint64_t ClusterService::classify_core_cells(
+    const std::set<std::uint64_t>& affected,
+    std::set<std::uint64_t>& changed_core) {
+  const std::vector<std::uint64_t> cells(affected.begin(), affected.end());
+  const std::size_t min_pts = config_.params.min_pts;
+  std::vector<std::uint64_t> cell_ops(cells.size(), 0);
+
+  // One task per cell: a worker writes only its own cell's members' core
+  // flags and its own ops slot, and reads only point coordinates — the
+  // determinism contract's disjoint-writes discipline (DESIGN §8).
+  pool_.parallel_for(0, cells.size(), [&](std::size_t ci) {
+    const std::uint64_t code = cells[ci];
+    const auto members = grid_.members(code);
+    if (members.size() >= min_pts) {
+      // Wholesale rule: the cell diagonal is Eps/2, so all members are
+      // mutually within Eps — core without a single distance test.
+      for (const auto& member : members) slots_[member.slot].core = true;
+      return;
+    }
+    // Exact early-exit count over the ring-3 neighbourhood (self first —
+    // dist 0 counts the point itself, matching DbscanParams' inclusive
+    // MinPts).
+    std::vector<std::uint64_t> scan;
+    scan.reserve(1 + 48);
+    scan.push_back(code);
+    geom::for_each_neighbor_within(
+        geom::cell_from_code(code), cluster::kCellGraphRings,
+        [&](geom::CellKey key) {
+          const std::uint64_t ncode = geom::cell_code(key);
+          // par-ref-capture-ok: scan is local to this task's lambda body
+          if (grid_.occupied(ncode)) scan.push_back(ncode);
+        });
+    std::uint64_t ops = 0;
+    for (const auto& member : members) {
+      const geom::Point& p = slots_[member.slot].point;
+      std::size_t found = 0;
+      for (const std::uint64_t ncode : scan) {
+        for (const auto& candidate : grid_.members(ncode)) {
+          ++ops;
+          if (geom::dist2(p, slots_[candidate.slot].point) <= eps2_) {
+            if (++found >= min_pts) break;
+          }
+        }
+        if (found >= min_pts) break;
+      }
+      slots_[member.slot].core = found >= min_pts;
+    }
+    cell_ops[ci] = ops;
+  });
+
+  // Post-barrier reductions: op totals and core-fingerprint diffs.
+  std::uint64_t total_ops = 0;
+  for (std::size_t ci = 0; ci < cells.size(); ++ci) {
+    total_ops += cell_ops[ci];
+    const std::uint64_t code = cells[ci];
+    std::uint64_t fp = kFnvOffset;
+    std::uint64_t core_count = 0;
+    for (const auto& member : grid_.members(code)) {
+      if (!slots_[member.slot].core) continue;
+      fp = fnv_step(fp, member.id);
+      ++core_count;
+    }
+    const auto it = core_fp_.find(code);
+    if (core_count == 0) {
+      if (it != core_fp_.end()) {
+        core_fp_.erase(it);
+        changed_core.insert(code);
+      }
+    } else if (it == core_fp_.end() || it->second != fp) {
+      core_fp_.insert_or_assign(code, fp);
+      changed_core.insert(code);
+    }
+  }
+  return total_ops;
+}
+
+std::uint64_t ClusterService::recompute_anchors(
+    const std::set<std::uint64_t>& region) {
+  const std::vector<std::uint64_t> cells(region.begin(), region.end());
+  std::vector<std::uint64_t> cell_ops(cells.size(), 0);
+
+  pool_.parallel_for(0, cells.size(), [&](std::size_t ci) {
+    const std::uint64_t code = cells[ci];
+    const auto members = grid_.members(code);
+    bool any_border = false;
+    for (const auto& member : members) {
+      if (!slots_[member.slot].core) any_border = true;
+    }
+    if (!any_border) return;
+    std::vector<std::uint64_t> scan;
+    scan.reserve(1 + 48);
+    scan.push_back(code);
+    geom::for_each_neighbor_within(
+        geom::cell_from_code(code), cluster::kCellGraphRings,
+        [&](geom::CellKey key) {
+          const std::uint64_t ncode = geom::cell_code(key);
+          // par-ref-capture-ok: scan is local to this task's lambda body
+          if (grid_.occupied(ncode)) scan.push_back(ncode);
+        });
+    std::uint64_t ops = 0;
+    for (const auto& member : members) {
+      PointRec& rec = slots_[member.slot];
+      if (rec.core) continue;
+      geom::PointId best = 0;
+      bool has_best = false;
+      for (const std::uint64_t ncode : scan) {
+        // Members are ascending by id, so within one cell the first core
+        // point inside Eps is that cell's lowest-id candidate — scan the
+        // rest of the cell only while no hit has been found.
+        for (const auto& candidate : grid_.members(ncode)) {
+          const PointRec& cand = slots_[candidate.slot];
+          if (!cand.core) continue;
+          if (has_best && candidate.id >= best) break;
+          ++ops;
+          if (geom::dist2(rec.point, cand.point) <= eps2_) {
+            best = candidate.id;
+            has_best = true;
+            break;
+          }
+        }
+      }
+      rec.anchor = best;
+      rec.has_anchor = has_best;
+    }
+    cell_ops[ci] = ops;
+  });
+
+  std::uint64_t total_ops = 0;
+  for (const std::uint64_t ops : cell_ops) total_ops += ops;
+  return total_ops;
+}
+
+std::shared_ptr<EpochSnapshot> ClusterService::materialize(
+    EpochStats& stats) {
+  // Union-find over core cells, ascending by code. Edges come from the
+  // cache when valid; pairs incident to a changed cell were purged above
+  // and are re-tested here (BCP with the core-bbox Eps prefilter — the
+  // shared cluster::bcp_within_eps kernel the batch path runs).
+  std::map<std::uint64_t, std::uint32_t> node_of;
+  cluster::UnionFind uf;
+  for (const auto& [code, fp] : core_fp_) {
+    node_of.emplace(code, uf.add());
+  }
+
+  // Core member slots + bbox per cell, built lazily: only cells that
+  // actually face a cache-miss BCP test pay for it.
+  std::map<std::uint64_t, std::pair<std::vector<std::uint32_t>, geom::BBox>>
+      core_lists;
+  auto core_list = [&](std::uint64_t code)
+      -> const std::pair<std::vector<std::uint32_t>, geom::BBox>& {
+    auto it = core_lists.find(code);
+    if (it == core_lists.end()) {
+      std::pair<std::vector<std::uint32_t>, geom::BBox> entry;
+      for (const auto& member : grid_.members(code)) {
+        if (!slots_[member.slot].core) continue;
+        entry.first.push_back(member.slot);
+        entry.second.expand(slots_[member.slot].point);
+      }
+      it = core_lists.emplace(code, std::move(entry)).first;
+    }
+    return it->second;
+  };
+
+  std::uint64_t edge_ops = 0;
+  for (const auto& [code, node] : node_of) {
+    const geom::CellKey key = geom::cell_from_code(code);
+    for (std::int32_t dy = -cluster::kCellGraphRings;
+         dy <= cluster::kCellGraphRings; ++dy) {
+      for (std::int32_t dx = -cluster::kCellGraphRings;
+           dx <= cluster::kCellGraphRings; ++dx) {
+        if (dx == 0 && dy == 0) continue;
+        const std::uint64_t ncode =
+            geom::cell_code(geom::CellKey{key.ix + dx, key.iy + dy});
+        if (ncode <= code) continue;  // each pair once
+        const auto nit = node_of.find(ncode);
+        if (nit == node_of.end()) continue;
+        const auto pair_key = std::make_pair(code, ncode);
+        auto cached = edges_.find(pair_key);
+        if (cached == edges_.end()) {
+          const auto& a = core_list(code);
+          const auto& b = core_list(ncode);
+          bool linked = false;
+          if (cluster::box_gap2(a.second, b.second) <= eps2_) {
+            linked = cluster::bcp_within_eps(
+                a.first.size(), b.first.size(),
+                [&](std::size_t i) -> const geom::Point& {
+                  return slots_[a.first[i]].point;
+                },
+                [&](std::size_t j) -> const geom::Point& {
+                  return slots_[b.first[j]].point;
+                },
+                eps2_, edge_ops);
+          }
+          cached = edges_.emplace(pair_key, linked).first;
+          ++stats.edge_tests;
+        }
+        if (cached->second) uf.unite(node, nit->second);
+      }
+    }
+  }
+  stats.distance_ops += edge_ops;
+
+  // ---- Label materialization: canonical first-appearance-in-id-order
+  // numbering over the live set. O(live) bookkeeping, no distance work.
+  auto snapshot = std::make_shared<EpochSnapshot>();
+  snapshot->epoch = stats.epoch;
+  snapshot->points.reserve(live_.size());
+  snapshot->labels.reserve(live_.size());
+  snapshot->core.reserve(live_.size());
+  std::map<std::uint32_t, dbscan::ClusterId> canonical;
+  auto canonical_of = [&](std::uint32_t root) {
+    return canonical
+        .emplace(root, static_cast<dbscan::ClusterId>(canonical.size()))
+        .first->second;
+  };
+  for (const auto& [id, slot] : live_) {
+    const PointRec& rec = slots_[slot];
+    dbscan::ClusterId label = dbscan::kNoise;
+    if (rec.core) {
+      label = canonical_of(uf.find(node_of.at(rec.cell_code)));
+    } else if (rec.has_anchor) {
+      const auto anchor_it = live_.find(rec.anchor);
+      MRSCAN_ASSERT(anchor_it != live_.end());
+      const PointRec& anchor = slots_[anchor_it->second];
+      MRSCAN_ASSERT(anchor.core);
+      label = canonical_of(uf.find(node_of.at(anchor.cell_code)));
+    }
+    snapshot->points.push_back(rec.point);
+    snapshot->labels.push_back(label);
+    snapshot->core.push_back(rec.core ? 1 : 0);
+    if (label == dbscan::kNoise) continue;
+    if (static_cast<std::size_t>(label) >= snapshot->clusters.size()) {
+      snapshot->clusters.resize(static_cast<std::size_t>(label) + 1);
+    }
+    ClusterStats& cs = snapshot->clusters[static_cast<std::size_t>(label)];
+    ++cs.size;
+    if (rec.core) ++cs.core_points;
+    cs.weight += rec.point.weight;
+    cs.bbox.expand(rec.point);
+  }
+  stats.live_points = live_.size();
+  stats.clusters = snapshot->clusters.size();
+  return snapshot;
+}
+
+void ClusterService::publish(
+    std::shared_ptr<const EpochSnapshot> snapshot) {
+  std::lock_guard<std::mutex> lock(snapshot_mutex_);
+  published_.push_back(Entry{next_serial_++, std::move(snapshot), 0});
+  drain_retired_locked();
+  registry_.set(names::kServePinnedEpochs,
+                static_cast<double>(published_.size() - 1));
+}
+
+void ClusterService::drain_retired_locked() const {
+  // Epoch-based reclamation: a retired snapshot (anything but the back)
+  // is freed once its last reader drops. Pins only block their own entry
+  // and older ones from draining past them, so depth is bounded by the
+  // oldest live reader.
+  while (published_.size() > 1 && published_.front().pins == 0) {
+    published_.pop_front();
+  }
+}
+
+void ClusterService::unpin(std::size_t serial) const {
+  std::lock_guard<std::mutex> lock(snapshot_mutex_);
+  for (Entry& entry : published_) {
+    if (entry.serial == serial) {
+      MRSCAN_ASSERT(entry.pins > 0);
+      --entry.pins;
+      break;
+    }
+  }
+  drain_retired_locked();
+}
+
+ClusterService::SnapshotGuard::SnapshotGuard(SnapshotGuard&& other) noexcept
+    : service_(other.service_),
+      entry_(other.entry_),
+      snapshot_(other.snapshot_) {
+  other.service_ = nullptr;
+  other.snapshot_ = nullptr;
+}
+
+ClusterService::SnapshotGuard::~SnapshotGuard() {
+  if (service_ != nullptr) service_->unpin(entry_);
+}
+
+ClusterService::SnapshotGuard ClusterService::snapshot() const {
+  std::lock_guard<std::mutex> lock(snapshot_mutex_);
+  Entry& current = published_.back();
+  ++current.pins;
+  return SnapshotGuard(this, current.serial, current.snapshot.get());
+}
+
+std::optional<dbscan::ClusterId> ClusterService::label_of(
+    geom::PointId id) const {
+  util::Timer timer;
+  const SnapshotGuard guard = snapshot();
+  const auto label = guard->label_of(id);
+  registry_.add(names::kServeQueries);
+  registry_.observe(names::kServeQuerySeconds, timer.seconds());
+  return label;
+}
+
+std::optional<ClusterStats> ClusterService::cluster_stats(
+    dbscan::ClusterId cluster) const {
+  util::Timer timer;
+  const SnapshotGuard guard = snapshot();
+  std::optional<ClusterStats> stats;
+  if (cluster >= 0 &&
+      static_cast<std::size_t>(cluster) < guard->clusters.size()) {
+    stats = guard->clusters[static_cast<std::size_t>(cluster)];
+  }
+  registry_.add(names::kServeQueries);
+  registry_.observe(names::kServeQuerySeconds, timer.seconds());
+  return stats;
+}
+
+std::uint64_t ClusterService::epoch() const { return epoch_; }
+
+std::size_t ClusterService::live_points() const { return live_.size(); }
+
+std::size_t ClusterService::pending_mutations() const {
+  return pending_.size();
+}
+
+}  // namespace mrscan::serve

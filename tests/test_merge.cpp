@@ -268,9 +268,12 @@ TEST(Merger, RaggedChildrenPairIndexingStaysAligned) {
 }
 
 TEST(LeafSummary, BuildsRepsAndRespectsBoundaryCells) {
-  // Points along a horizontal strip; leaf owns cells x<2, shadow x=2.
+  // Points along a horizontal strip; leaf owns cells x<3, shadow x=3.
+  // With the 2-ring shadow radius, owned cells (1,0) and (2,0) are
+  // boundary cells while (0,0) — three rings from the shadow — stays
+  // interior.
   mg::PointSet pts;
-  for (int i = 0; i < 60; ++i) {
+  for (int i = 0; i < 80; ++i) {
     pts.push_back({static_cast<mg::PointId>(i), 0.05 * i + 0.01, 0.5,
                    1.0f});
   }
@@ -280,32 +283,37 @@ TEST(LeafSummary, BuildsRepsAndRespectsBoundaryCells) {
 
   mm::LeafSummaryInput input;
   input.points = pts;
-  input.owned_count = 40;  // first 40 owned (x < 2), rest shadow
+  input.owned_count = 60;  // first 60 owned (x < 3), rest shadow
   input.labels = &labels;
   input.geometry = mg::GridGeometry{0.0, 0.0, 1.0};
   std::vector<std::uint64_t> owned{mg::cell_code(mg::CellKey{0, 0}),
-                                   mg::cell_code(mg::CellKey{1, 0})};
-  std::vector<std::uint64_t> shadow{mg::cell_code(mg::CellKey{2, 0})};
+                                   mg::cell_code(mg::CellKey{1, 0}),
+                                   mg::cell_code(mg::CellKey{2, 0})};
+  std::vector<std::uint64_t> shadow{mg::cell_code(mg::CellKey{3, 0})};
   std::sort(owned.begin(), owned.end());
   input.owned_cells = owned;
   input.shadow_cells = shadow;
 
   const auto summary = mm::build_leaf_summary(input);
   ASSERT_EQ(summary.clusters.size(), 1u);
-  EXPECT_EQ(summary.clusters[0].owned_points, 40u);
-  // Cell (0,0) is interior (not adjacent to the shadow cell) and must be
-  // omitted; cells (1,0) (boundary owned) and (2,0) (shadow) appear.
+  EXPECT_EQ(summary.clusters[0].owned_points, 60u);
+  // Cell (0,0) is interior (beyond shadow_rings of the shadow cell) and
+  // must be omitted; cells (1,0) and (2,0) (boundary owned) and (3,0)
+  // (shadow) appear.
   std::vector<std::uint64_t> cell_codes;
   for (const auto& cell : summary.clusters[0].cells) {
     cell_codes.push_back(cell.cell_code);
     EXPECT_LE(cell.reps.size(), 8u);
   }
-  EXPECT_EQ(cell_codes.size(), 2u);
+  EXPECT_EQ(cell_codes.size(), 3u);
   EXPECT_TRUE(std::find(cell_codes.begin(), cell_codes.end(),
                         mg::cell_code(mg::CellKey{1, 0})) !=
               cell_codes.end());
   EXPECT_TRUE(std::find(cell_codes.begin(), cell_codes.end(),
                         mg::cell_code(mg::CellKey{2, 0})) !=
+              cell_codes.end());
+  EXPECT_TRUE(std::find(cell_codes.begin(), cell_codes.end(),
+                        mg::cell_code(mg::CellKey{3, 0})) !=
               cell_codes.end());
   EXPECT_TRUE(std::find(cell_codes.begin(), cell_codes.end(),
                         mg::cell_code(mg::CellKey{0, 0})) ==
@@ -314,7 +322,7 @@ TEST(LeafSummary, BuildsRepsAndRespectsBoundaryCells) {
   // The shadow cell is flagged as such.
   for (const auto& cell : summary.clusters[0].cells) {
     EXPECT_EQ(cell.from_shadow,
-              cell.cell_code == mg::cell_code(mg::CellKey{2, 0}));
+              cell.cell_code == mg::cell_code(mg::CellKey{3, 0}));
   }
 }
 

@@ -59,13 +59,13 @@ TEST(Partitioner, PartitionsAreRoughlyBalanced) {
   // After rebalancing, every multi-cell partition except the first
   // respects the threshold: single-cell partitions cannot be subdivided
   // (the paper's dense-cell limit) and the first partition absorbs the
-  // residue of the backward pass (Figure 2d). Shadow sizes drift slightly
-  // as ownership moves, hence the 10% slack.
+  // residue of the backward pass (Figure 2d). Shadow sizes drift as
+  // ownership moves — more so with the 2*Eps halos — hence the 15% slack.
   for (std::size_t pi = 1; pi < plan.part_count(); ++pi) {
     const auto& part = plan.parts[pi];
     if (part.owned_cells.size() > 1) {
       EXPECT_LE(static_cast<double>(part.total_points()),
-                config.rebalance_threshold * mean * 1.10)
+                config.rebalance_threshold * mean * 1.15)
           << "partition " << pi;
     }
   }
@@ -84,7 +84,10 @@ TEST(Partitioner, RebalanceShrinksLastPartition) {
   const auto& last_after = after.parts.back();
   EXPECT_LE(last_after.total_points(), last_before.total_points());
 
-  // Spread (max/mean) must not get worse.
+  // Spread (max/mean) must not get meaningfully worse. It is not strictly
+  // monotone: trimming a boundary cell drags its whole 2*Eps halo into
+  // the receiving partition, so on hot-spot-heavy inputs a trim can bump
+  // another partition's total slightly above the old maximum.
   auto spread = [](const mp::PartitionPlan& plan) {
     std::uint64_t mx = 0, total = 0;
     for (const auto& p : plan.parts) {
@@ -94,22 +97,26 @@ TEST(Partitioner, RebalanceShrinksLastPartition) {
     return static_cast<double>(mx) * plan.part_count() /
            static_cast<double>(total);
   };
-  EXPECT_LE(spread(after), spread(before) + 1e-9);
+  EXPECT_LE(spread(after), spread(before) * 1.15);
 }
 
 TEST(Partitioner, ShadowRegionsAreExactlyTheNonOwnedNeighbors) {
+  // Shadow = every non-empty cell within shadow_rings (2*Eps) of an owned
+  // cell that the partition does not own itself — no more, no less.
   TestData s(twitter_points(20000), 0.1);
   const auto plan = mp::plan_partitions(
       s.hist, s.geometry, mp::PartitionerConfig{8, 4, true, 1.075});
+  ASSERT_EQ(plan.shadow_rings, 2);
   for (std::size_t pi = 0; pi < plan.part_count(); ++pi) {
     const auto& part = plan.parts[pi];
     std::set<std::uint64_t> expected;
     for (const std::uint64_t code : part.owned_cells) {
-      mg::for_each_neighbor(mg::cell_from_code(code), [&](mg::CellKey nbr) {
-        if (s.hist.count_of(nbr) == 0) return;
-        if (plan.owner_of(mg::cell_code(nbr)) == pi) return;
-        expected.insert(mg::cell_code(nbr));
-      });
+      mg::for_each_neighbor_within(
+          mg::cell_from_code(code), plan.shadow_rings, [&](mg::CellKey nbr) {
+            if (s.hist.count_of(nbr) == 0) return;
+            if (plan.owner_of(mg::cell_code(nbr)) == pi) return;
+            expected.insert(mg::cell_code(nbr));
+          });
     }
     std::set<std::uint64_t> got(part.shadow_cells.begin(),
                                 part.shadow_cells.end());

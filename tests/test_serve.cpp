@@ -1,0 +1,398 @@
+// serve::ClusterService lifecycle: epoch edge cases (empty epoch,
+// delete-only epoch emptying a core cell, mutations whose effect lands in
+// a shadow ring of the dirty cell), fault-injected maintenance epochs,
+// epoch-based snapshot reclamation, and the seeded streaming workload
+// generator the service tests and bench share.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "cluster_equiv.hpp"
+#include "core/mrscan.hpp"
+#include "core/serve_state.hpp"
+#include "data/stream.hpp"
+#include "data/synthetic.hpp"
+#include "obs/names.hpp"
+#include "serve/service.hpp"
+
+namespace md = mrscan::data;
+namespace mg = mrscan::geom;
+namespace ms = mrscan::serve;
+namespace names = mrscan::obs::names;
+
+namespace {
+
+ms::ServeConfig make_config(double eps, std::size_t min_pts) {
+  ms::ServeConfig config;
+  config.params = {eps, min_pts};
+  return config;
+}
+
+mg::Point pt(mg::PointId id, double x, double y) {
+  mg::Point p;
+  p.id = id;
+  p.x = x;
+  p.y = y;
+  p.weight = 1.0;
+  return p;
+}
+
+/// Cold batch labels for the service's current live set, aligned with the
+/// snapshot's ascending-id point order.
+std::vector<mrscan::dbscan::ClusterId> batch_labels(
+    const mg::PointSet& points, const mrscan::dbscan::DbscanParams& params) {
+  mrscan::core::MrScanConfig config;
+  config.params = params;
+  config.leaves = 4;
+  config.partition_nodes = 2;
+  return mrscan::core::MrScan(config).run(points).labels_for(points);
+}
+
+void expect_matches_batch(const ms::ClusterService& service,
+                          const std::string& context) {
+  const auto snapshot = service.snapshot();
+  const auto batch = batch_labels(snapshot->points, service.config().params);
+  EXPECT_TRUE(mrscan::test::same_clustering(snapshot->labels, batch))
+      << context;
+}
+
+}  // namespace
+
+TEST(ServeLifecycle, EmptyEpochIsFreeAndChangesNothing) {
+  ms::ClusterService service(make_config(1.0, 3));
+  const std::vector<mg::Point> points{pt(0, 0.0, 0.0), pt(1, 0.4, 0.0),
+                                      pt(2, 0.0, 0.4), pt(3, 5.0, 5.0)};
+  ASSERT_TRUE(service.bootstrap(points).ok);
+  const auto before = service.snapshot();
+
+  const auto result = service.advance_epoch();
+  ASSERT_TRUE(result.ok);
+  EXPECT_EQ(result.stats.dirty_cells, 0u);
+  EXPECT_EQ(result.stats.recluster_points, 0u);
+  EXPECT_EQ(result.stats.distance_ops, 0u);
+  EXPECT_EQ(service.epoch(), 2u);
+
+  const auto after = service.snapshot();
+  EXPECT_EQ(after->epoch, 2u);
+  EXPECT_EQ(after->labels, before->labels);
+  EXPECT_EQ(after->core, before->core);
+  expect_matches_batch(service, "after empty epoch");
+}
+
+TEST(ServeLifecycle, DeleteOnlyEpochEmptiesCoreCell) {
+  // Five points in one Eps/(2*sqrt(2)) cell (wholesale core with
+  // min_pts 4) plus a second tight group far away.
+  ms::ClusterService service(make_config(1.0, 4));
+  const std::vector<mg::Point> points{
+      pt(0, 0.05, 0.05), pt(1, 0.10, 0.10), pt(2, 0.15, 0.05),
+      pt(3, 0.10, 0.15), pt(4, 0.05, 0.10), pt(5, 10.0, 10.0),
+      pt(6, 10.1, 10.0), pt(7, 10.0, 10.1), pt(8, 10.1, 10.1)};
+  ASSERT_TRUE(service.bootstrap(points).ok);
+  ASSERT_EQ(service.snapshot()->clusters.size(), 2u);
+
+  for (mg::PointId id = 0; id < 5; ++id) service.remove(id);
+  const auto result = service.advance_epoch();
+  ASSERT_TRUE(result.ok);
+  EXPECT_EQ(result.stats.removes, 5u);
+  EXPECT_EQ(result.stats.inserts, 0u);
+
+  const auto snapshot = service.snapshot();
+  EXPECT_EQ(snapshot->points.size(), 4u);
+  EXPECT_EQ(snapshot->clusters.size(), 1u);
+  EXPECT_FALSE(service.label_of(0).has_value());
+  expect_matches_batch(service, "after emptying the core cell");
+}
+
+TEST(ServeLifecycle, MutationInShadowRingReclassifiesNeighborCell) {
+  // p sits alone (noise). The insert lands in a different cell — p's cell
+  // is never dirty — but p's core status flips because its cell is inside
+  // the dirty cell's ring-3 shadow. If the invalidation region were the
+  // dirty cells alone, p would stay noise.
+  ms::ClusterService service(make_config(1.0, 2));
+  ASSERT_TRUE(service.bootstrap(std::vector<mg::Point>{pt(0, 0.0, 0.0)}).ok);
+  ASSERT_EQ(service.label_of(0), mrscan::dbscan::kNoise);
+
+  service.insert(pt(1, 0.9, 0.0));
+  ASSERT_TRUE(service.advance_epoch().ok);
+  const auto label = service.label_of(0);
+  ASSERT_TRUE(label.has_value());
+  EXPECT_GE(*label, 0);
+  EXPECT_EQ(service.label_of(0), service.label_of(1));
+  expect_matches_batch(service, "after shadow-ring insert");
+
+  // The reverse shadow effect: removing the far point de-cores p again.
+  service.remove(1);
+  ASSERT_TRUE(service.advance_epoch().ok);
+  EXPECT_EQ(service.label_of(0), mrscan::dbscan::kNoise);
+  expect_matches_batch(service, "after shadow-ring remove");
+}
+
+TEST(ServeLifecycle, RejectsDuplicateInsertAndUnknownRemove) {
+  ms::ClusterService service(make_config(1.0, 2));
+  ASSERT_TRUE(service.bootstrap(std::vector<mg::Point>{pt(0, 0.0, 0.0),
+                                                       pt(1, 0.2, 0.0)})
+                  .ok);
+  service.insert(pt(0, 3.0, 3.0));  // id already live
+  service.remove(99);               // never existed
+  service.insert(pt(2, 0.4, 0.0));
+  service.insert(pt(2, 0.5, 0.0));  // id already pending this epoch
+  const auto result = service.advance_epoch();
+  ASSERT_TRUE(result.ok);
+  EXPECT_EQ(result.stats.inserts, 1u);
+  EXPECT_EQ(result.stats.rejected, 3u);
+  EXPECT_EQ(service.live_points(), 3u);
+  EXPECT_EQ(service.metrics().counter_value(names::kServeRejected), 3u);
+}
+
+TEST(ServeFault, DroppedPublishRetriesThenSucceeds) {
+  auto config = make_config(1.0, 2);
+  // Epoch 2 (the first post-bootstrap epoch) loses its first two publish
+  // attempts; the third goes through.
+  config.fault_plan.drop(2, 0).drop(2, 1);
+  ms::ClusterService service(config);
+  ASSERT_TRUE(service.bootstrap(std::vector<mg::Point>{pt(0, 0.0, 0.0),
+                                                       pt(1, 0.3, 0.0)})
+                  .ok);
+  service.insert(pt(2, 0.6, 0.0));
+  const auto result = service.advance_epoch();
+  ASSERT_TRUE(result.ok);
+  EXPECT_EQ(result.stats.retries, 2u);
+  EXPECT_GT(result.stats.sim_seconds, 0.0);
+  EXPECT_EQ(service.metrics().counter_value(names::kServeRetries), 2u);
+  expect_matches_batch(service, "after retried epoch");
+}
+
+TEST(ServeFault, ExhaustedRetryBudgetFailsEpochCleanly) {
+  auto config = make_config(1.0, 2);
+  for (std::uint32_t attempt = 0; attempt < config.fault_plan.retry.max_attempts;
+       ++attempt) {
+    config.fault_plan.drop(2, attempt);
+  }
+  ms::ClusterService service(config);
+  ASSERT_TRUE(service.bootstrap(std::vector<mg::Point>{pt(0, 0.0, 0.0),
+                                                       pt(1, 0.3, 0.0)})
+                  .ok);
+  const auto before = service.snapshot();
+
+  service.insert(pt(2, 0.6, 0.0));
+  const auto result = service.advance_epoch();
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.error.find("retry budget exhausted"), std::string::npos);
+  // The previous snapshot stays current and the mutation stays pending.
+  EXPECT_EQ(service.epoch(), 1u);
+  EXPECT_EQ(service.pending_mutations(), 1u);
+  EXPECT_EQ(service.live_points(), 2u);
+  EXPECT_EQ(service.snapshot()->labels, before->labels);
+  EXPECT_EQ(service.metrics().counter_value(names::kServeFaultAborts), 1u);
+}
+
+TEST(ServeFault, SlowEpochStretchesVirtualSeconds) {
+  auto slow = make_config(1.0, 2);
+  slow.fault_plan.slow(2, 8.0);
+  ms::ClusterService slowed(slow);
+  ms::ClusterService plain(make_config(1.0, 2));
+  const std::vector<mg::Point> initial{pt(0, 0.0, 0.0), pt(1, 0.3, 0.0)};
+  ASSERT_TRUE(slowed.bootstrap(initial).ok);
+  ASSERT_TRUE(plain.bootstrap(initial).ok);
+
+  slowed.insert(pt(2, 0.6, 0.0));
+  plain.insert(pt(2, 0.6, 0.0));
+  const auto slow_result = slowed.advance_epoch();
+  const auto plain_result = plain.advance_epoch();
+  ASSERT_TRUE(slow_result.ok);
+  ASSERT_TRUE(plain_result.ok);
+  EXPECT_DOUBLE_EQ(slow_result.stats.sim_seconds,
+                   8.0 * plain_result.stats.sim_seconds);
+  // Faults never touch labels.
+  EXPECT_EQ(slowed.snapshot()->labels, plain.snapshot()->labels);
+}
+
+TEST(ServeSnapshots, PinnedEpochSurvivesLaterPublishes) {
+  ms::ClusterService service(make_config(1.0, 2));
+  ASSERT_TRUE(service.bootstrap(std::vector<mg::Point>{pt(0, 0.0, 0.0),
+                                                       pt(1, 0.3, 0.0)})
+                  .ok);
+  {
+    const auto pinned = service.snapshot();
+    EXPECT_EQ(pinned->epoch, 1u);
+
+    service.insert(pt(2, 5.0, 5.0));
+    ASSERT_TRUE(service.advance_epoch().ok);
+
+    // The pinned epoch still reads its own state; new queries see epoch 2.
+    EXPECT_EQ(pinned->points.size(), 2u);
+    EXPECT_FALSE(pinned->label_of(2).has_value());
+    EXPECT_TRUE(service.label_of(2).has_value());
+    EXPECT_DOUBLE_EQ(service.metrics().gauge_value(names::kServePinnedEpochs),
+                     1.0);
+  }
+  // Reader drained: the next publish reports no retired-but-pinned epochs.
+  ASSERT_TRUE(service.advance_epoch().ok);
+  EXPECT_DOUBLE_EQ(service.metrics().gauge_value(names::kServePinnedEpochs),
+                   0.0);
+}
+
+TEST(ServeSnapshots, QueriesRunConcurrentlyWithEpochs) {
+  ms::ClusterService service(make_config(0.35, 4));
+  md::StreamConfig stream_config;
+  stream_config.distribution = md::StreamDistribution::kBlobs;
+  stream_config.initial_points = 300;
+  stream_config.mutations = 60;
+  const auto stream = md::generate_mutation_stream(stream_config);
+  ASSERT_TRUE(service.bootstrap(stream.initial).ok);
+
+  std::thread reader([&] {
+    for (int i = 0; i < 400; ++i) {
+      const auto snapshot = service.snapshot();
+      std::size_t labeled = 0;
+      for (const auto label : snapshot->labels) {
+        if (label >= 0) ++labeled;
+      }
+      EXPECT_LE(labeled, snapshot->points.size());
+      service.label_of(static_cast<mg::PointId>(i % 300));
+    }
+  });
+  for (const auto& m : stream.mutations) {
+    if (m.kind == md::Mutation::Kind::kInsert) {
+      service.insert(m.point);
+    } else {
+      service.remove(m.point.id);
+    }
+    ASSERT_TRUE(service.advance_epoch().ok);
+  }
+  reader.join();
+  expect_matches_batch(service, "after concurrent reads");
+}
+
+TEST(ServeQueries, ClusterStatsAggregateTheSnapshot) {
+  ms::ClusterService service(make_config(1.0, 2));
+  ASSERT_TRUE(service.bootstrap(std::vector<mg::Point>{
+                  pt(0, 0.0, 0.0), pt(1, 0.3, 0.0), pt(2, 0.6, 0.0),
+                  pt(3, 9.0, 9.0)})
+                  .ok);
+  const auto snapshot = service.snapshot();
+  ASSERT_EQ(snapshot->clusters.size(), 1u);
+  const auto stats = service.cluster_stats(0);
+  ASSERT_TRUE(stats.has_value());
+  EXPECT_EQ(stats->size, 3u);
+  EXPECT_EQ(stats->core_points, 3u);
+  EXPECT_DOUBLE_EQ(stats->weight, 3.0);
+  EXPECT_FALSE(service.cluster_stats(1).has_value());
+  EXPECT_FALSE(service.cluster_stats(mrscan::dbscan::kNoise).has_value());
+  EXPECT_GE(service.metrics().counter_value(names::kServeQueries), 2u);
+}
+
+TEST(ServeState, FromBuildReproducesTheBatchClustering) {
+  const mg::BBox window{0.0, 0.0, 10.0, 10.0};
+  const std::vector<md::Blob> blobs{{2.0, 2.0, 0.3, 150},
+                                    {7.5, 7.5, 0.3, 150}};
+  auto points = md::gaussian_blobs(blobs, 30, window, 7);
+  std::sort(points.begin(), points.end(),
+            [](const mg::Point& a, const mg::Point& b) { return a.id < b.id; });
+
+  mrscan::core::MrScanConfig config;
+  config.params = {0.35, 5};
+  config.leaves = 4;
+  config.partition_nodes = 2;
+  const auto result = mrscan::core::MrScan(config).run(points);
+  const auto state = mrscan::core::extract_serve_state(config, result, points);
+  ASSERT_EQ(state.points.size(), points.size());
+
+  const auto service = ms::ClusterService::from_build(state);
+  const auto snapshot = service->snapshot();
+  ASSERT_EQ(snapshot->points.size(), points.size());
+  EXPECT_TRUE(mrscan::test::same_clustering(snapshot->labels,
+                                            result.labels_for(points)));
+  EXPECT_TRUE(
+      mrscan::test::same_clustering(snapshot->labels, state.labels));
+}
+
+// ---- the shared streaming workload generator ----
+
+TEST(MutationStream, DeterministicAndIdUnique) {
+  md::StreamConfig config;
+  config.initial_points = 200;
+  config.mutations = 120;
+  const auto a = md::generate_mutation_stream(config);
+  const auto b = md::generate_mutation_stream(config);
+  ASSERT_EQ(a.initial.size(), 200u);
+  ASSERT_EQ(a.mutations.size(), 120u);
+  ASSERT_EQ(a.initial.size(), b.initial.size());
+  for (std::size_t i = 0; i < a.initial.size(); ++i) {
+    EXPECT_EQ(a.initial[i].id, b.initial[i].id);
+    EXPECT_DOUBLE_EQ(a.initial[i].x, b.initial[i].x);
+  }
+  std::vector<mg::PointId> inserted_ids;
+  for (std::size_t i = 0; i < a.mutations.size(); ++i) {
+    EXPECT_EQ(static_cast<int>(a.mutations[i].kind),
+              static_cast<int>(b.mutations[i].kind));
+    EXPECT_EQ(a.mutations[i].point.id, b.mutations[i].point.id);
+    if (a.mutations[i].kind == md::Mutation::Kind::kInsert) {
+      inserted_ids.push_back(a.mutations[i].point.id);
+    }
+  }
+  // Ids are unique across the whole stream: initial ids first, inserted
+  // ids strictly above them.
+  std::vector<mg::PointId> all_ids;
+  for (const auto& p : a.initial) all_ids.push_back(p.id);
+  all_ids.insert(all_ids.end(), inserted_ids.begin(), inserted_ids.end());
+  std::sort(all_ids.begin(), all_ids.end());
+  EXPECT_EQ(std::adjacent_find(all_ids.begin(), all_ids.end()),
+            all_ids.end());
+}
+
+TEST(MutationStream, RemovesTargetLivePointsAndClockAdvances) {
+  md::StreamConfig config;
+  config.initial_points = 50;
+  config.mutations = 300;
+  config.remove_fraction = 0.6;
+  const auto stream = md::generate_mutation_stream(config);
+  std::vector<mg::PointId> live;
+  for (const auto& p : stream.initial) live.push_back(p.id);
+  double clock = 0.0;
+  std::size_t removes = 0;
+  for (const auto& m : stream.mutations) {
+    EXPECT_GE(m.timestamp_s, clock);
+    clock = m.timestamp_s;
+    if (m.kind == md::Mutation::Kind::kRemove) {
+      const auto it = std::find(live.begin(), live.end(), m.point.id);
+      ASSERT_NE(it, live.end()) << "remove of a dead id";
+      live.erase(it);
+      ++removes;
+    } else {
+      EXPECT_EQ(std::find(live.begin(), live.end(), m.point.id), live.end());
+      live.push_back(m.point.id);
+    }
+  }
+  EXPECT_GT(removes, 0u);
+  EXPECT_LT(removes, stream.mutations.size());
+  EXPECT_GT(clock, 0.0);
+}
+
+TEST(MutationStream, BothDistributionsReplayThroughTheService) {
+  for (const auto dist :
+       {md::StreamDistribution::kTwitter, md::StreamDistribution::kBlobs}) {
+    md::StreamConfig config;
+    config.distribution = dist;
+    config.initial_points = 150;
+    config.mutations = 30;
+    const auto stream = md::generate_mutation_stream(config);
+    ms::ClusterService service(
+        make_config(dist == md::StreamDistribution::kBlobs ? 0.35 : 0.05, 4));
+    ASSERT_TRUE(service.bootstrap(stream.initial).ok);
+    for (const auto& m : stream.mutations) {
+      if (m.kind == md::Mutation::Kind::kInsert) {
+        service.insert(m.point);
+      } else {
+        service.remove(m.point.id);
+      }
+    }
+    ASSERT_TRUE(service.advance_epoch().ok);
+    expect_matches_batch(service, dist == md::StreamDistribution::kBlobs
+                                      ? "blobs stream"
+                                      : "twitter stream");
+  }
+}

@@ -19,9 +19,16 @@ but instead of the pipeline's sim.*/fault.* sets each file must carry at
 least one "bench.*" metric (micro benches export registries with no
 pipeline run behind them).
 
+A fourth mode validates a serving-mode snapshot (mrscan_cli --serve
+--metrics-out): the same metrics schema, with the serve.* series the
+ClusterService maintains — the serve.epochs counter, the serve.points /
+serve.clusters gauges, and the serve.epoch.seconds / serve.query.seconds
+latency histograms.
+
 Usage:
   check_obs_json.py TRACE_JSON METRICS_JSON
   check_obs_json.py --bench BENCH_JSON [BENCH_JSON ...]
+  check_obs_json.py --serve METRICS_JSON [METRICS_JSON ...]
 
 Exit status is 0 when every file validates, 1 otherwise.
 """
@@ -37,6 +44,9 @@ REQUIRED_GAUGES = tuple(f"sim.{n}" for n in (
     f"wall.{p}" for p in PHASES)
 REQUIRED_COUNTERS = tuple(f"fault.{n}" for n in (
     "leaves_recovered", "packets_dropped", "retries", "timeouts"))
+SERVE_COUNTERS = ("serve.epochs",)
+SERVE_GAUGES = ("serve.points", "serve.clusters")
+SERVE_HISTOGRAMS = ("serve.epoch.seconds", "serve.query.seconds")
 VALID_KINDS = ("counter", "gauge", "histogram")
 
 ERRORS: list[str] = []
@@ -95,7 +105,7 @@ def check_trace(path: str) -> None:
                 f"must cover all four phases")
 
 
-def check_metrics(path: str, bench: bool = False) -> None:
+def check_metrics(path: str, mode: str = "pipeline") -> None:
     with open(path, encoding="utf-8") as f:
         doc = json.load(f)
     if not isinstance(doc, dict) or doc.get("schema") != "mrscan-metrics-v1":
@@ -139,9 +149,18 @@ def check_metrics(path: str, bench: bool = False) -> None:
         err(f"{path}: metrics are not sorted by name")
     if len(names) != len(set(names)):
         err(f"{path}: duplicate metric names")
-    if bench:
+    if mode == "bench":
         if not any(name.startswith("bench.") for name in names):
             err(f"{path}: bench export carries no 'bench.*' metric")
+        return
+    if mode == "serve":
+        for name, kind in (
+                [(n, "counter") for n in SERVE_COUNTERS]
+                + [(n, "gauge") for n in SERVE_GAUGES]
+                + [(n, "histogram") for n in SERVE_HISTOGRAMS]):
+            if kinds.get(name) != kind:
+                err(f"{path}: required serve {kind} {name!r} missing or "
+                    f"wrong kind")
         return
     for name in REQUIRED_GAUGES:
         if kinds.get(name) != "gauge":
@@ -154,17 +173,19 @@ def check_metrics(path: str, bench: bool = False) -> None:
 def usage() -> int:
     print(__doc__.strip().splitlines()[0], file=sys.stderr)
     print("usage: check_obs_json.py TRACE_JSON METRICS_JSON\n"
-          "       check_obs_json.py --bench BENCH_JSON [BENCH_JSON ...]",
+          "       check_obs_json.py --bench BENCH_JSON [BENCH_JSON ...]\n"
+          "       check_obs_json.py --serve METRICS_JSON [METRICS_JSON ...]",
           file=sys.stderr)
     return 2
 
 
 def main(argv: list[str]) -> int:
-    if argv and argv[0] == "--bench":
+    if argv and argv[0] in ("--bench", "--serve"):
+        mode = argv[0][2:]
         paths = argv[1:]
         if not paths:
             return usage()
-        checks = [(path, lambda p: check_metrics(p, bench=True))
+        checks = [(path, lambda p, m=mode: check_metrics(p, mode=m))
                   for path in paths]
     elif len(argv) == 2:
         checks = list(zip(argv, (check_trace, check_metrics)))
