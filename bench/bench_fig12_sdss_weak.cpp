@@ -17,7 +17,7 @@ int main() {
 
   bench::print_row_header();
   for (const auto& config : bench::table1_configs()) {
-    if (config.leaves > scale.max_leaves) continue;
+    if (bench::skip_clamped_row(config, scale)) continue;
     if (config.leaves > 2048) break;  // the SDSS experiment stops at 2048
     bench::RunOptions options;
     options.dataset = bench::Dataset::kSdss;

@@ -24,7 +24,7 @@ int main() {
     double first_total = 0.0, last_total = 0.0;
     std::uint64_t first_points = 0, last_points = 0;
     for (const auto& config : bench::table1_configs()) {
-      if (config.leaves > scale.max_leaves) continue;
+      if (bench::skip_clamped_row(config, scale)) continue;
       bench::RunOptions options;
       options.dataset = bench::Dataset::kTwitter;
       options.eps = 0.1;

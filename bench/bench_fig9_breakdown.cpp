@@ -24,7 +24,7 @@ int main() {
   for (const std::size_t min_pts : {4UL, 40UL, 400UL, 4000UL}) {
     Series s{min_pts, {}};
     for (const auto& config : bench::table1_configs()) {
-      if (config.leaves > scale.max_leaves) continue;
+      if (bench::skip_clamped_row(config, scale)) continue;
       bench::RunOptions options;
       options.eps = 0.1;
       options.paper_min_pts = min_pts;

@@ -41,6 +41,11 @@ BenchScale BenchScale::from_env() {
 
 namespace {
 
+/// Process-wide count of bench rows dropped by the MRSCAN_BENCH_MAX_LEAVES
+/// clamp. Exported with every bench snapshot so a capped run is
+/// machine-distinguishable from a full-scale one.
+std::uint64_t g_leaves_clamped_rows = 0;
+
 geom::PointSet replica_points(Dataset dataset, std::uint64_t count,
                               std::uint64_t seed) {
   if (dataset == Dataset::kTwitter) {
@@ -94,6 +99,7 @@ void write_bench_metrics(const std::string& bench_name, const Row& row,
   reg.set("bench.cluster_merge_s", row.cluster_merge_s);
   reg.set("bench.sweep_s", row.sweep_s);
   reg.set("bench.gpu_dbscan_s", row.gpu_dbscan_s);
+  reg.add("bench.leaves_clamped", g_leaves_clamped_rows);
 
   const std::string tag = bench_name + "_" +
                           std::to_string(row.paper_points) + "pts_" +
@@ -103,6 +109,19 @@ void write_bench_metrics(const std::string& bench_name, const Row& row,
 }
 
 }  // namespace
+
+bool skip_clamped_row(const WeakConfig& config, const BenchScale& scale) {
+  if (config.leaves <= scale.max_leaves) return false;
+  ++g_leaves_clamped_rows;
+  std::printf(
+      "  [clamped] skipping %llu points / %zu leaves: above "
+      "MRSCAN_BENCH_MAX_LEAVES=%zu (raise it for full scale)\n",
+      static_cast<unsigned long long>(config.points), config.leaves,
+      scale.max_leaves);
+  return true;
+}
+
+std::uint64_t leaves_clamped_rows() { return g_leaves_clamped_rows; }
 
 bool write_bench_snapshot(const std::string& tag, const obs::Registry& reg) {
   const char* dir_env = std::getenv("MRSCAN_BENCH_METRICS_DIR");

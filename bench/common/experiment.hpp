@@ -130,6 +130,17 @@ Row run_config(const WeakConfig& config, const RunOptions& options,
                const BenchScale& scale,
                std::optional<std::uint64_t> replica_total = std::nullopt);
 
+/// "No silent caps": returns true (row must be skipped) when `config`
+/// exceeds MRSCAN_BENCH_MAX_LEAVES, printing a one-line notice and
+/// counting the row into the process-wide clamp counter that
+/// run_config's metric exports record as "bench.leaves_clamped". A
+/// clamped export is thereby distinguishable from a genuine full-scale
+/// run.
+bool skip_clamped_row(const WeakConfig& config, const BenchScale& scale);
+
+/// Rows skipped by skip_clamped_row so far in this process.
+std::uint64_t leaves_clamped_rows();
+
 /// Pretty-print a row table with the given title and column subset.
 void print_header(const std::string& title);
 void print_row_header();

@@ -30,6 +30,21 @@
 //   --trace-out PATH  write a Chrome trace-event JSON of the run
 //                     (load in chrome://tracing or ui.perfetto.dev)
 //   --metrics-out PATH  write the flat metrics snapshot JSON
+//
+// Out-of-core mode (DESIGN §15) — identical output, bounded memory:
+//
+//   --ooc-dir PATH    spool directory: partitions stream through per-leaf
+//                     segment files and the cluster phase keeps only a
+//                     bounded working set of leaves resident. The labeled
+//                     text written to --output is byte-identical to a
+//                     resident run.
+//   --working-set N   leaves concurrently resident (default 8; needs
+//                     --ooc-dir)
+//   --resume          restore finished leaves from --ooc-dir's checkpoint
+//                     manifest instead of re-clustering them
+//   --ooc-abort-after N  test hook: abort (exit 3) after N freshly
+//                     clustered leaves, right after a checkpoint — the
+//                     run is then resumable with --resume
 // Either flag enables observability; MRSCAN_TRACE_OUT / MRSCAN_METRICS_OUT
 // / MRSCAN_OBS environment overrides are honoured as well.
 //
@@ -65,6 +80,7 @@
 #include "core/mrscan.hpp"
 #include "data/stream.hpp"
 #include "data/twitter.hpp"
+#include "io/labeled_file.hpp"
 #include "io/point_file.hpp"
 #include "obs/export.hpp"
 #include "serve/script.hpp"
@@ -80,7 +96,9 @@ namespace {
                "[--host-threads N] [--cluster-algo two-pass|cell-graph] "
                "[--index-backend kdtree|bvh] "
                "[--keep-noise] [--trace-out PATH] "
-               "[--metrics-out PATH] | --demo N | "
+               "[--metrics-out PATH] "
+               "[--ooc-dir PATH [--working-set N] [--resume] "
+               "[--ooc-abort-after N]] | --demo N | "
                "--serve [--serve-script PATH | --serve-demo N] "
                "[--serve-initial N] [--serve-epoch-every K] "
                "[--serve-dist twitter|blobs]\n",
@@ -238,6 +256,8 @@ int main(int argc, char** argv) {
   auto cluster_algo = cluster::ClusterAlgo::kTwoPass;
   auto index_backend = index::Backend::kKdTree;
   std::string trace_out, metrics_out;
+  core::OocOptions ooc;
+  bool working_set_given = false;
   ServeOptions serve;
 
   for (int i = 1; i < argc; ++i) {
@@ -274,6 +294,20 @@ int main(int argc, char** argv) {
       keep_noise = true;
     } else if (arg == "--demo") {
       demo_points = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--ooc-dir") {
+      ooc.enabled = true;
+      ooc.dir = next();
+    } else if (arg == "--working-set") {
+      const char* value = next();
+      ooc.working_set = std::strtoull(value, nullptr, 10);
+      working_set_given = true;
+      if (ooc.working_set == 0) {
+        bad_value("--working-set", value, "a positive leaf count");
+      }
+    } else if (arg == "--resume") {
+      ooc.resume = true;
+    } else if (arg == "--ooc-abort-after") {
+      ooc.abort_after_leaves = std::strtoull(next(), nullptr, 10);
     } else if (arg == "--trace-out") {
       trace_out = next();
     } else if (arg == "--metrics-out") {
@@ -319,6 +353,13 @@ int main(int argc, char** argv) {
                  "mrscan_cli: --serve-script/--serve-demo need --serve\n");
     return 2;
   }
+  if (!ooc.enabled &&
+      (working_set_given || ooc.resume || ooc.abort_after_leaves != 0)) {
+    std::fprintf(stderr,
+                 "mrscan_cli: --working-set/--resume/--ooc-abort-after "
+                 "need --ooc-dir PATH\n");
+    return 2;
+  }
   if (input.empty() && demo_points == 0) usage(argv[0]);
 
   geom::PointSet points;
@@ -349,6 +390,7 @@ int main(int argc, char** argv) {
   config.cluster_algo = cluster_algo;
   config.index_backend = index_backend;
   config.keep_noise = keep_noise;
+  config.ooc = ooc;
   if (!trace_out.empty() || !metrics_out.empty()) {
     config.observability.enabled = true;
     config.observability.trace_out = trace_out;
@@ -356,18 +398,49 @@ int main(int argc, char** argv) {
   }
 
   const core::MrScan pipeline(config);
-  const auto result = pipeline.run(points);
+  core::MrScanResult result;
+  try {
+    result = pipeline.run(points);
+  } catch (const core::OocAborted& e) {
+    // The checkpoint written just before the abort makes the run
+    // resumable; scripts pattern-match exit 3 for "killed, resume me".
+    std::fprintf(stderr, "mrscan_cli: %s\n", e.what());
+    return 3;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
 
   try {
-    sweep::write_labeled_text(output, result.output);
+    if (ooc.enabled) {
+      // Convert the streamed binary output to the labeled text contract so
+      // an out-of-core CLI run's --output is byte-identical to a resident
+      // run's.
+      std::vector<sweep::LabeledPoint> records;
+      io::LabeledFileReader reader(result.output_path);
+      records.reserve(reader.records());
+      geom::Point point;
+      std::int64_t cluster = 0;
+      while (reader.next(point, cluster)) {
+        records.push_back(sweep::LabeledPoint{point, cluster});
+      }
+      sweep::write_labeled_text(output, records);
+    } else {
+      sweep::write_labeled_text(output, result.output);
+    }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
   }
 
   std::printf("clusters: %zu\n", result.cluster_count);
-  std::printf("output records: %zu -> %s\n", result.output.size(),
+  std::printf("output records: %llu -> %s\n",
+              static_cast<unsigned long long>(result.output_records),
               output.c_str());
+  if (ooc.enabled && result.ooc_leaves_restored > 0) {
+    std::printf("resumed: %zu leaves restored from checkpoint\n",
+                result.ooc_leaves_restored);
+  }
   // One-line phase breakdown straight from the run's metrics registry.
   std::printf("wall: %s\n", result.obs->phase_summary().c_str());
   std::printf("simulated (Titan model): total %.2fs [startup %.2f, "

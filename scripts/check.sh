@@ -12,16 +12,21 @@
 #   4. serve smoke        mrscan_cli --serve demo-stream replay; the
 #                         serve.* metrics snapshot is schema-validated by
 #                         tools/obs/check_obs_json.py --serve
-#   5. bench smoke        short bench_micro_index + bench_micro_pipeline
-#                         + bench_serve runs with MRSCAN_BENCH_METRICS_DIR
-#                         set; every emitted BENCH_*.json is
+#   5. ooc smoke          out-of-core mrscan_cli run (byte-identical to
+#                         the resident reference) plus a kill/resume
+#                         cycle; the ooc.* metrics snapshot is
 #                         schema-validated by
+#                         tools/obs/check_obs_json.py --ooc
+#   6. bench smoke        short bench_micro_index + bench_micro_pipeline
+#                         + bench_serve + bench_ooc runs with
+#                         MRSCAN_BENCH_METRICS_DIR set; every emitted
+#                         BENCH_*.json is schema-validated by
 #                         tools/obs/check_obs_json.py --bench
-#   6. asan-ubsan preset  full suite under ASan+UBSan with
+#   7. asan-ubsan preset  full suite under ASan+UBSan with
 #                         MRSCAN_CHECK_INVARIANTS=ON and MRSCAN_WERROR=ON
-#   7. tsan preset        full suite (incl. the `stress`-labeled tests)
+#   8. tsan preset        full suite (incl. the `stress`-labeled tests)
 #                         under TSan, same options
-#   8. tidy preset        clang-tidy over every TU (skipped with a notice
+#   9. tidy preset        clang-tidy over every TU (skipped with a notice
 #                         when clang-tidy is not installed)
 #
 # Usage: scripts/check.sh [--quick] [--no-stress] [--coverage] [--jobs N]
@@ -120,13 +125,49 @@ serve_smoke() {
 }
 run_step "serve-smoke" serve_smoke
 
+# Out-of-core smoke: the streamed run must produce byte-identical cluster
+# output to the resident reference and a valid ooc.* metrics snapshot;
+# then a kill/resume cycle — the aborted run exits 3 right after a
+# checkpoint, the resumed run restores the finished leaves and still
+# matches the reference (DESIGN §15).
+ooc_smoke() {
+  local dir=build/ooc_smoke
+  rm -rf "$dir" && mkdir -p "$dir" || return 1
+  ./build/examples/mrscan_cli --demo 4000 --eps 0.1 --minpts 20 \
+    --leaves 8 --host-threads 4 \
+    --output "$dir/resident.clusters" >/dev/null || return 1
+  ./build/examples/mrscan_cli --demo 4000 --eps 0.1 --minpts 20 \
+    --leaves 8 --host-threads 4 --ooc-dir "$dir/spool" --working-set 2 \
+    --output "$dir/ooc.clusters" \
+    --metrics-out "$dir/ooc_metrics.json" >/dev/null || return 1
+  python3 tools/obs/check_obs_json.py --ooc "$dir/ooc_metrics.json" \
+    || return 1
+  cmp "$dir/resident.clusters" "$dir/ooc.clusters" || return 1
+  local rc=0
+  ./build/examples/mrscan_cli --demo 4000 --eps 0.1 --minpts 20 \
+    --leaves 8 --host-threads 4 --ooc-dir "$dir/spool2" --working-set 2 \
+    --ooc-abort-after 3 --output "$dir/aborted.clusters" \
+    >/dev/null 2>&1 || rc=$?
+  if [[ "$rc" -ne 3 ]]; then
+    echo "ooc-smoke: expected abort exit code 3, got $rc" >&2
+    return 1
+  fi
+  ./build/examples/mrscan_cli --demo 4000 --eps 0.1 --minpts 20 \
+    --leaves 8 --host-threads 4 --ooc-dir "$dir/spool2" --working-set 2 \
+    --resume --output "$dir/resumed.clusters" >/dev/null || return 1
+  cmp "$dir/resident.clusters" "$dir/resumed.clusters"
+}
+run_step "ooc-smoke" ooc_smoke
+
 # Bench smoke: the micro benches must run, export BENCH_*.json metric
 # files, and those files must validate. Tiny min_time / fixture sizes —
 # this checks the machinery, not the numbers. (--benchmark_min_time takes
 # a plain double with this google-benchmark version, not "0.05s".)
 # The validated snapshots are copied to the repo root as the canonical
 # BENCH_*.json artifacts (committed, so index-backend regressions show up
-# in review diffs).
+# in review diffs) — except BENCH_ooc_scale.json, whose committed copy
+# carries the full 8,192-leaf numbers from a dedicated bench_ooc run; the
+# smoke only validates that a tiny run still exports a clean file.
 bench_smoke() {
   local dir=build/bench_metrics
   rm -rf "$dir" && mkdir -p "$dir" \
@@ -142,7 +183,12 @@ bench_smoke() {
          ./build/bench/bench_serve \
          --benchmark_filter='BM_ServeEpoch/(8|64)$' \
          --benchmark_min_time=0.05 \
+    && env MRSCAN_BENCH_METRICS_DIR="$dir" MRSCAN_BENCH_OOC_LEAVES=16 \
+         MRSCAN_BENCH_OOC_POINTS_PER_LEAF=100 MRSCAN_BENCH_OOC_FAT_LEAVES=8 \
+         MRSCAN_BENCH_OOC_FAT_POINTS_PER_LEAF=500 \
+         ./build/bench/bench_ooc \
     && python3 tools/obs/check_obs_json.py --bench "$dir"/BENCH_*.json \
+    && rm "$dir"/BENCH_ooc_scale.json \
     && cp "$dir"/BENCH_*.json .
 }
 run_step "bench-smoke" bench_smoke

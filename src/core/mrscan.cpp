@@ -1,15 +1,22 @@
 #include "core/mrscan.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 #include <cstdlib>
+#include <cstring>
 #include <memory>
 #include <optional>
 #include <string>
+#include <system_error>
 #include <unordered_map>
 #include <utility>
 
+#include "fault/checkpoint.hpp"
 #include "fault/injector.hpp"
+#include "io/checked_file.hpp"
+#include "io/labeled_file.hpp"
+#include "io/mapped_segment.hpp"
 #include "io/point_file.hpp"
 #include "merge/merger.hpp"
 #include "merge/summary.hpp"
@@ -31,6 +38,129 @@ mrnet::Packet pack_id_map(const std::vector<std::int64_t>& ids) {
 
 std::vector<std::int64_t> unpack_id_map(const mrnet::Packet& packet) {
   return packet.reader().get_pod_vector<std::int64_t>();
+}
+
+// ---- out-of-core helpers (DESIGN §15) -----------------------------
+
+std::filesystem::path ooc_labels_path(const std::filesystem::path& dir,
+                                      std::size_t leaf_rank) {
+  return dir / ("labels_" + std::to_string(leaf_rank) + ".lbl");
+}
+
+/// Spill a leaf's owned-point cluster ids (what the sweep callback
+/// needs); shadow labels are only consumed inside the leaf summary and
+/// never re-read. Atomic write: a crash can't leave a torn spill that a
+/// later resume would trust.
+void spill_owned_labels(const std::filesystem::path& path,
+                        const dbscan::Labeling& labels,
+                        std::size_t owned_count) {
+  std::vector<std::uint8_t> buf(owned_count * sizeof(std::int64_t));
+  if (owned_count > 0) {
+    std::memcpy(buf.data(), labels.cluster.data(), buf.size());
+  }
+  io::write_file_atomic(path, buf);
+}
+
+/// Expected spill size; resume re-clusters a leaf whose file mismatches.
+std::uint64_t ooc_labels_bytes(std::uint64_t owned_count) {
+  return owned_count * sizeof(std::int64_t);
+}
+
+dbscan::Labeling read_owned_labels(const std::filesystem::path& path,
+                                   std::size_t owned_count) {
+  const std::vector<std::uint8_t> bytes = io::read_file_bytes(path);
+  if (bytes.size() != ooc_labels_bytes(owned_count)) {
+    errno = 0;
+    io::fail(path, "label spill size does not match the leaf's owned count");
+  }
+  dbscan::Labeling labels;
+  labels.cluster.resize(owned_count);
+  labels.core.assign(owned_count, 0);
+  if (owned_count > 0) {
+    std::memcpy(labels.cluster.data(), bytes.data(), bytes.size());
+  }
+  return labels;
+}
+
+/// GPU stats round-trip for checkpoint entries, so metric reductions on
+/// a resumed run are identical to the uninterrupted one. fault sits
+/// below mrnet in the module DAG, so the blob is opaque to checkpoint.cpp
+/// and encoded/decoded here.
+std::vector<std::uint8_t> encode_gpu_stats(const gpu::GpuDbscanStats& s) {
+  mrnet::Packet p;
+  p.put_u64(s.dense_boxes);
+  p.put_u64(s.dense_points);
+  p.put_u64(s.chains);
+  p.put_u64(s.collisions);
+  p.put_u64(s.distance_ops);
+  p.put_u64(s.kernel_launches);
+  p.put_u64(s.h2d_transfers);
+  p.put_u64(s.d2h_transfers);
+  p.put_f64(s.device_seconds);
+  p.put_u64(s.cellgraph_cells);
+  p.put_u64(s.cellgraph_core_cells);
+  p.put_u64(s.cellgraph_wholesale_points);
+  p.put_u64(s.cellgraph_bcp_pairs);
+  p.put_u64(s.cellgraph_bcp_ops);
+  p.put_u64(s.bvh_node_steps);
+  const auto bytes = p.bytes();
+  return {bytes.begin(), bytes.end()};
+}
+
+gpu::GpuDbscanStats decode_gpu_stats(std::vector<std::uint8_t> blob) {
+  const mrnet::Packet p(std::move(blob));
+  auto r = p.reader();
+  gpu::GpuDbscanStats s;
+  s.dense_boxes = static_cast<std::size_t>(r.get_u64());
+  s.dense_points = static_cast<std::size_t>(r.get_u64());
+  s.chains = static_cast<std::size_t>(r.get_u64());
+  s.collisions = static_cast<std::size_t>(r.get_u64());
+  s.distance_ops = r.get_u64();
+  s.kernel_launches = r.get_u64();
+  s.h2d_transfers = r.get_u64();
+  s.d2h_transfers = r.get_u64();
+  s.device_seconds = r.get_f64();
+  s.cellgraph_cells = static_cast<std::size_t>(r.get_u64());
+  s.cellgraph_core_cells = static_cast<std::size_t>(r.get_u64());
+  s.cellgraph_wholesale_points = static_cast<std::size_t>(r.get_u64());
+  s.cellgraph_bcp_pairs = r.get_u64();
+  s.cellgraph_bcp_ops = r.get_u64();
+  s.bvh_node_steps = r.get_u64();
+  return s;
+}
+
+/// FNV-1a over the run invariants a checkpoint must match before any of
+/// its entries may be restored. host_threads and the working-set size
+/// are deliberately excluded — the determinism contract (DESIGN §8)
+/// makes output independent of both, so a resume may change them.
+std::uint64_t ooc_fingerprint(const MrScanConfig& config,
+                              index::Backend resolved_backend,
+                              std::uint64_t point_count) {
+  const std::uint64_t words[] = {
+      point_count,
+      static_cast<std::uint64_t>(config.leaves),
+      static_cast<std::uint64_t>(config.fanout),
+      static_cast<std::uint64_t>(config.partition_nodes),
+      std::bit_cast<std::uint64_t>(config.params.eps),
+      static_cast<std::uint64_t>(config.params.min_pts),
+      static_cast<std::uint64_t>(config.cluster_algo),
+      static_cast<std::uint64_t>(resolved_backend),
+      static_cast<std::uint64_t>(config.shadow_rep_threshold),
+      static_cast<std::uint64_t>(config.transport),
+      static_cast<std::uint64_t>(config.shadow_regions),
+      static_cast<std::uint64_t>(config.cell_refine),
+      static_cast<std::uint64_t>(config.rebalance),
+      std::bit_cast<std::uint64_t>(config.rebalance_threshold),
+      static_cast<std::uint64_t>(config.keep_noise),
+  };
+  std::uint64_t hash = 14695981039346656037ULL;
+  for (const std::uint64_t w : words) {
+    for (std::size_t byte = 0; byte < 8; ++byte) {
+      hash ^= (w >> (8 * byte)) & 0xffULL;
+      hash *= 1099511628211ULL;
+    }
+  }
+  return hash;
 }
 
 }  // namespace
@@ -94,6 +224,14 @@ MrScanResult MrScan::run(std::span<const geom::Point> points) const {
   };
 
   // ---- Partition phase (its own flat tree, §3.1.3). ----
+  const bool ooc = config_.ooc.enabled;
+  const std::filesystem::path ooc_dir = config_.ooc.dir;
+  if (ooc) {
+    MRSCAN_REQUIRE_MSG(!ooc_dir.empty(),
+                       "out-of-core execution needs OocOptions::dir");
+    std::filesystem::create_directories(ooc_dir);
+  }
+
   partition::DistributedPartitionerConfig part_config;
   part_config.eps = config_.params.eps;
   part_config.partition_nodes = config_.partition_nodes;
@@ -106,6 +244,7 @@ MrScanResult MrScan::run(std::span<const geom::Point> points) const {
   part_config.transport = config_.transport;
   part_config.host_threads = config_.host_threads;
   part_config.recorder = recorder.get();
+  if (ooc) part_config.spool_dir = ooc_dir;
 
   {
     obs::PhaseScope scope(*recorder, "partition");
@@ -114,17 +253,23 @@ MrScanResult MrScan::run(std::span<const geom::Point> points) const {
   }
   result.sim.partition = result.partition_phase.sim_seconds;
 
+  // Resident mode holds the segments; out-of-core mode spooled them to
+  // per-leaf files and keeps only the record counts. Everything
+  // downstream that needs sizes reads seg_counts so both modes drive
+  // the identical cost model.
   const auto& segments = result.partition_phase.segments;
+  const auto& seg_counts = result.partition_phase.segment_counts;
   const auto& plan = result.partition_phase.plan;
-  result.leaves_used = segments.size();
-  if (segments.empty()) {
+  const std::size_t leaf_count = seg_counts.size();
+  result.leaves_used = leaf_count;
+  if (leaf_count == 0) {
     finalize();
     return result;  // empty input
   }
 
   // ---- Startup of the clustering tree (ALPS + connections). ----
   const mrnet::Topology topology =
-      mrnet::Topology::balanced(segments.size(), config_.fanout);
+      mrnet::Topology::balanced(leaf_count, config_.fanout);
   result.sim.startup = sim::alps_startup_seconds(
       config_.titan.alps, topology.node_count() + config_.partition_nodes);
 
@@ -145,30 +290,28 @@ MrScanResult MrScan::run(std::span<const geom::Point> points) const {
   if (!config_.fault_plan.empty()) {
     injector.emplace(config_.fault_plan);
     for (const auto& kill : config_.fault_plan.kill_leaves) {
-      MRSCAN_REQUIRE_MSG(kill.leaf_rank < segments.size(),
+      MRSCAN_REQUIRE_MSG(kill.leaf_rank < leaf_count,
                          "FaultPlan kills a leaf rank beyond the partitions "
                          "actually produced");
     }
   }
 
-  std::vector<dbscan::Labeling> leaf_labels(segments.size());
-  std::vector<mrnet::Packet> leaf_packets(segments.size());
-  std::vector<double> leaf_ready(segments.size(), 0.0);
-  std::vector<geom::PointSet> leaf_points(segments.size());
-  result.leaf_stats.resize(segments.size());
+  std::vector<dbscan::Labeling> leaf_labels(leaf_count);
+  std::vector<mrnet::Packet> leaf_packets(leaf_count);
+  std::vector<double> leaf_ready(leaf_count, 0.0);
+  std::vector<geom::PointSet> leaf_points(leaf_count);
+  result.leaf_stats.resize(leaf_count);
 
-  // Cluster one partition: fills leaf_points/leaf_labels/leaf_stats and
-  // returns the summary packet plus the host + device compute seconds
-  // (partition read time is charged separately by the caller). Fully
-  // deterministic, so a recovery re-run produces the exact packet the
-  // dead leaf would have sent.
-  const auto cluster_leaf =
-      [&](std::size_t leaf) -> std::pair<mrnet::Packet, double> {
-    geom::PointSet& pts = leaf_points[leaf];
-    pts = segments[leaf].owned;
-    pts.insert(pts.end(), segments[leaf].shadow.begin(),
-               segments[leaf].shadow.end());
-
+  // Cluster one partition's points (owned first, shadow after): fills the
+  // leaf's stats slot and labels, and returns the summary packet plus the
+  // host + device compute seconds (partition read time is charged
+  // separately by the caller). Fully deterministic, so a recovery re-run
+  // — or an out-of-core re-read of the same segment file — produces the
+  // exact packet the leaf would have sent.
+  const auto cluster_points =
+      [&](std::size_t leaf, const geom::PointSet& pts,
+          std::size_t owned_count,
+          dbscan::Labeling& labels) -> std::pair<mrnet::Packet, double> {
     gpu::VirtualDevice device(config_.titan.gpu_spec);
     gpu::GpuDbscanResult clustered =
         gpu::mrscan_gpu_dbscan(pts, gpu_config, device);
@@ -180,18 +323,46 @@ MrScanResult MrScan::run(std::span<const geom::Point> points) const {
                     : static_cast<double>(pts.size()) *
                           std::log2(static_cast<double>(pts.size()) + 1) /
                           config_.titan.cpu_op_rate;
-    leaf_labels[leaf] = std::move(clustered.labels);
+    labels = std::move(clustered.labels);
 
     merge::LeafSummaryInput input;
     input.points = pts;
-    input.owned_count = segments[leaf].owned.size();
-    input.labels = &leaf_labels[leaf];
+    input.owned_count = owned_count;
+    input.labels = &labels;
     input.geometry = plan.geometry;
     input.owned_cells = plan.parts[leaf].owned_cells;
     input.shadow_cells = plan.parts[leaf].shadow_cells;
     input.shadow_rings = plan.shadow_rings;
     return {merge::build_leaf_summary(input).to_packet(),
             host_build + clustered.stats.device_seconds};
+  };
+
+  // Resident mode: concatenate the segment into the leaf's slot and keep
+  // points + labels resident for the sweep.
+  const auto cluster_leaf =
+      [&](std::size_t leaf) -> std::pair<mrnet::Packet, double> {
+    geom::PointSet& pts = leaf_points[leaf];
+    pts = segments[leaf].owned;
+    pts.insert(pts.end(), segments[leaf].shadow.begin(),
+               segments[leaf].shadow.end());
+    return cluster_points(leaf, pts, segments[leaf].owned.size(),
+                          leaf_labels[leaf]);
+  };
+
+  // Out-of-core mode: map the leaf's segment file, cluster, spill the
+  // owned labels, and drop every per-leaf structure on return — after
+  // which only the summary packet (and the sweep-time re-map) remain.
+  const auto ooc_cluster_leaf =
+      [&](std::size_t leaf) -> std::pair<mrnet::Packet, double> {
+    const io::MappedSegment seg(io::segment_file_path(ooc_dir, leaf));
+    reg.add("ooc.mapped_bytes", seg.mapped_bytes());
+    const geom::PointSet pts = seg.decode_all();
+    dbscan::Labeling labels;
+    auto summary = cluster_points(
+        leaf, pts, static_cast<std::size_t>(seg.owned_count()), labels);
+    spill_owned_labels(ooc_labels_path(ooc_dir, leaf), labels,
+                       static_cast<std::size_t>(seg.owned_count()));
+    return summary;
   };
 
   // The per-leaf cluster loop is the host-side concurrency the paper's
@@ -201,6 +372,73 @@ MrScanResult MrScan::run(std::span<const geom::Point> points) const {
   // cross-leaf gpu_dbscan_seconds max is reduced after the merge barrier
   // (so recovery re-runs are included too) — which is what keeps the
   // output bit-identical for any worker count.
+  // Leaf reads its partition from the segmented file (modeled); with
+  // direct transport the data already arrived over the network. Driven
+  // by the counts so resident and out-of-core runs charge identically.
+  const auto leaf_read_seconds = [&](std::size_t leaf) {
+    return config_.transport == partition::Transport::kDirect
+               ? 0.0
+               : sim::lustre_read_seconds(
+                     config_.titan.lustre,
+                     seg_counts[leaf].total() * io::kBinaryRecordSize,
+                     std::max<std::size_t>(1, leaf_count),
+                     sim::kSequentialOp);
+  };
+
+  // Out-of-core checkpoint/restart (DESIGN §15). A leaf is `done` once
+  // its summary packet, ready time, stats, and label spill exist; the
+  // manifest written after each working-set chunk is exactly the done
+  // frontier. Merge state is a pure function of the leaf summaries, so
+  // nothing else needs saving.
+  const std::uint64_t fingerprint =
+      ooc_fingerprint(config_, gpu_config.index_backend, points.size());
+  const std::filesystem::path checkpoint_path = ooc_dir / "checkpoint.mrck";
+  std::vector<std::uint8_t> leaf_done(leaf_count, 0);
+  const auto save_ooc_checkpoint = [&]() {
+    fault::CheckpointManifest manifest;
+    manifest.fingerprint = fingerprint;
+    manifest.total_leaves = leaf_count;
+    for (std::size_t leaf = 0; leaf < leaf_count; ++leaf) {
+      if (leaf_done[leaf] == 0) continue;
+      fault::CheckpointEntry entry;
+      entry.rank = static_cast<std::uint32_t>(leaf);
+      entry.ready_seconds = leaf_ready[leaf];
+      entry.labels_bytes = ooc_labels_bytes(seg_counts[leaf].owned);
+      entry.stats = encode_gpu_stats(result.leaf_stats[leaf]);
+      const auto packet_bytes = leaf_packets[leaf].bytes();
+      entry.summary.assign(packet_bytes.begin(), packet_bytes.end());
+      manifest.entries.push_back(std::move(entry));
+    }
+    const std::size_t bytes =
+        fault::save_checkpoint(checkpoint_path, manifest);
+    reg.add("ooc.checkpoint_writes", 1);
+    reg.add("ooc.checkpoint_bytes", bytes);
+  };
+
+  if (ooc && config_.ooc.resume) {
+    fault::CheckpointManifest manifest =
+        fault::load_checkpoint(checkpoint_path, fingerprint);
+    MRSCAN_REQUIRE_MSG(manifest.total_leaves == leaf_count,
+                       "checkpoint leaf count does not match this run");
+    for (auto& entry : manifest.entries) {
+      const std::size_t rank = entry.rank;
+      // Trust an entry only if its label spill survived intact; a leaf
+      // whose spill is missing or short is simply re-clustered.
+      std::error_code ec;
+      const std::uintmax_t spill_size =
+          std::filesystem::file_size(ooc_labels_path(ooc_dir, rank), ec);
+      if (ec || spill_size != entry.labels_bytes ||
+          entry.labels_bytes != ooc_labels_bytes(seg_counts[rank].owned)) {
+        continue;
+      }
+      leaf_packets[rank] = mrnet::Packet(std::move(entry.summary));
+      leaf_ready[rank] = entry.ready_seconds;
+      result.leaf_stats[rank] = decode_gpu_stats(std::move(entry.stats));
+      leaf_done[rank] = 1;
+      ++result.ooc_leaves_restored;
+    }
+  }
+
   util::ThreadPool pool(config_.host_threads);
   // Per-task pool instrumentation is hot-path cost, so the observer is
   // attached only when tracing (DESIGN §9).
@@ -208,7 +446,9 @@ MrScanResult MrScan::run(std::span<const geom::Point> points) const {
   if (tracing) pool.set_observer(&pool_metrics);
   {
     obs::PhaseScope scope(*recorder, "cluster");
-    pool.parallel_for(0, segments.size(), [&](std::size_t leaf) {
+    // Per-leaf body shared by both modes; every iteration writes only
+    // its own slots of leaf_* / result.leaf_stats (DESIGN §8).
+    const auto run_leaf = [&](std::size_t leaf) {
       std::optional<obs::Tracer::WallScope> span;
       if (tracing) {
         span.emplace(tracer, "cluster leaf " + std::to_string(leaf),
@@ -220,27 +460,63 @@ MrScanResult MrScan::run(std::span<const geom::Point> points) const {
         // is re-read and clustered on a sibling during the reduction.
         return;
       }
-      // Leaf reads its partition from the segmented file (modeled); with
-      // direct transport the data already arrived over the network.
-      const double read_time =
-          config_.transport == partition::Transport::kDirect
-              ? 0.0
-              : sim::lustre_read_seconds(
-                    config_.titan.lustre,
-                    (segments[leaf].owned.size() +
-                     segments[leaf].shadow.size()) *
-                        io::kBinaryRecordSize,
-                    std::max<std::size_t>(1, segments.size()),
-                    sim::kSequentialOp);
-
-      auto summary = cluster_leaf(leaf);
+      const double read_time = leaf_read_seconds(leaf);
+      auto summary = ooc ? ooc_cluster_leaf(leaf) : cluster_leaf(leaf);
       leaf_packets[leaf] = std::move(summary.first);
       leaf_ready[leaf] = read_time + summary.second;
-    });
-    // parallel_for rethrows the first leaf failure; any concurrent ones
-    // must have been counted, never silently swallowed.
-    MRSCAN_ASSERT_MSG(pool.dropped_exceptions() == 0,
-                      "cluster phase swallowed a worker exception");
+      leaf_done[leaf] = 1;
+    };
+
+    if (!ooc) {
+      pool.parallel_for(0, leaf_count, run_leaf);
+      // parallel_for rethrows the first leaf failure; any concurrent ones
+      // must have been counted, never silently swallowed.
+      MRSCAN_ASSERT_MSG(pool.dropped_exceptions() == 0,
+                        "cluster phase swallowed a worker exception");
+    } else {
+      // Stream leaves through the bounded working set: at most
+      // working_set leaves are mapped/resident at once, and a checkpoint
+      // lands after every chunk so a kill forfeits one chunk of work.
+      const std::size_t working_set =
+          std::max<std::size_t>(1, config_.ooc.working_set);
+      reg.set("ooc.working_set", static_cast<double>(working_set));
+      reg.add("ooc.leaves_restored", result.ooc_leaves_restored);
+      reg.add("ooc.chunks", 0);
+      reg.add("ooc.leaves_clustered", 0);
+      reg.add("ooc.checkpoint_writes", 0);
+      reg.add("ooc.checkpoint_bytes", 0);
+      reg.add("ooc.mapped_bytes", 0);
+      std::size_t fresh_clustered = 0;
+      for (std::size_t begin = 0; begin < leaf_count;
+           begin += working_set) {
+        const std::size_t end = std::min(leaf_count, begin + working_set);
+        const std::size_t done_before =
+            static_cast<std::size_t>(std::count(
+                leaf_done.begin() + static_cast<std::ptrdiff_t>(begin),
+                leaf_done.begin() + static_cast<std::ptrdiff_t>(end), 1));
+        pool.parallel_for(begin, end, [&](std::size_t leaf) {
+          if (leaf_done[leaf] != 0) return;  // restored from checkpoint
+          run_leaf(leaf);
+        });
+        MRSCAN_ASSERT_MSG(pool.dropped_exceptions() == 0,
+                          "cluster phase swallowed a worker exception");
+        const std::size_t done_after =
+            static_cast<std::size_t>(std::count(
+                leaf_done.begin() + static_cast<std::ptrdiff_t>(begin),
+                leaf_done.begin() + static_cast<std::ptrdiff_t>(end), 1));
+        fresh_clustered += done_after - done_before;
+        reg.add("ooc.chunks", 1);
+        reg.add("ooc.leaves_clustered", done_after - done_before);
+        if (config_.ooc.checkpoint) save_ooc_checkpoint();
+        if (config_.ooc.abort_after_leaves != 0 &&
+            fresh_clustered >= config_.ooc.abort_after_leaves) {
+          throw OocAborted(
+              "mrscan: out-of-core run aborted after " +
+              std::to_string(fresh_clustered) +
+              " freshly clustered leaves (OocOptions::abort_after_leaves)");
+        }
+      }
+    }
   }
 
   // The virtual clock so far: partition then startup, then the clustering
@@ -249,7 +525,7 @@ MrScanResult MrScan::run(std::span<const geom::Point> points) const {
   const double cluster_base = result.sim.partition + result.sim.startup;
   if (tracing) {
     // sequential-ok: tracing-only span emission, not phase compute
-    for (std::size_t leaf = 0; leaf < segments.size(); ++leaf) {
+    for (std::size_t leaf = 0; leaf < leaf_count; ++leaf) {
       if (leaf_ready[leaf] <= 0.0) continue;  // killed leaves recover below
       tracer.sim_span("cluster leaf " + std::to_string(leaf), "leaf",
                       topology.leaves()[leaf], cluster_base,
@@ -269,10 +545,11 @@ MrScanResult MrScan::run(std::span<const geom::Point> points) const {
           // partition from the PFS and re-clusters it from scratch.
           // Runs on the event-loop thread after the cluster-phase barrier,
           // so refilling the dead rank's leaf_* slots cannot race the
-          // (already joined) cluster workers.
+          // (already joined) cluster workers. Out-of-core runs really do
+          // re-read: the segment file is mapped and clustered afresh.
           const double reread = partition::segment_reread_seconds(
-              segments[rank], config_.titan.lustre);
-          auto summary = cluster_leaf(rank);
+              seg_counts[rank], config_.titan.lustre);
+          auto summary = ooc ? ooc_cluster_leaf(rank) : cluster_leaf(rank);
           recovery_cost_s = reread + summary.second;
           if (tracing) {
             const std::uint32_t track = topology.leaves()[rank];
@@ -367,6 +644,12 @@ MrScanResult MrScan::run(std::span<const geom::Point> points) const {
   const double sweep_base = cluster_base + result.sim.cluster_merge;
   net.set_observer(recorder.get(), sweep_base, "sweep");
   double scatter_seconds = 0.0;
+  // Out-of-core runs stream records to disk as each leaf callback fires
+  // on the deterministic simulated event loop — the same order a
+  // resident run appends to result.output, so the file is byte-identical
+  // to the resident records (DESIGN §8, §15).
+  std::optional<io::LabeledFileWriter> ooc_writer;
+  if (ooc) ooc_writer.emplace(ooc_dir / "output.labeled");
   {
     obs::PhaseScope scope(*recorder, "sweep");
     scatter_seconds = net.scatter(
@@ -395,13 +678,38 @@ MrScanResult MrScan::run(std::span<const geom::Point> points) const {
         [&](std::uint32_t leaf_rank, const mrnet::Packet& packet) {
           const std::vector<std::int64_t> global_of_local =
               unpack_id_map(packet);
-          auto records = sweep::label_owned_points(
-              std::span<const geom::Point>(leaf_points[leaf_rank])
-                  .first(segments[leaf_rank].owned.size()),
-              leaf_labels[leaf_rank], global_of_local, config_.keep_noise);
-          result.output.insert(result.output.end(), records.begin(),
-                               records.end());
+          if (!ooc) {
+            auto records = sweep::label_owned_points(
+                std::span<const geom::Point>(leaf_points[leaf_rank])
+                    .first(segments[leaf_rank].owned.size()),
+                leaf_labels[leaf_rank], global_of_local,
+                config_.keep_noise);
+            result.output.insert(result.output.end(), records.begin(),
+                                 records.end());
+            return;
+          }
+          // Re-map just this leaf's owned points and its label spill;
+          // both are dropped again when the callback returns.
+          const io::MappedSegment seg(
+              io::segment_file_path(ooc_dir, leaf_rank));
+          reg.add("ooc.mapped_bytes", seg.mapped_bytes());
+          const geom::PointSet owned = seg.decode_owned();
+          const dbscan::Labeling labels = read_owned_labels(
+              ooc_labels_path(ooc_dir, leaf_rank), owned.size());
+          const auto records = sweep::label_owned_points(
+              owned, labels, global_of_local, config_.keep_noise);
+          for (const sweep::LabeledPoint& record : records) {
+            ooc_writer->append(record.point, record.cluster);
+          }
         });
+  }
+  if (ooc) {
+    ooc_writer->close();
+    result.output_path = ooc_dir / "output.labeled";
+    result.output_records = ooc_writer->records();
+    reg.add("ooc.output_records", result.output_records);
+  } else {
+    result.output_records = result.output.size();
   }
   result.sweep_net = net.stats();
   // The Network accumulates stats across reduce + scatter on the same
@@ -430,8 +738,8 @@ MrScanResult MrScan::run(std::span<const geom::Point> points) const {
   // Leaves write the labelled output in parallel: contiguous runs at
   // per-cluster offsets (§3.4) — large ops, unlike the partition phase.
   const double output_write = sim::lustre_write_seconds(
-      config_.titan.lustre, result.output.size() * io::kLabeledRecordSize,
-      segments.size(), 1ULL << 20);
+      config_.titan.lustre, result.output_records * io::kLabeledRecordSize,
+      leaf_count, 1ULL << 20);
   result.sim.sweep = scatter_seconds + output_write;
 
   // The four phases as top-level sim-clock spans on the root track, so a

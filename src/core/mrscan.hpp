@@ -16,8 +16,11 @@
 // plot. Wall-clock host time is reported separately in `wall`.
 #pragma once
 
+#include <filesystem>
 #include <memory>
 #include <span>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "dbscan/labels.hpp"
@@ -32,6 +35,40 @@
 #include "util/timer.hpp"
 
 namespace mrscan::core {
+
+/// Out-of-core execution (DESIGN §15): partitions spool to per-leaf
+/// segment files, the cluster phase streams leaves through a bounded
+/// working set of memory mappings, labels spill to disk, and the sweep
+/// streams the output file instead of collecting it resident. Output is
+/// bit-identical to a resident run (same records, counters, and
+/// simulated seconds); only peak memory changes.
+struct OocOptions {
+  bool enabled = false;
+  /// Spool directory for segment files, label spills, the checkpoint
+  /// manifest, and the streamed output. Required when enabled.
+  std::filesystem::path dir;
+  /// Leaves concurrently resident during the cluster phase; peak
+  /// residency is working_set × points_per_leaf, not the full dataset.
+  std::size_t working_set = 8;
+  /// Restore finished leaves from dir's checkpoint manifest (written by
+  /// a previous run over the same input and configuration) instead of
+  /// re-clustering them.
+  bool resume = false;
+  /// Write a checkpoint manifest after every working-set chunk.
+  bool checkpoint = true;
+  /// Test/CI hook: throw OocAborted after this many leaves have been
+  /// freshly clustered (0 = never) — simulates a mid-run kill directly
+  /// after a checkpoint so the kill/resume cycle is exercisable
+  /// in-process.
+  std::size_t abort_after_leaves = 0;
+};
+
+/// Thrown by run() when OocOptions::abort_after_leaves triggers. The
+/// checkpoint written just before the throw makes the run resumable.
+class OocAborted : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
 
 struct MrScanConfig {
   dbscan::DbscanParams params{0.1, 40};
@@ -87,6 +124,8 @@ struct MrScanConfig {
   /// leaves_used). Drop/slow/reorder faults address nodes of
   /// mrnet::Topology::balanced(leaves_used, fanout), or fault::kAllNodes.
   fault::FaultPlan fault_plan;
+  /// Out-of-core execution (DESIGN §15). Off by default.
+  OocOptions ooc;
   /// Observability (span tracing + JSON export). run() overlays the
   /// MRSCAN_OBS / MRSCAN_TRACE_OUT / MRSCAN_METRICS_OUT environment
   /// overrides on top of these options. Off by default; enabling it
@@ -128,7 +167,16 @@ struct FaultReport {
 
 struct MrScanResult {
   /// Clustered output: owned points of every leaf with global cluster ids.
+  /// Empty on an out-of-core run — the records stream to `output_path`
+  /// instead (identical content and order).
   std::vector<sweep::LabeledPoint> output;
+  /// Out-of-core runs: path of the streamed labeled binary output file
+  /// (io::LabeledFileReader reads it back). Empty on resident runs.
+  std::filesystem::path output_path;
+  /// Output records written, both modes (== output.size() resident).
+  std::uint64_t output_records = 0;
+  /// Out-of-core resume: leaves restored from the checkpoint manifest.
+  std::size_t ooc_leaves_restored = 0;
   std::size_t cluster_count = 0;
   std::size_t leaves_used = 0;
 

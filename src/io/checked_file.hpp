@@ -1,0 +1,37 @@
+// Checked low-level file helpers shared by the io readers/writers.
+//
+// Every file operation in the repo must surface errno context in the
+// thrown error (DESIGN §15) instead of silently producing truncated
+// data. This header is the one place raw OS file calls are allowed —
+// the mrscan_analyze `raw-io` rule flags `open`/`fopen`/`mmap` & co.
+// anywhere outside src/io/.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace mrscan::io {
+
+/// Throw std::runtime_error with the failing path, a description of the
+/// operation, and the current errno rendered via strerror (omitted when
+/// errno is 0, e.g. for format-validation failures).
+[[noreturn]] void fail(const std::filesystem::path& path,
+                       const std::string& what);
+
+/// Read an entire file into memory. Throws with errno context on any
+/// failure, including a short read against the stat'd size.
+std::vector<std::uint8_t> read_file_bytes(const std::filesystem::path& path);
+
+/// Crash-safe whole-file write: the bytes are written to `<path>.tmp`,
+/// flushed and fsync'd, and the temp file is then renamed over `path`.
+/// A reader therefore sees either the complete old file or the complete
+/// new file — never a torn mix (DESIGN §15 atomicity argument). The
+/// containing directory is fsync'd best-effort so the rename itself is
+/// durable.
+void write_file_atomic(const std::filesystem::path& path,
+                       std::span<const std::uint8_t> bytes);
+
+}  // namespace mrscan::io

@@ -1,11 +1,13 @@
 #include "io/point_file.hpp"
 
+#include <cerrno>
 #include <cstring>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
 #include <vector>
 
+#include "io/checked_file.hpp"
 #include "util/assert.hpp"
 
 namespace mrscan::io {
@@ -21,10 +23,12 @@ void put_bytes(std::vector<char>& buf, const void* src, std::size_t n) {
   buf.insert(buf.end(), p, p + n);
 }
 
+/// Failure with errno context (io::fail); format-validation failures
+/// clear errno first so they don't pick up a stale code.
 [[noreturn]] void io_fail(const std::filesystem::path& path,
-                          const char* what) {
-  throw std::runtime_error("mrscan: " + std::string(what) + ": " +
-                           path.string());
+                          const char* what, bool format_error = false) {
+  if (format_error) errno = 0;
+  fail(path, what);
 }
 
 static_assert(kBinaryRecordSize == sizeof(geom::Point::id) +
@@ -51,8 +55,25 @@ geom::Point decode_record(const char* data) {
 
 }  // namespace
 
+void encode_binary_record(std::vector<std::uint8_t>& buf,
+                          const geom::Point& p) {
+  const auto put = [&buf](const void* src, std::size_t n) {
+    const auto* bytes = static_cast<const std::uint8_t*>(src);
+    buf.insert(buf.end(), bytes, bytes + n);
+  };
+  put(&p.id, 8);
+  put(&p.x, 8);
+  put(&p.y, 8);
+  put(&p.weight, 4);
+}
+
+geom::Point decode_binary_record(const std::uint8_t* data) {
+  return decode_record(reinterpret_cast<const char*>(data));
+}
+
 void write_points_binary(const std::filesystem::path& path,
                          std::span<const geom::Point> points) {
+  errno = 0;
   std::ofstream out(path, std::ios::binary | std::ios::trunc);
   if (!out) io_fail(path, "cannot open for writing");
 
@@ -70,7 +91,8 @@ void write_points_binary(const std::filesystem::path& path,
 namespace {
 
 std::uint64_t read_header(std::ifstream& in,
-                          const std::filesystem::path& path) {
+                          const std::filesystem::path& path,
+                          bool check_size = true) {
   char magic[4];
   std::uint32_t version = 0;
   std::uint64_t count = 0;
@@ -78,21 +100,38 @@ std::uint64_t read_header(std::ifstream& in,
   in.read(reinterpret_cast<char*>(&version), 4);
   in.read(reinterpret_cast<char*>(&count), 8);
   if (!in || std::memcmp(magic, kMagic, 4) != 0) {
-    io_fail(path, "not a mrscan binary point file");
+    io_fail(path, "not a mrscan binary point file", /*format_error=*/true);
   }
-  if (version != kVersion) io_fail(path, "unsupported file version");
+  if (version != kVersion) {
+    io_fail(path, "unsupported file version", /*format_error=*/true);
+  }
+  // Validate the declared count against the actual file size before any
+  // allocation: a corrupt header must fail with context, not attempt a
+  // multi-terabyte reserve or silently yield a truncated point set.
+  // Header-only queries (binary_point_count) skip this: the header of a
+  // truncated file stays readable by contract.
+  if (check_size) {
+    const std::uintmax_t size = std::filesystem::file_size(path);
+    if (size < kHeaderSize ||
+        count > (size - kHeaderSize) / kBinaryRecordSize) {
+      io_fail(path, "header record count exceeds file size",
+              /*format_error=*/true);
+    }
+  }
   return count;
 }
 
 }  // namespace
 
 std::uint64_t binary_point_count(const std::filesystem::path& path) {
+  errno = 0;
   std::ifstream in(path, std::ios::binary);
   if (!in) io_fail(path, "cannot open");
-  return read_header(in, path);
+  return read_header(in, path, /*check_size=*/false);
 }
 
 geom::PointSet read_points_binary(const std::filesystem::path& path) {
+  errno = 0;
   std::ifstream in(path, std::ios::binary);
   if (!in) io_fail(path, "cannot open");
   const std::uint64_t count = read_header(in, path);
@@ -101,7 +140,7 @@ geom::PointSet read_points_binary(const std::filesystem::path& path) {
     points.reserve(count);
     std::vector<char> buf(count * kBinaryRecordSize);
     in.read(buf.data(), static_cast<std::streamsize>(buf.size()));
-    if (!in) io_fail(path, "truncated point file");
+    if (!in) io_fail(path, "truncated point file", /*format_error=*/true);
     for (std::uint64_t i = 0; i < count; ++i) {
       points.push_back(decode_record(buf.data() + i * kBinaryRecordSize));
     }
@@ -112,17 +151,21 @@ geom::PointSet read_points_binary(const std::filesystem::path& path) {
 geom::PointSet read_points_binary_range(const std::filesystem::path& path,
                                         std::uint64_t first,
                                         std::uint64_t count) {
+  errno = 0;
   std::ifstream in(path, std::ios::binary);
   if (!in) io_fail(path, "cannot open");
   const std::uint64_t total = read_header(in, path);
-  if (first + count > total) io_fail(path, "record range out of bounds");
+  // Overflow-safe: `first + count` can wrap for adversarial metadata.
+  if (first > total || count > total - first) {
+    io_fail(path, "record range out of bounds", /*format_error=*/true);
+  }
   in.seekg(static_cast<std::streamoff>(kHeaderSize +
                                        first * kBinaryRecordSize));
   geom::PointSet points;
   points.reserve(count);
   std::vector<char> buf(count * kBinaryRecordSize);
   in.read(buf.data(), static_cast<std::streamsize>(buf.size()));
-  if (!in) io_fail(path, "truncated point file");
+  if (!in) io_fail(path, "truncated point file", /*format_error=*/true);
   for (std::uint64_t i = 0; i < count; ++i) {
     points.push_back(decode_record(buf.data() + i * kBinaryRecordSize));
   }
@@ -131,6 +174,7 @@ geom::PointSet read_points_binary_range(const std::filesystem::path& path,
 
 void write_points_text(const std::filesystem::path& path,
                        std::span<const geom::Point> points) {
+  errno = 0;
   std::ofstream out(path, std::ios::trunc);
   if (!out) io_fail(path, "cannot open for writing");
   out.precision(17);
@@ -141,6 +185,7 @@ void write_points_text(const std::filesystem::path& path,
 }
 
 geom::PointSet read_points_text(const std::filesystem::path& path) {
+  errno = 0;
   std::ifstream in(path);
   if (!in) io_fail(path, "cannot open");
   geom::PointSet points;
@@ -149,10 +194,13 @@ geom::PointSet read_points_text(const std::filesystem::path& path) {
     if (line.empty() || line[0] == '#') continue;
     std::istringstream ss(line);
     geom::Point p;
-    if (!(ss >> p.id >> p.x >> p.y)) io_fail(path, "malformed text record");
+    if (!(ss >> p.id >> p.x >> p.y)) {
+      io_fail(path, "malformed text record", /*format_error=*/true);
+    }
     if (!(ss >> p.weight)) p.weight = 1.0f;
     points.push_back(p);
   }
+  if (in.bad()) io_fail(path, "read failed");
   return points;
 }
 

@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <filesystem>
 #include <span>
+#include <vector>
 
 #include "geometry/point.hpp"
 
@@ -45,6 +46,14 @@ geom::PointSet read_points_binary_range(const std::filesystem::path& path,
 
 /// Number of records in a binary point file.
 std::uint64_t binary_point_count(const std::filesystem::path& path);
+
+/// Append one point's binary record encoding (kBinaryRecordSize bytes,
+/// little-endian) to `buf`. Shared with the per-leaf segment files.
+void encode_binary_record(std::vector<std::uint8_t>& buf,
+                          const geom::Point& p);
+
+/// Decode one binary point record from `data` (kBinaryRecordSize bytes).
+geom::Point decode_binary_record(const std::uint8_t* data);
 
 /// Write points as text, one per line: "id x y weight".
 void write_points_text(const std::filesystem::path& path,

@@ -1,8 +1,10 @@
 #include "io/segment_file.hpp"
 
+#include <cerrno>
 #include <fstream>
 #include <stdexcept>
 
+#include "io/checked_file.hpp"
 #include "io/point_file.hpp"
 
 namespace mrscan::io {
@@ -17,6 +19,12 @@ std::filesystem::path meta_path(const std::filesystem::path& base) {
   auto p = base;
   p += ".meta";
   return p;
+}
+
+[[noreturn]] void meta_fail(const std::filesystem::path& path,
+                            const char* what, bool format_error = false) {
+  if (format_error) errno = 0;
+  fail(path, what);
 }
 }  // namespace
 
@@ -38,34 +46,40 @@ void write_segmented(const std::filesystem::path& base,
   }
   write_points_binary(data_path(base), all);
 
+  errno = 0;
   std::ofstream out(meta_path(base), std::ios::trunc);
-  if (!out) {
-    throw std::runtime_error("mrscan: cannot write metadata: " +
-                             meta_path(base).string());
-  }
+  if (!out) meta_fail(meta_path(base), "cannot write metadata");
   out << metas.size() << '\n';
   for (const SegmentMeta& m : metas) {
     out << m.first_record << ' ' << m.owned_count << ' ' << m.shadow_count
         << '\n';
   }
+  out.flush();
+  if (!out) meta_fail(meta_path(base), "metadata write failed");
 }
 
 std::vector<SegmentMeta> read_segment_meta(
     const std::filesystem::path& base) {
+  errno = 0;
   std::ifstream in(meta_path(base));
-  if (!in) {
-    throw std::runtime_error("mrscan: cannot read metadata: " +
-                             meta_path(base).string());
-  }
+  if (!in) meta_fail(meta_path(base), "cannot read metadata");
   std::size_t count = 0;
   in >> count;
-  std::vector<SegmentMeta> metas(count);
-  for (SegmentMeta& m : metas) {
-    in >> m.first_record >> m.owned_count >> m.shadow_count;
-  }
   if (!in) {
-    throw std::runtime_error("mrscan: malformed metadata: " +
-                             meta_path(base).string());
+    meta_fail(meta_path(base), "malformed metadata header",
+              /*format_error=*/true);
+  }
+  // Parse entry by entry instead of pre-sizing from the declared count: a
+  // corrupt count must fail with context, not attempt a huge allocation
+  // or hand back default-constructed entries.
+  std::vector<SegmentMeta> metas;
+  for (std::size_t i = 0; i < count; ++i) {
+    SegmentMeta m;
+    if (!(in >> m.first_record >> m.owned_count >> m.shadow_count)) {
+      meta_fail(meta_path(base), "metadata truncated short of its count",
+                /*format_error=*/true);
+    }
+    metas.push_back(m);
   }
   return metas;
 }

@@ -30,6 +30,7 @@ inline constexpr const char* kPoolWorkerPrefix = "pool.worker.";
 inline constexpr const char* kNetPrefix = "net.";
 inline constexpr const char* kBenchMicroIndexPrefix = "bench.micro_index.";
 inline constexpr const char* kBenchServePrefix = "bench.serve.";
+inline constexpr const char* kBenchOocPrefix = "bench.ooc.";
 
 // ---- thread pool (obs::PoolMetrics) -------------------------------
 inline constexpr const char* kPoolTasks = "pool.tasks";
@@ -143,6 +144,19 @@ inline constexpr const char* kBenchSweepS = "bench.sweep_s";
 inline constexpr const char* kBenchGpuDbscanS = "bench.gpu_dbscan_s";
 // Cluster formulation of a bench run: 0 = two-pass, 1 = cell-graph.
 inline constexpr const char* kBenchClusterAlgo = "bench.cluster_algo";
+// Rows clamped by MRSCAN_BENCH_MAX_LEAVES in this bench process ("no
+// silent caps": a capped export must be distinguishable from full scale).
+inline constexpr const char* kBenchLeavesClamped = "bench.leaves_clamped";
+
+// ---- out-of-core execution (core, DESIGN §15) ---------------------
+inline constexpr const char* kOocWorkingSet = "ooc.working_set";
+inline constexpr const char* kOocChunks = "ooc.chunks";
+inline constexpr const char* kOocLeavesClustered = "ooc.leaves_clustered";
+inline constexpr const char* kOocLeavesRestored = "ooc.leaves_restored";
+inline constexpr const char* kOocCheckpointWrites = "ooc.checkpoint_writes";
+inline constexpr const char* kOocCheckpointBytes = "ooc.checkpoint_bytes";
+inline constexpr const char* kOocMappedBytes = "ooc.mapped_bytes";
+inline constexpr const char* kOocOutputRecords = "ooc.output_records";
 
 // ---- clustering service (serve::ClusterService, DESIGN §14) -------
 inline constexpr const char* kServeEpochs = "serve.epochs";

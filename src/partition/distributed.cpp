@@ -185,12 +185,24 @@ PartitionPhaseResult run_distributed_partitioner(
 
   // ---- Leaves materialise and write the segmented file. ----
   const index::Grid grid(geometry, points);
-  result.segments = materialize_partitions(result.plan, grid, points,
-                                           config.materialize);
+  if (config.spool_dir.empty()) {
+    result.segments = materialize_partitions(result.plan, grid, points,
+                                             config.materialize);
+    result.segment_counts.reserve(result.segments.size());
+    for (const auto& seg : result.segments) {
+      result.segment_counts.push_back({seg.owned.size(), seg.shadow.size()});
+    }
+  } else {
+    // Out-of-core: spool each partition to its per-leaf segment file and
+    // keep only the counts resident (DESIGN §15).
+    result.segment_counts = materialize_partitions_to_files(
+        result.plan, grid, points, config.spool_dir, pool,
+        config.materialize);
+  }
 
   std::uint64_t output_points = 0;
-  for (const auto& seg : result.segments) {
-    output_points += seg.owned.size() + seg.shadow.size();
+  for (const auto& counts : result.segment_counts) {
+    output_points += counts.total();
   }
   fill_io_times(result, points.size() * io::kBinaryRecordSize,
                 output_points * io::kBinaryRecordSize, workers,

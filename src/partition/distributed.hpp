@@ -17,9 +17,11 @@
 // phase cost is meaningful at paper scale.
 #pragma once
 
+#include <filesystem>
 #include <span>
 
 #include "geometry/point.hpp"
+#include "io/mapped_segment.hpp"
 #include "io/segment_file.hpp"
 #include "mrnet/network.hpp"
 #include "obs/obs.hpp"
@@ -54,11 +56,23 @@ struct DistributedPartitionerConfig {
   /// registry; with tracing enabled it also emits per-node histogram
   /// wall spans and network sim spans. Never alters the plan.
   obs::Recorder* recorder = nullptr;
+  /// Out-of-core spool directory (DESIGN §15). When non-empty, segments
+  /// are written as per-leaf files under this directory instead of kept
+  /// resident: PartitionPhaseResult::segments stays empty and only
+  /// segment_counts is populated. The timing model is unchanged — the
+  /// paper's partitioner always wrote to the PFS; resident mode merely
+  /// skipped the local materialisation of that write.
+  std::filesystem::path spool_dir;
 };
 
 struct PartitionPhaseResult {
   PartitionPlan plan;
+  /// Resident mode only; empty when the phase spooled to files.
   std::vector<io::Segment> segments;
+  /// Per-leaf record counts, filled in both modes (resident mode derives
+  /// them from `segments`), so downstream cost models never need the
+  /// points resident.
+  std::vector<io::SegmentCounts> segment_counts;
 
   /// Modeled phase time at scale and its breakdown (seconds).
   double sim_seconds = 0.0;

@@ -13,10 +13,12 @@
 #include <gtest/gtest.h>
 
 #include <cstdlib>
+#include <filesystem>
 #include <string>
 
 #include "cluster_equiv.hpp"
 #include "core/mrscan.hpp"
+#include "io/labeled_file.hpp"
 #include "data/sdss.hpp"
 #include "data/synthetic.hpp"
 #include "data/twitter.hpp"
@@ -408,6 +410,99 @@ TEST(Differential, FaultMatrixCoversTheCellGraphPath) {
   EXPECT_EQ(faulty.cluster_count, baseline.cluster_count);
   EXPECT_TRUE(mrscan::test::same_clustering(faulty.labels_for(points),
                                             baseline.labels_for(points)));
+}
+
+namespace {
+
+/// Read a streamed labeled binary output back as the resident
+/// result.output record vector.
+std::vector<mrscan::sweep::LabeledPoint> read_labeled(
+    const std::filesystem::path& path) {
+  mrscan::io::LabeledFileReader reader(path);
+  std::vector<mrscan::sweep::LabeledPoint> records;
+  records.reserve(reader.records());
+  mg::Point point;
+  std::int64_t cluster = 0;
+  while (reader.next(point, cluster)) {
+    records.push_back(mrscan::sweep::LabeledPoint{point, cluster});
+  }
+  return records;
+}
+
+}  // namespace
+
+TEST(Differential, OutOfCoreRunIsByteIdenticalToResident) {
+  // DESIGN §15's headline contract: streaming leaves through a bounded
+  // working set changes peak memory only — the streamed output records,
+  // counters, and every simulated second match the resident run exactly,
+  // at any host worker count, and across a kill/resume cycle.
+  namespace fs = std::filesystem;
+  mrscan::data::TwitterConfig tw;
+  tw.num_points = 8000;
+  tw.seed = 19;
+  const auto points = mrscan::data::generate_twitter(tw);
+
+  auto base_cfg = make_config(0.1, 20, 24, 4);
+  base_cfg.host_threads = 1;
+  const auto baseline = mc::MrScan(base_cfg).run(points);
+  ASSERT_GT(baseline.cluster_count, 0u);
+  ASSERT_GT(baseline.leaves_used, 8u);
+
+  const fs::path root =
+      fs::temp_directory_path() /
+      ("mrscan_ooc_diff_" + std::to_string(::getpid()));
+  fs::remove_all(root);
+
+  for (const std::size_t threads : {1UL, 4UL}) {
+    auto cfg = base_cfg;
+    cfg.host_threads = threads;
+    cfg.ooc.enabled = true;
+    cfg.ooc.dir = root / ("ht" + std::to_string(threads));
+    cfg.ooc.working_set = 3;
+    const auto result = mc::MrScan(cfg).run(points);
+    const std::string context = "ooc host_threads " + std::to_string(threads);
+
+    EXPECT_TRUE(result.output.empty()) << context;
+    EXPECT_EQ(result.output_records, baseline.output.size()) << context;
+    EXPECT_TRUE(read_labeled(result.output_path) == baseline.output)
+        << context << ": streamed records differ from the resident run";
+    EXPECT_EQ(result.cluster_count, baseline.cluster_count) << context;
+    EXPECT_EQ(result.leaves_used, baseline.leaves_used) << context;
+    EXPECT_EQ(result.merges_detected, baseline.merges_detected) << context;
+    EXPECT_DOUBLE_EQ(result.gpu_dbscan_seconds, baseline.gpu_dbscan_seconds)
+        << context;
+    EXPECT_DOUBLE_EQ(result.sim.cluster_merge, baseline.sim.cluster_merge)
+        << context;
+    EXPECT_DOUBLE_EQ(result.sim.sweep, baseline.sim.sweep) << context;
+  }
+
+  // Kill/resume: abort right after a checkpoint, then resume on a
+  // different worker count — restored leaves plus freshly clustered ones
+  // must still reproduce the resident output byte-for-byte.
+  auto kill_cfg = base_cfg;
+  kill_cfg.host_threads = 4;
+  kill_cfg.ooc.enabled = true;
+  kill_cfg.ooc.dir = root / "killed";
+  kill_cfg.ooc.working_set = 3;
+  kill_cfg.ooc.abort_after_leaves = 7;
+  EXPECT_THROW(mc::MrScan(kill_cfg).run(points), mc::OocAborted);
+
+  auto resume_cfg = kill_cfg;
+  resume_cfg.ooc.abort_after_leaves = 0;
+  resume_cfg.ooc.resume = true;
+  resume_cfg.host_threads = 4;
+  const auto resumed = mc::MrScan(resume_cfg).run(points);
+  EXPECT_GT(resumed.ooc_leaves_restored, 0u);
+  EXPECT_LT(resumed.ooc_leaves_restored, baseline.leaves_used);
+  EXPECT_TRUE(read_labeled(resumed.output_path) == baseline.output)
+      << "resumed run diverged from the resident run";
+  EXPECT_EQ(resumed.cluster_count, baseline.cluster_count);
+  EXPECT_EQ(resumed.merges_detected, baseline.merges_detected);
+  EXPECT_DOUBLE_EQ(resumed.sim.cluster_merge, baseline.sim.cluster_merge);
+  EXPECT_DOUBLE_EQ(resumed.sim.sweep, baseline.sim.sweep);
+  EXPECT_DOUBLE_EQ(resumed.gpu_dbscan_seconds, baseline.gpu_dbscan_seconds);
+
+  fs::remove_all(root);
 }
 
 TEST(Differential, UniformNoiseOnlyYieldsNoClustersAnywhere) {

@@ -27,7 +27,7 @@ from .rules.accounting import (MetricNameTable, check_metric_names,
                                check_sim_ops_charge)
 from .rules.concurrency import check_par_ref_capture, check_scratch_scope
 from .rules.determinism import check_unordered_iteration
-from .rules.hygiene import check_hygiene, check_raw_rand
+from .rules.hygiene import check_hygiene, check_raw_io, check_raw_rand
 from .rules.layering import check_layering
 
 _SOURCE_SUFFIXES = (".cpp", ".hpp", ".h", ".cc", ".cu", ".cuh")
@@ -148,6 +148,8 @@ def analyze(repo_root: Path, roots: list[Path], *,
             check_hygiene(ctx)
         if in_scope("no-raw-rand", ctx):
             check_raw_rand(ctx)
+        if in_scope("raw-io", ctx):
+            check_raw_io(ctx)
         if in_scope("det-unordered-iter", ctx):
             check_unordered_iteration(ctx)
         if in_scope("par-ref-capture", ctx):

@@ -93,6 +93,11 @@ RULES: dict[str, tuple[str, str, tuple[str, ...]]] = {
         "hygiene",
         "no manual mutex lock()/unlock(); use RAII guards",
         ("src",)),
+    "raw-io": (
+        "hygiene",
+        "raw open/fopen/mmap & co. outside src/io/ — route file access "
+        "through the checked io helpers so errors carry errno context",
+        ("src", "bench", "examples")),
 }
 
 # Legacy suppression spellings (PR 3/PR 4 annotations) mapped to rules.

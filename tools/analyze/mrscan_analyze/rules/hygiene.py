@@ -36,6 +36,15 @@ SEQUENTIAL_SEGMENT_LOOP = re.compile(
 CLOCK_EXEMPT_DIRS = ("util", "obs")
 RAW_CHRONO = re.compile(r"\bstd\s*::\s*chrono\b")
 
+# Raw OS file access belongs in src/io/ (checked_file and friends), where
+# every failure path carries errno context. The lookbehind rejects member
+# calls (stream.open / file->open) and identifier suffixes (reopen).
+RAW_IO_EXEMPT_PREFIX = "src/io/"
+RAW_IO = re.compile(
+    r"(?<![\w.>])(?:std\s*::\s*)?"
+    r"(?:fopen|fdopen|freopen|open|openat|creat|mmap|munmap|"
+    r"fread|fwrite|pread|pwrite)\s*\(")
+
 RAND_EXEMPT_DIRS = ("src/util/rng.hpp", "src/util/rng.cpp")
 RANDOM_DEVICE = re.compile(r"\bstd\s*::\s*random_device\b")
 # Default-constructed standard engines: seeded from an unspecified state.
@@ -92,6 +101,25 @@ def check_hygiene(ctx: FileContext) -> None:
                        "MRSCAN_REQUIRE (or carry a require-validation-ok-"
                        "file suppression explaining why there is nothing "
                        "to validate)")
+
+
+def check_raw_io(ctx: FileContext) -> None:
+    """raw-io (hygiene family): raw open/fopen/mmap & co. outside src/io/.
+    The checked io helpers (io::fail, read_file_bytes, write_file_atomic,
+    MappedSegment) wrap every OS call with errno context and RAII cleanup;
+    callers elsewhere go through them so failures never surface as bare
+    return codes."""
+    if ctx.rel.startswith(RAW_IO_EXEMPT_PREFIX):
+        return
+    for lineno in range(1, len(ctx.stripped)):
+        line = ctx.stripped[lineno]
+        if not line:
+            continue
+        if RAW_IO.search(line):
+            ctx.report(lineno, "raw-io",
+                       "raw OS file call outside src/io/; route file access "
+                       "through the checked io helpers so every failure "
+                       "carries errno context")
 
 
 def check_raw_rand(ctx: FileContext) -> None:

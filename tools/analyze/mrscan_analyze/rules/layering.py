@@ -29,7 +29,9 @@ ALLOWED_DEPS: dict[str, tuple[str, ...]] = {
     "dbscan": ("cluster", "geometry", "index", "util"),
     "gpu": ("cluster", "dbscan", "geometry", "index", "util"),
     "sim": ("gpu", "util"),
-    "fault": ("sim", "util"),
+    # fault -> io: checkpoint manifests are written through the checked
+    # atomic-write helpers (fault/checkpoint.cpp, DESIGN §15).
+    "fault": ("io", "sim", "util"),
     "mrnet": ("fault", "obs", "sim", "util"),
     "merge": ("cluster", "dbscan", "geometry", "mrnet", "util"),
     "sweep": ("dbscan", "geometry", "merge", "util"),

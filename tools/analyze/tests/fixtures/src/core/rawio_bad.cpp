@@ -1,0 +1,18 @@
+// Fixture: raw-io positives — C stdio open and mmap outside src/io/.
+#include <cstdio>
+#include <sys/mman.h>
+
+namespace fixture {
+
+bool stdio_open(const char* path) {
+  std::FILE* f = std::fopen(path, "rb");
+  if (f == nullptr) return false;
+  std::fclose(f);
+  return true;
+}
+
+void* map_anonymous() {
+  return mmap(nullptr, 4096, PROT_READ, MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+}
+
+}  // namespace fixture

@@ -1,0 +1,26 @@
+// Fixture: raw-io negatives — suppressed call, member .open(), and an
+// identifier that merely ends in a flagged name.
+#include <cstdio>
+#include <fstream>
+
+namespace fixture {
+
+bool annotated_probe(const char* path) {
+  // raw-io-ok: fixture exercising the suppression
+  std::FILE* f = std::fopen(path, "rb");
+  if (f == nullptr) return false;
+  std::fclose(f);
+  return true;
+}
+
+bool stream_open(const char* path) {
+  std::ifstream in;
+  in.open(path);
+  return static_cast<bool>(in);
+}
+
+bool reopen(const char* path) {
+  return stream_open(path);
+}
+
+}  // namespace fixture

@@ -1,0 +1,14 @@
+// Fixture: src/io/ is the one place raw OS file calls are allowed (the
+// checked helpers live here), so raw-io stays quiet by construction.
+#include <cstdio>
+
+namespace fixture {
+
+bool io_dir_open(const char* path) {
+  std::FILE* f = std::fopen(path, "rb");
+  if (f == nullptr) return false;
+  std::fclose(f);
+  return true;
+}
+
+}  // namespace fixture

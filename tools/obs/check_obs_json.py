@@ -25,10 +25,17 @@ ClusterService maintains — the serve.epochs counter, the serve.points /
 serve.clusters gauges, and the serve.epoch.seconds / serve.query.seconds
 latency histograms.
 
+A fifth mode validates an out-of-core run's snapshot (mrscan_cli
+--ooc-dir --metrics-out): everything the pipeline mode requires (an OOC
+run still executes all four phases) plus the ooc.* counters (chunks,
+leaves_clustered, leaves_restored, checkpoint_writes, checkpoint_bytes,
+mapped_bytes, output_records) and the ooc.working_set gauge.
+
 Usage:
   check_obs_json.py TRACE_JSON METRICS_JSON
   check_obs_json.py --bench BENCH_JSON [BENCH_JSON ...]
   check_obs_json.py --serve METRICS_JSON [METRICS_JSON ...]
+  check_obs_json.py --ooc METRICS_JSON [METRICS_JSON ...]
 
 Exit status is 0 when every file validates, 1 otherwise.
 """
@@ -47,6 +54,10 @@ REQUIRED_COUNTERS = tuple(f"fault.{n}" for n in (
 SERVE_COUNTERS = ("serve.epochs",)
 SERVE_GAUGES = ("serve.points", "serve.clusters")
 SERVE_HISTOGRAMS = ("serve.epoch.seconds", "serve.query.seconds")
+OOC_COUNTERS = tuple(f"ooc.{n}" for n in (
+    "chunks", "leaves_clustered", "leaves_restored", "checkpoint_writes",
+    "checkpoint_bytes", "mapped_bytes", "output_records"))
+OOC_GAUGES = ("ooc.working_set",)
 VALID_KINDS = ("counter", "gauge", "histogram")
 
 ERRORS: list[str] = []
@@ -168,19 +179,29 @@ def check_metrics(path: str, mode: str = "pipeline") -> None:
     for name in REQUIRED_COUNTERS:
         if kinds.get(name) != "counter":
             err(f"{path}: required counter {name!r} missing or wrong kind")
+    if mode == "ooc":
+        for name in OOC_COUNTERS:
+            if kinds.get(name) != "counter":
+                err(f"{path}: required ooc counter {name!r} missing or "
+                    f"wrong kind")
+        for name in OOC_GAUGES:
+            if kinds.get(name) != "gauge":
+                err(f"{path}: required ooc gauge {name!r} missing or "
+                    f"wrong kind")
 
 
 def usage() -> int:
     print(__doc__.strip().splitlines()[0], file=sys.stderr)
     print("usage: check_obs_json.py TRACE_JSON METRICS_JSON\n"
           "       check_obs_json.py --bench BENCH_JSON [BENCH_JSON ...]\n"
-          "       check_obs_json.py --serve METRICS_JSON [METRICS_JSON ...]",
+          "       check_obs_json.py --serve METRICS_JSON [METRICS_JSON ...]\n"
+          "       check_obs_json.py --ooc METRICS_JSON [METRICS_JSON ...]",
           file=sys.stderr)
     return 2
 
 
 def main(argv: list[str]) -> int:
-    if argv and argv[0] in ("--bench", "--serve"):
+    if argv and argv[0] in ("--bench", "--serve", "--ooc"):
         mode = argv[0][2:]
         paths = argv[1:]
         if not paths:
